@@ -1,0 +1,96 @@
+// E10 (ablation): which adaptation action buys what.
+//
+// One multi-event degradation script (fast half degrades at t=100, one node
+// goes down outright at t=200), with the farm's three actions toggled
+// independently:
+//   none        — calibrate once, never react (the frozen farm)
+//   recal-only  — Algorithm 2 recalibration, no reissue
+//   reissue-only— straggler duplication, no recalibration
+//   full        — both (the shipped default)
+#include "bench/common.hpp"
+
+using namespace grasp;
+
+namespace {
+
+gridsim::Grid build_grid() {
+  gridsim::GridBuilder b;
+  const SiteId s0 = b.add_site("site0");
+  const SiteId s1 = b.add_site("site1");
+  for (int i = 0; i < 8; ++i) b.add_node(s0, 320.0);
+  for (int i = 0; i < 8; ++i) b.add_node(s1, 160.0);
+  gridsim::Grid grid = b.build();
+  for (std::uint64_t i = 0; i < 8; ++i)
+    gridsim::inject_load_step_on(grid, NodeId{i}, Seconds{100.0}, 9.0);
+  // One fast node dies outright mid-run: only reissue can rescue the chunk
+  // it is holding.
+  grid.node(NodeId{0}).add_downtime({Seconds{200.0}, Seconds{1e7}});
+  return grid;
+}
+
+core::FarmReport run_variant(bool recalibrate, bool reissue,
+                             const workloads::TaskSet& tasks) {
+  gridsim::Grid grid = build_grid();
+  core::SimBackend backend(grid);
+  core::FarmParams params = core::make_adaptive_farm_params();
+  params.calibration.select_count = 8;
+  params.adaptation_enabled = recalibrate;
+  params.reissue_stragglers = reissue;
+  params.straggler_factor = 4.0;
+  params.threshold.stale_after = 180.0;
+  return core::TaskFarm(params).run(backend, grid, grid.node_ids(), tasks);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_experiment_header(
+      "E10 — ablation of the farm's adaptation actions",
+      "degradation at t=100 s plus a node death at t=200 s; recalibration "
+      "handles the\nshift, reissue handles the death, the full farm handles "
+      "both");
+
+  const workloads::TaskSet tasks = bench::irregular_tasks(5000, 150.0, 29);
+
+  struct Variant {
+    const char* name;
+    bool recalibrate;
+    bool reissue;
+  };
+  const Variant variants[] = {
+      {"none (frozen)", false, false},
+      {"recalibrate-only", true, false},
+      {"reissue-only", false, true},
+      {"full (recal + reissue)", true, true},
+  };
+
+  Table table({"variant", "makespan_s", "recalibrations", "reissues",
+               "vs_frozen"});
+  constexpr double kBlocked = 1e6;  // anything beyond this waited out the
+                                    // dead node's 10^7 s downtime
+  double frozen = 0.0;
+  for (const Variant& v : variants) {
+    const core::FarmReport report =
+        run_variant(v.recalibrate, v.reissue, tasks);
+    const double makespan = report.makespan.value;
+    if (frozen == 0.0) frozen = makespan;
+    table.add_row({v.name,
+                   makespan > kBlocked ? "blocked (>1e6)"
+                                       : Table::num(makespan, 1),
+                   std::to_string(report.recalibrations),
+                   std::to_string(report.reissues),
+                   makespan > kBlocked
+                       ? "1.00x"
+                       : Table::num(frozen / makespan, 0) + "x"});
+  }
+  std::cout << table.to_string()
+            << "\nexpected shape: the frozen farm never finishes in practical "
+               "time (it waits out\nthe dead node's downtime); either single "
+               "action unblocks the run — reissue by\nduplicating the stuck "
+               "chunk, recalibration by having already evicted the node\n"
+               "after its t=100 degradation — and the full farm matches the "
+               "better of the two.\nNote recalibrate-only survives here only "
+               "because the degradation preceded the\ndeath; had the node "
+               "died silently, only reissue could have rescued the chunk.\n";
+  return 0;
+}

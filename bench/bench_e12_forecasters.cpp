@@ -1,0 +1,108 @@
+// E12 (extension): forecaster accuracy across grid dynamics.
+//
+// The statistical calibration and the remap/replicate estimators all lean
+// on load forecasts.  This experiment scores the NWS-style forecaster
+// family — plus the adaptive meta-selector — on one-step-ahead CPU-load
+// prediction (RMSE) for every background-dynamics regime, averaged over
+// nodes and seeds.  It quantifies why "meta" is the safe default: no single
+// member wins every regime, and meta tracks the per-regime winner.
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "perfmon/forecaster.hpp"
+#include "perfmon/sensor.hpp"
+#include "support/stats.hpp"
+
+using namespace grasp;
+
+namespace {
+
+double rmse_for(const std::string& forecaster, gridsim::Dynamics dynamics,
+                std::uint64_t seed) {
+  gridsim::ScenarioParams sp;
+  sp.node_count = 6;
+  sp.dynamics = dynamics;
+  sp.seed = seed;
+  const gridsim::Grid grid = gridsim::make_grid(sp);
+  // Real monitors are noisy; forecasting skill is about seeing through the
+  // sensor, not memorising the model's slot grid.
+  perfmon::CpuLoadSensor sensor(grid,
+                                perfmon::NoiseModel(0.25, 0.15, seed + 7));
+
+  OnlineStats node_rmse;
+  for (const NodeId node : grid.node_ids()) {
+    const auto f = perfmon::make_forecaster(forecaster);
+    double sq = 0.0;
+    std::size_t n = 0;
+    for (double t = 1.0; t <= 600.0; t += 1.0) {
+      const perfmon::Sample s = sensor.sample(node, Seconds{t});
+      if (t > 1.0) {
+        const double err = f->forecast() - s.value;
+        sq += err * err;
+        ++n;
+      }
+      f->observe(s);
+    }
+    node_rmse.add(std::sqrt(sq / static_cast<double>(n)));
+  }
+  return node_rmse.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_experiment_header(
+      "E12 — load-forecaster accuracy by dynamics regime",
+      "one-step-ahead RMSE (10 simulated minutes at 1 Hz, 6 nodes x 3 "
+      "seeds);\nno single member wins everywhere — the meta selector tracks "
+      "the winner");
+
+  const char* forecasters[] = {"last_value", "running_mean", "sliding_median",
+                               "ewma", "ar1", "meta"};
+  const gridsim::Dynamics regimes[] = {
+      gridsim::Dynamics::Stable, gridsim::Dynamics::Walk,
+      gridsim::Dynamics::Bursty, gridsim::Dynamics::Diurnal,
+      gridsim::Dynamics::Mixed};
+
+  std::vector<std::string> header{"forecaster"};
+  for (const auto d : regimes) header.push_back(gridsim::to_string(d));
+  Table table(header);
+  std::vector<std::vector<double>> scores;  // [forecaster][regime]
+  for (const char* f : forecasters) {
+    std::vector<std::string> row{f};
+    std::vector<double> per_regime;
+    for (const auto d : regimes) {
+      OnlineStats acc;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed)
+        acc.add(rmse_for(f, d, seed * 17));
+      per_regime.push_back(acc.mean());
+      row.push_back(Table::num(acc.mean(), 4));
+    }
+    scores.push_back(per_regime);
+    table.add_row(row);
+  }
+  std::cout << table.to_string();
+
+  // Which member wins each regime, and how far is meta off the winner?
+  std::cout << "\nper-regime winner vs meta:\n";
+  Table winners({"regime", "winner", "winner_rmse", "meta_rmse",
+                 "meta_penalty"});
+  for (std::size_t r = 0; r < std::size(regimes); ++r) {
+    std::size_t best = 0;
+    for (std::size_t f = 0; f + 1 < std::size(forecasters); ++f)  // excl meta
+      if (scores[f][r] < scores[best][r]) best = f;
+    const double meta = scores[std::size(forecasters) - 1][r];
+    const std::string penalty =
+        scores[best][r] > 0.0 ? Table::num(meta / scores[best][r], 2) + "x"
+                              : "1.00x";
+    winners.add_row({gridsim::to_string(regimes[r]), forecasters[best],
+                     Table::num(scores[best][r], 4), Table::num(meta, 4),
+                     penalty});
+  }
+  std::cout << winners.to_string()
+            << "\nexpected shape: the winner differs across regimes "
+               "(last_value on persistent\nprocesses, median/mean on spiky "
+               "ones); meta stays within a small factor of each\nregime's "
+               "winner without being told the regime.\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E2 (poster Algorithm 1): calibration selection quality.
+//
+// Planted ground truth: node base speeds are known, loads are stable, so
+// the true fittest-k set is the k fastest nodes.  We sweep pool size and
+// sensor noise, and report for each ranking strategy:
+//   * top-k selection accuracy (|chosen ∩ true top-k| / k)
+//   * Spearman rank correlation between the calibrated ranking and truth.
+#include <algorithm>
+#include <set>
+
+#include "bench/common.hpp"
+#include "core/calibration.hpp"
+#include "perfmon/monitor.hpp"
+#include "support/stats.hpp"
+
+using namespace grasp;
+
+namespace {
+
+struct Quality {
+  double topk_accuracy;
+  double spearman_rho;
+};
+
+Quality measure(std::size_t pool_size, double noise, core::RankingStrategy s,
+                std::uint64_t seed) {
+  gridsim::ScenarioParams sp;
+  sp.node_count = pool_size;
+  sp.dynamics = gridsim::Dynamics::Stable;  // mild constant loads
+  sp.seed = seed;
+  const gridsim::Grid grid = gridsim::make_grid(sp);
+
+  // Ground truth: effective dedicated seconds-per-Mop = (load+1)/speed.
+  std::vector<double> truth;
+  for (const auto& n : grid.nodes())
+    truth.push_back((n.load_at(Seconds{0.0}) + 1.0) / n.base_speed_mops());
+
+  core::SimBackend backend(grid);
+  perfmon::MonitorDaemon::Params mp;
+  mp.period = Seconds{0.5};
+  mp.noise_relative = noise;
+  mp.noise_seed = seed + 1;
+  perfmon::MonitorDaemon monitor(grid, grid.node_ids(), mp);
+
+  const workloads::TaskSet tasks =
+      bench::irregular_tasks(pool_size * 2, 100.0, seed + 2, 0.0);
+  core::TaskSource src(tasks);
+  core::TokenAllocator tok;
+  core::CalibrationParams cp;
+  cp.strategy = s;
+  cp.select_fraction = 0.5;
+  core::Calibrator cal(core::task_farm_traits(), cp);
+  const core::CalibrationResult result =
+      cal.run(backend, grid.node_ids(), src, &monitor, nullptr, tok);
+
+  // True top-k set.
+  const std::size_t k = result.chosen.size();
+  std::vector<std::size_t> order(truth.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return truth[a] < truth[b]; });
+  std::set<std::uint64_t> true_topk;
+  for (std::size_t i = 0; i < k; ++i) true_topk.insert(order[i]);
+  std::size_t hits = 0;
+  for (const NodeId n : result.chosen)
+    if (true_topk.count(n.value)) ++hits;
+
+  // Rank correlation over the full pool.
+  std::vector<double> predicted(truth.size(), 0.0);
+  for (const auto& score : result.ranking)
+    predicted[score.node.value] = score.adjusted_spm;
+  Quality q;
+  q.topk_accuracy = static_cast<double>(hits) / static_cast<double>(k);
+  q.spearman_rho = spearman(predicted, truth);
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_experiment_header(
+      "E2 / Algorithm 1 — calibration selects the fittest nodes",
+      "selection accuracy of the fittest-k subset and rank correlation vs "
+      "planted truth,\nswept over pool size, sensor noise and ranking "
+      "strategy (5 seeds each)");
+
+  Table table({"pool", "noise", "strategy", "topk_accuracy", "spearman_rho"});
+  for (const std::size_t pool : {8u, 16u, 32u, 64u}) {
+    for (const double noise : {0.0, 0.1, 0.3}) {
+      for (const core::RankingStrategy s :
+           {core::RankingStrategy::TimeOnly, core::RankingStrategy::Univariate,
+            core::RankingStrategy::Multivariate}) {
+        OnlineStats acc, rho;
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+          const Quality q = measure(pool, noise, s, seed * 101);
+          acc.add(q.topk_accuracy);
+          rho.add(q.spearman_rho);
+        }
+        table.add_row({std::to_string(pool), Table::num(noise, 1),
+                       core::to_string(s), Table::num(acc.mean(), 3),
+                       Table::num(rho.mean(), 3)});
+      }
+    }
+  }
+  std::cout << table.to_string()
+            << "\nexpected shape: accuracy near 1.0 and rho near 1.0 at zero "
+               "noise for every\nstrategy; accuracy degrades gracefully with "
+               "noise; statistical strategies never\nmaterially worse than "
+               "time-only on stable grids.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E3 (poster Algorithm 2): performance-threshold sweep.
+//
+// A 32-node grid whose chosen (fast) half degrades at t=80.  Sweeping the
+// relative threshold Z shows Algorithm 2's trade-off: tight thresholds
+// recalibrate often (overhead, spurious triggers), loose thresholds detect
+// the shift late or never.  Detection delay = first recalibration at or
+// after the injection minus the injection time.
+#include "bench/common.hpp"
+
+using namespace grasp;
+
+namespace {
+
+constexpr double kInjectionTime = 80.0;
+
+gridsim::Grid build_grid() {
+  // Fast half + slow half, all with mild random-walk background noise (so
+  // tight thresholds can fire spuriously), then a moderate 3-competitor
+  // step on the fast half (so loose thresholds genuinely miss it).
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("site0");
+  Rng rng(99);
+  auto walk = [&] {
+    gridsim::RandomWalkLoad::Params p;
+    p.initial = 0.2;
+    p.mean = 0.25;
+    p.reversion = 0.08;
+    p.step_stddev = 0.18;
+    p.max_load = 2.0;
+    return std::make_unique<gridsim::RandomWalkLoad>(p, rng.next());
+  };
+  for (int i = 0; i < 16; ++i) b.add_node(s, 300.0, walk());
+  for (int i = 0; i < 16; ++i) b.add_node(s, 150.0, walk());
+  gridsim::Grid grid = b.build();
+  for (std::uint64_t i = 0; i < 16; ++i)
+    gridsim::inject_load_step_on(grid, NodeId{i}, Seconds{kInjectionTime},
+                                 3.0);
+  return grid;
+}
+
+core::FarmReport run_with(double z, bool adaptation,
+                          const workloads::TaskSet& tasks) {
+  gridsim::Grid grid = build_grid();
+  core::SimBackend backend(grid);
+  core::FarmParams params = core::make_adaptive_farm_params();
+  params.calibration.select_count = 16;
+  params.threshold.z = z;
+  params.adaptation_enabled = adaptation;
+  params.reissue_stragglers = false;  // isolate the recalibration mechanism
+  return core::TaskFarm(params).run(backend, grid, grid.node_ids(), tasks);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_experiment_header(
+      "E3 / Algorithm 2 — threshold Z sweep",
+      "relative-min threshold: small Z over-reacts, large Z reacts late; "
+      "detection delay\nis measured from the load injection at t=80 s to the "
+      "first recalibration after it");
+
+  const workloads::TaskSet tasks = bench::irregular_tasks(6000, 150.0, 13);
+
+  Table table(
+      {"Z", "recalibrations", "detect_delay_s", "makespan_s", "vs_frozen"});
+  const double frozen = run_with(2.0, false, tasks).makespan.value;
+  for (const double z : {1.2, 1.5, 2.0, 3.0, 5.0, 10.0}) {
+    const core::FarmReport report = run_with(z, true, tasks);
+    double delay = -1.0;
+    for (const auto& e : report.trace.events()) {
+      if (e.kind == gridsim::TraceEventKind::RecalibrationTriggered &&
+          e.at.value >= kInjectionTime) {
+        delay = e.at.value - kInjectionTime;
+        break;
+      }
+    }
+    table.add_row({Table::num(z, 1), std::to_string(report.recalibrations),
+                   delay < 0.0 ? "never" : Table::num(delay, 1),
+                   Table::num(report.makespan.value, 1),
+                   Table::num(frozen / report.makespan.value, 2) + "x"});
+  }
+  table.add_row({"frozen", "0", "never", Table::num(frozen, 1), "1.00x"});
+  std::cout << table.to_string()
+            << "\nexpected shape: tighter Z detects the shift sooner (lower "
+               "makespan); beyond a\ncritical Z the breach is never seen and "
+               "the run degenerates to the frozen\nmakespan.  Note the "
+               "poster's min statistic is inherently robust to uncorrelated\n"
+               "per-node noise — even Z=1.2 does not over-trigger — because "
+               "a round's minimum\nonly rises when the *whole* chosen set "
+               "degrades together.\n";
+  return 0;
+}

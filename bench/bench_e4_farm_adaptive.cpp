@@ -1,0 +1,123 @@
+// E4 ([6]-style headline table): adaptive farm vs baselines under dynamic
+// external load.
+//
+// The grids are realistic non-dedicated pools: heterogeneous speeds, the
+// requested background dynamics, and 20% "swamped" members (permanently
+// buried under external work — the nodes fittest-subset selection exists to
+// exclude).  Dispatch granularity is 4 tasks per chunk for both farm
+// variants, as a grid deployment would batch to amortise WAN latency.
+//
+//   static  — block distribution over all nodes (non-adaptive SPMD)
+//   demand  — demand-driven farm over all nodes, calibrated once, no
+//             adaptation (so chunks keep landing on swamped nodes)
+//   GRASP   — full adaptive loop: fittest selection, Algorithms 1+2,
+//             straggler reissue
+//   oracle  — clairvoyant earliest-finish lower bound
+#include "bench/common.hpp"
+
+using namespace grasp;
+
+namespace {
+
+core::FarmParams adaptive_config() {
+  core::FarmParams p = core::make_adaptive_farm_params();
+  p.chunk_size = 4;
+  return p;
+}
+
+core::FarmParams demand_config() {
+  core::FarmParams p = core::make_demand_farm_params();
+  p.chunk_size = 4;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_experiment_header(
+      "E4 — adaptive task farm vs static / demand / oracle",
+      "irregular lognormal tasks (cv=1), heterogeneous multi-site pools with "
+      "20%\nswamped nodes, chunked dispatch (4 tasks); GRASP must dominate "
+      "both baselines");
+
+  struct Case {
+    std::size_t nodes;
+    std::size_t tasks;
+    gridsim::Dynamics dynamics;
+  };
+  const std::vector<Case> cases = {
+      {16, 2000, gridsim::Dynamics::Stable},
+      {16, 2000, gridsim::Dynamics::Bursty},
+      {16, 2000, gridsim::Dynamics::Mixed},
+      {32, 4000, gridsim::Dynamics::Stable},
+      {32, 4000, gridsim::Dynamics::Bursty},
+      {32, 4000, gridsim::Dynamics::Mixed},
+      {64, 8000, gridsim::Dynamics::Mixed},
+  };
+
+  Table table({"nodes", "tasks", "dynamics", "static_s", "demand_s",
+               "grasp_s", "oracle_s", "grasp_vs_static", "grasp_vs_demand",
+               "oracle_gap"});
+  for (const Case& c : cases) {
+    gridsim::ScenarioParams sp;
+    sp.node_count = c.nodes;
+    sp.sites = 2;
+    sp.dynamics = c.dynamics;
+    sp.swamped_fraction = 0.2;
+    sp.seed = 42 + c.nodes;
+    auto factory = [&] { return gridsim::make_grid(sp); };
+    const workloads::TaskSet tasks =
+        bench::irregular_tasks(c.tasks, 120.0, 7 + c.nodes);
+    const bench::FarmComparison r = bench::compare_farms(
+        factory, tasks, adaptive_config(), demand_config());
+    table.add_row({std::to_string(c.nodes), std::to_string(c.tasks),
+                   gridsim::to_string(c.dynamics),
+                   Table::num(r.static_block_s, 1), Table::num(r.demand_s, 1),
+                   Table::num(r.adaptive_s, 1), Table::num(r.oracle_s, 1),
+                   Table::num(r.static_block_s / r.adaptive_s, 2) + "x",
+                   Table::num(r.demand_s / r.adaptive_s, 2) + "x",
+                   Table::num(r.adaptive_s / r.oracle_s, 2) + "x"});
+  }
+  std::cout << table.to_string();
+
+  // Degradation scenario: the calibrated fast half collapses mid-run — the
+  // case where the Algorithm 2 feedback loop separates from one-shot
+  // calibration.
+  std::cout << "\ndegradation scenario (fast third gains load 9 at t=100 s; "
+               "a quarter of the\npool is swamped throughout):\n";
+  Table deg({"nodes", "tasks", "static_s", "demand_s", "grasp_s", "oracle_s",
+             "grasp_vs_demand"});
+  for (const std::size_t nodes : {16u, 32u}) {
+    const std::size_t fast = 3 * nodes / 8;
+    const std::size_t slow = 3 * nodes / 8;
+    const std::size_t swamped = nodes - fast - slow;
+    auto factory = [&] {
+      gridsim::GridBuilder b;
+      const SiteId s0 = b.add_site("site0");
+      const SiteId s1 = b.add_site("site1");
+      for (std::size_t i = 0; i < fast; ++i) b.add_node(s0, 320.0);
+      for (std::size_t i = 0; i < slow; ++i) b.add_node(s1, 160.0);
+      for (std::size_t i = 0; i < swamped; ++i)
+        b.add_node(s1, 200.0, std::make_unique<gridsim::ConstantLoad>(24.0));
+      gridsim::Grid grid = b.build();
+      for (std::uint64_t i = 0; i < fast; ++i)
+        gridsim::inject_load_step_on(grid, NodeId{i}, Seconds{100.0}, 9.0);
+      return grid;
+    };
+    const workloads::TaskSet tasks =
+        bench::irregular_tasks(nodes * 180, 150.0, 11 + nodes);
+    const bench::FarmComparison r = bench::compare_farms(
+        factory, tasks, adaptive_config(), demand_config());
+    deg.add_row({std::to_string(nodes), std::to_string(nodes * 180),
+                 Table::num(r.static_block_s, 1), Table::num(r.demand_s, 1),
+                 Table::num(r.adaptive_s, 1), Table::num(r.oracle_s, 1),
+                 Table::num(r.demand_s / r.adaptive_s, 2) + "x"});
+  }
+  std::cout << deg.to_string()
+            << "\nexpected shape: grasp < demand < static on every row (the "
+               "swamped nodes cost\nthe non-selective baselines a chunk tail "
+               "each); grasp within ~2x of the oracle;\nthe degradation rows "
+               "keep grasp at or ahead of demand via recalibration plus\n"
+               "reissue.\n";
+  return 0;
+}

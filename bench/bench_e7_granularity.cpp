@@ -1,0 +1,91 @@
+// E7 (poster: computation/communication ratio): dispatch granularity.
+//
+// The paper names "the correct adjustment of algorithmic parameters (for
+// example, blocking of communications, granularity)" as a key challenge.
+// Sweeping the computation/communication ratio (by shrinking task compute
+// at fixed payload over a WAN-separated two-site grid) shows the chunk-size
+// trade-off: fine chunks lose to per-dispatch latency when communication
+// dominates, coarse chunks lose load balance when computation dominates.
+// The adaptive chunk controller should track the best fixed choice.
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "support/rng.hpp"
+
+using namespace grasp;
+
+namespace {
+
+// The farmer sits alone at site0; all 31 workers are behind a 20 ms /
+// 12.5 MB/s WAN — the deployment where dispatch granularity decides how
+// much of the round trip is amortised.
+gridsim::Grid build_grid(std::uint64_t seed) {
+  Rng rng(seed);
+  gridsim::GridBuilder b;
+  const SiteId home = b.add_site("home");
+  const SiteId farm_site = b.add_site("workers");
+  b.set_inter_site_link(home, farm_site, Seconds{0.02},
+                        BytesPerSecond{12.5e6});
+  b.add_node(home, 100.0);  // the farmer (also a worker, but only one)
+  for (int i = 0; i < 31; ++i)
+    b.add_node(farm_site, std::exp(rng.uniform(std::log(100.0),
+                                               std::log(400.0))));
+  return b.build();
+}
+
+double run_chunk(double mean_mops, std::size_t chunk, bool adaptive_chunking,
+                 std::uint64_t seed) {
+  gridsim::Grid grid = build_grid(seed);
+  core::SimBackend backend(grid);
+  core::FarmParams params = core::make_demand_farm_params();
+  params.chunk_size = chunk;
+  params.adaptive_chunking = adaptive_chunking;
+  params.target_chunk_seconds = 4.0;
+
+  workloads::TaskSetParams tp;
+  tp.count = 3000;
+  tp.mean_mops = mean_mops;
+  tp.cv = 0.5;
+  tp.input_bytes = 100e3;  // fixed payload; ratio varies via compute
+  tp.output_bytes = 20e3;
+  tp.seed = seed + 1;
+  const workloads::TaskSet tasks = workloads::make_task_set(tp);
+  return core::TaskFarm(params)
+      .run(backend, grid, grid.node_ids(), tasks)
+      .makespan.value;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_experiment_header(
+      "E7 — granularity vs computation/communication ratio",
+      "fixed 100 KB payload per task, compute cost swept; chunk=k batches k "
+      "tasks per\ndispatch; 'adaptive' sizes chunks per node toward a 4 s "
+      "round");
+
+  // mean task compute (Mops): 2 -> comm-dominated, 200 -> comp-dominated.
+  Table table({"task_mops", "chunk=1", "chunk=4", "chunk=16", "chunk=64",
+               "adaptive", "best_fixed"});
+  for (const double mops : {2.0, 10.0, 40.0, 200.0}) {
+    std::vector<double> fixed;
+    for (const std::size_t chunk : {1u, 4u, 16u, 64u})
+      fixed.push_back(run_chunk(mops, chunk, false, 5));
+    const double adaptive = run_chunk(mops, 1, true, 5);
+    const double best = *std::min_element(fixed.begin(), fixed.end());
+    const char* names[] = {"1", "4", "16", "64"};
+    const std::size_t best_idx = static_cast<std::size_t>(
+        std::min_element(fixed.begin(), fixed.end()) - fixed.begin());
+    table.add_row({Table::num(mops, 0), Table::num(fixed[0], 1),
+                   Table::num(fixed[1], 1), Table::num(fixed[2], 1),
+                   Table::num(fixed[3], 1), Table::num(adaptive, 1),
+                   std::string("chunk=") + names[best_idx] + " (" +
+                       Table::num(best, 1) + ")"});
+  }
+  std::cout << table.to_string()
+            << "\nexpected shape: the best fixed chunk grows as compute per "
+               "task shrinks\n(communication dominates); adaptive chunking "
+               "stays within ~15% of the best\nfixed choice on every row "
+               "without being told the ratio.\n";
+  return 0;
+}

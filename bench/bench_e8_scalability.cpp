@@ -1,0 +1,85 @@
+// E8: scalability of the adaptive farm with pool size.
+//
+// Fixed total work, heterogeneous mixed-dynamics grids from 4 to 128 nodes.
+// Speedup is measured against the 4-node adaptive run; effective capacity
+// (sum of base speeds) grows sub-linearly in node count on the log-uniform
+// speed distribution, so we also report makespan x capacity (a flat value
+// means the farm converts added capacity into speedup at constant
+// efficiency).
+// Pass `csv=<path>` to also dump the scaling curve as CSV.
+#include <memory>
+#include <numeric>
+
+#include "bench/common.hpp"
+#include "support/config.hpp"
+#include "support/csv.hpp"
+
+using namespace grasp;
+
+int main(int argc, char** argv) {
+  Config cfg;
+  cfg.override_with({argv + 1, argv + argc});
+  bench::print_experiment_header(
+      "E8 — scalability with pool size",
+      "fixed 8000-task workload; adaptive farm vs static block as the pool "
+      "grows;\nefficiency = speedup relative to capacity growth");
+
+  const workloads::TaskSet tasks = bench::irregular_tasks(8000, 100.0, 3);
+
+  Table table({"nodes", "capacity_mops", "static_s", "grasp_s",
+               "grasp_speedup", "capacity_ratio", "efficiency"});
+  std::unique_ptr<CsvWriter> csv;
+  if (const auto path = cfg.get(std::string("csv")))
+    csv = std::make_unique<CsvWriter>(
+        *path, std::vector<std::string>{"nodes", "capacity_mops", "static_s",
+                                        "grasp_s", "efficiency"});
+  double base_adaptive = 0.0;
+  double base_capacity = 0.0;
+  for (const std::size_t nodes : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    gridsim::ScenarioParams sp;
+    sp.node_count = nodes;
+    sp.sites = nodes >= 16 ? 4 : 2;
+    sp.dynamics = gridsim::Dynamics::Mixed;
+    sp.seed = 17;
+    auto factory = [&] { return gridsim::make_grid(sp); };
+
+    const gridsim::Grid probe = factory();
+    double capacity = 0.0;
+    for (const auto& n : probe.nodes()) capacity += n.base_speed_mops();
+
+    gridsim::Grid grid_a = factory();
+    core::SimBackend backend_a(grid_a);
+    const double adaptive =
+        core::TaskFarm(core::make_adaptive_farm_params())
+            .run(backend_a, grid_a, grid_a.node_ids(), tasks)
+            .makespan.value;
+
+    gridsim::Grid grid_s = factory();
+    core::SimBackend backend_s(grid_s);
+    const double block = core::StaticBlockFarm()
+                             .run(backend_s, grid_s.node_ids(), tasks)
+                             .makespan.value;
+
+    if (base_adaptive == 0.0) {
+      base_adaptive = adaptive;
+      base_capacity = capacity;
+    }
+    const double speedup = base_adaptive / adaptive;
+    const double cap_ratio = capacity / base_capacity;
+    table.add_row({std::to_string(nodes), Table::num(capacity, 0),
+                   Table::num(block, 1), Table::num(adaptive, 1),
+                   Table::num(speedup, 2) + "x",
+                   Table::num(cap_ratio, 2) + "x",
+                   Table::num(speedup / cap_ratio, 2)});
+    if (csv)
+      csv->add_row({std::to_string(nodes), Table::num(capacity, 0),
+                    Table::num(block, 1), Table::num(adaptive, 1),
+                    Table::num(speedup / cap_ratio, 3)});
+  }
+  std::cout << table.to_string()
+            << "\nexpected shape: speedup tracks capacity growth (efficiency "
+               "near 1) until the\npool is so large that per-dispatch "
+               "communication and the fixed task count bound\nit; static "
+               "block trails adaptive at every size.\n";
+  return 0;
+}

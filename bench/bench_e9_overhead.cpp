@@ -1,0 +1,61 @@
+// E9: the cost of adaptivity when nothing goes wrong.
+//
+// On a stable grid the adaptive machinery (monitor sampling, threshold
+// rounds, calibration) should cost almost nothing over the plain
+// demand-driven farm: adaptation that is not needed must be nearly free.
+// Sweeping the monitor period shows the overhead is insensitive to
+// sampling rate (sampling is off the critical path in the engine).
+#include "bench/common.hpp"
+
+using namespace grasp;
+
+int main() {
+  bench::print_experiment_header(
+      "E9 — adaptivity overhead on a stable grid",
+      "adaptive farm vs demand-driven farm when no adaptation is needed; "
+      "overhead\nshould stay in the low single digits of percent");
+
+  const workloads::TaskSet tasks = bench::irregular_tasks(4000, 120.0, 19);
+  gridsim::ScenarioParams sp;
+  sp.node_count = 32;
+  sp.dynamics = gridsim::Dynamics::Stable;
+  sp.seed = 23;
+
+  double demand_s = 0.0;
+  {
+    gridsim::Grid grid = gridsim::make_grid(sp);
+    core::SimBackend backend(grid);
+    demand_s = core::TaskFarm(core::make_demand_farm_params())
+                   .run(backend, grid, grid.node_ids(), tasks)
+                   .makespan.value;
+  }
+
+  Table table({"variant", "monitor_period_s", "makespan_s", "overhead_pct",
+               "recalibrations", "monitor_samples"});
+  table.add_row({"demand (no adaptation)", "-", Table::num(demand_s, 1),
+                 "0.0", "0", "0"});
+  for (const double period : {0.25, 1.0, 4.0}) {
+    gridsim::Grid grid = gridsim::make_grid(sp);
+    core::SimBackend backend(grid);
+    core::FarmParams params = core::make_adaptive_farm_params();
+    params.calibration.select_fraction = 1.0;  // same pool as demand
+    params.monitor.period = Seconds{period};
+    const core::FarmReport report =
+        core::TaskFarm(params).run(backend, grid, grid.node_ids(), tasks);
+    const double overhead =
+        (report.makespan.value - demand_s) / demand_s * 100.0;
+    table.add_row({"GRASP adaptive", Table::num(period, 2),
+                   Table::num(report.makespan.value, 1),
+                   Table::num(overhead, 2),
+                   std::to_string(report.recalibrations),
+                   std::to_string(report.monitor_samples)});
+  }
+  std::cout << table.to_string()
+            << "\nexpected shape: overhead below ~5% at every sampling "
+               "period, no spurious\nrecalibrations on the stable grid.  "
+               "(The simulator charges schedule-level costs —\ncalibration "
+               "sampling, drains, probe placement — but not the sensor "
+               "daemon's own\nCPU, which is control-plane; measured overhead "
+               "is therefore the decision-induced\ncomponent.)\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// M1-M4: google-benchmark microbenchmarks of the hot substrate paths.
+//
+// These time the *implementation* (host wall clock), unlike bench_e1..e10
+// which report virtual-time results.  They guard against regressions in the
+// event queue, the OLS fit used by statistical calibration, forecaster
+// updates, and the end-to-end simulated farm step rate.
+#include <benchmark/benchmark.h>
+
+#include "core/backend_sim.hpp"
+#include "core/baselines.hpp"
+#include "core/task_farm.hpp"
+#include "gridsim/event_queue.hpp"
+#include "gridsim/scenarios.hpp"
+#include "perfmon/forecaster.hpp"
+#include "support/regression.hpp"
+#include "support/rng.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+using namespace grasp;
+
+// M1: event queue schedule + drain throughput.
+void BM_EventQueueScheduleDrain(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    gridsim::EventQueue q;
+    for (std::size_t i = 0; i < events; ++i)
+      q.schedule_at(Seconds{rng.uniform(0.0, 1e6)}, [] {});
+    benchmark::DoNotOptimize(q.run_all());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleDrain)->Arg(1024)->Arg(16384);
+
+// M2: multivariate OLS fit at calibration-pool sizes.
+void BM_MultivariateFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> ys;
+  for (std::size_t i = 0; i < n; ++i) {
+    rows.push_back({rng.uniform(0.0, 4.0), rng.uniform(0.0, 1.0)});
+    ys.push_back(1.0 + 0.5 * rows.back()[0] + rng.normal(0.0, 0.05));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit_multivariate(rows, ys));
+  }
+}
+BENCHMARK(BM_MultivariateFit)->Arg(16)->Arg(64)->Arg(256);
+
+// M3: forecaster observe+forecast cycle.
+void BM_ForecasterUpdate(benchmark::State& state) {
+  const char* names[] = {"last_value", "running_mean", "sliding_median",
+                         "ewma", "ar1"};
+  const auto f = perfmon::make_forecaster(names[state.range(0)]);
+  Rng rng(3);
+  double t = 0.0;
+  for (auto _ : state) {
+    f->observe({Seconds{t}, rng.uniform(0.0, 4.0)});
+    benchmark::DoNotOptimize(f->forecast());
+    t += 1.0;
+  }
+}
+BENCHMARK(BM_ForecasterUpdate)->DenseRange(0, 4)->ArgNames({"forecaster"});
+
+// M4: NodeModel::compute_time integration across random-walk load slots.
+void BM_ComputeTimeIntegration(benchmark::State& state) {
+  gridsim::RandomWalkLoad::Params lp;
+  lp.slot = Seconds{1.0};
+  gridsim::NodeModel::Params np;
+  np.id = NodeId{0};
+  np.name = "n";
+  np.site = SiteId{0};
+  np.base_speed_mops = 100.0;
+  np.load = std::make_unique<gridsim::RandomWalkLoad>(lp, 7);
+  const gridsim::NodeModel node(std::move(np));
+  double start = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.compute_time(Mops{500.0}, Seconds{start}));
+    start += 0.1;
+  }
+}
+BENCHMARK(BM_ComputeTimeIntegration);
+
+// M5: whole simulated farm runs per second (the experiment engine's speed).
+void BM_SimulatedFarmRun(benchmark::State& state) {
+  gridsim::ScenarioParams sp;
+  sp.node_count = 16;
+  sp.dynamics = gridsim::Dynamics::Mixed;
+  sp.seed = 5;
+  workloads::TaskSetParams tp;
+  tp.count = 500;
+  tp.seed = 6;
+  const workloads::TaskSet tasks = workloads::make_task_set(tp);
+  for (auto _ : state) {
+    gridsim::Grid grid = gridsim::make_grid(sp);
+    core::SimBackend backend(grid);
+    core::FarmReport report =
+        core::TaskFarm(core::make_adaptive_farm_params())
+            .run(backend, grid, grid.node_ids(), tasks);
+    benchmark::DoNotOptimize(report.makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tp.count) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimulatedFarmRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

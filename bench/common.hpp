@@ -1,0 +1,93 @@
+// Shared helpers for the experiment binaries (bench_e1 .. bench_e10).
+//
+// Each binary reproduces one table/figure of EXPERIMENTS.md: it builds a
+// named scenario, runs the scheduler variants, and prints the rows.  All
+// runs are virtual-time simulations and deterministic per seed.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/backend_sim.hpp"
+#include "core/baselines.hpp"
+#include "core/pipeline.hpp"
+#include "core/task_farm.hpp"
+#include "gridsim/scenarios.hpp"
+#include "support/table.hpp"
+#include "workloads/generators.hpp"
+
+namespace grasp::bench {
+
+/// Makespans of the four farm schedulers on one (grid, task set) pair.
+/// Each scheduler gets a fresh copy of the grid so load-model caches and
+/// injected scripts are identical across variants.
+struct FarmComparison {
+  double static_block_s = 0.0;
+  double demand_s = 0.0;    ///< demand-driven, no adaptation
+  double adaptive_s = 0.0;  ///< full GRASP loop
+  double oracle_s = 0.0;    ///< clairvoyant lower bound
+  core::FarmReport adaptive_report;
+};
+
+/// GridFactory returns a freshly built (and scripted) grid each call.
+template <typename GridFactory>
+FarmComparison compare_farms(const GridFactory& make_grid_fn,
+                             const workloads::TaskSet& tasks,
+                             core::FarmParams adaptive_params =
+                                 core::make_adaptive_farm_params(),
+                             core::FarmParams demand_params =
+                                 core::make_demand_farm_params()) {
+  FarmComparison out;
+  {
+    gridsim::Grid grid = make_grid_fn();
+    core::SimBackend backend(grid);
+    out.static_block_s = core::StaticBlockFarm()
+                             .run(backend, grid.node_ids(), tasks)
+                             .makespan.value;
+  }
+  {
+    gridsim::Grid grid = make_grid_fn();
+    core::SimBackend backend(grid);
+    out.demand_s = core::TaskFarm(demand_params)
+                       .run(backend, grid, grid.node_ids(), tasks)
+                       .makespan.value;
+  }
+  {
+    gridsim::Grid grid = make_grid_fn();
+    core::SimBackend backend(grid);
+    out.adaptive_report = core::TaskFarm(adaptive_params)
+                              .run(backend, grid, grid.node_ids(), tasks);
+    out.adaptive_s = out.adaptive_report.makespan.value;
+  }
+  {
+    gridsim::Grid grid = make_grid_fn();
+    out.oracle_s =
+        core::OracleFarm().run(grid, grid.node_ids(), tasks).makespan.value;
+  }
+  return out;
+}
+
+/// Standard irregular task set used across farm experiments.
+inline workloads::TaskSet irregular_tasks(std::size_t count, double mean_mops,
+                                          std::uint64_t seed,
+                                          double cv = 1.0) {
+  workloads::TaskSetParams p;
+  p.count = count;
+  p.mean_mops = mean_mops;
+  p.cv = cv;
+  p.distribution = workloads::CostDistribution::LogNormal;
+  p.seed = seed;
+  return workloads::make_task_set(p);
+}
+
+inline void print_experiment_header(const std::string& id,
+                                    const std::string& claim) {
+  std::cout << "==============================================================="
+               "=================\n"
+            << id << "\n" << claim << "\n"
+            << "==============================================================="
+               "=================\n";
+}
+
+}  // namespace grasp::bench

@@ -1,0 +1,61 @@
+// Execution backend abstraction.
+//
+// The skeleton engines (farm, pipeline), calibration and the execution
+// monitor are written once against this interface.  A backend supplies two
+// asynchronous primitives — compute on a node, transfer between nodes — and
+// a completion stream.  `SimBackend` resolves them in virtual time from the
+// gridsim models (deterministic, fast: all experiments run here);
+// `ThreadBackend` resolves them on real threads in wall-clock time
+// (correctness demos, real payload execution).  Engines drive per-task state
+// machines off the completion stream, so skeleton logic is identical on
+// both.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "support/ids.hpp"
+
+namespace grasp::core {
+
+/// Token identifying one asynchronous operation; engines allocate them.
+using OpToken = std::uint64_t;
+
+/// One finished asynchronous operation.
+struct Completion {
+  OpToken token = 0;
+  NodeId node;        ///< computing node, or destination of a transfer
+  Seconds started;    ///< when the operation was submitted
+  Seconds finished;   ///< when it completed (backend clock)
+
+  [[nodiscard]] Seconds duration() const { return finished - started; }
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Current time on the backend's clock.  Virtual seconds for the
+  /// simulator, wall-clock seconds since construction for threads.
+  [[nodiscard]] virtual Seconds now() const = 0;
+
+  /// Begin `work` Mops of compute on `node`.  Never blocks.  `body`, if
+  /// non-null, is real user work executed by the threaded backend (the
+  /// simulator ignores it: cost comes from the models).
+  virtual void submit_compute(OpToken token, NodeId node, Mops work,
+                              std::function<void()> body = {}) = 0;
+
+  /// Begin moving `payload` from `from` to `to`.  Never blocks.
+  virtual void submit_transfer(OpToken token, NodeId from, NodeId to,
+                               Bytes payload) = 0;
+
+  /// Block (or advance virtual time) until the next operation completes.
+  /// Returns nullopt when nothing is in flight.
+  [[nodiscard]] virtual std::optional<Completion> wait_next() = 0;
+
+  /// Number of operations submitted but not yet returned by wait_next.
+  [[nodiscard]] virtual std::size_t in_flight() const = 0;
+};
+
+}  // namespace grasp::core

@@ -1,0 +1,44 @@
+#include "core/backend_sim.hpp"
+
+namespace grasp::core {
+
+SimBackend::SimBackend(const gridsim::Grid& grid) : grid_(&grid) {}
+
+Seconds SimBackend::now() const { return events_.now(); }
+
+void SimBackend::submit_compute(OpToken token, NodeId node, Mops work,
+                                std::function<void()> body) {
+  // Real payloads are the threaded backend's job; in simulation the model
+  // is authoritative and any attached body is deliberately not run.
+  (void)body;
+  const Seconds start = events_.now();
+  const Seconds duration = grid_->node(node).compute_time(work, start);
+  ++in_flight_;
+  events_.schedule_after(duration, [this, token, node, start] {
+    ready_.push_back(Completion{token, node, start, events_.now()});
+  });
+}
+
+void SimBackend::submit_transfer(OpToken token, NodeId from, NodeId to,
+                                 Bytes payload) {
+  const Seconds start = events_.now();
+  const Seconds duration = grid_->transfer_time(from, to, payload, start);
+  ++in_flight_;
+  events_.schedule_after(duration, [this, token, to, start] {
+    ready_.push_back(Completion{token, to, start, events_.now()});
+  });
+}
+
+std::optional<Completion> SimBackend::wait_next() {
+  while (ready_.empty()) {
+    if (!events_.step()) return std::nullopt;
+  }
+  const Completion c = ready_.front();
+  ready_.pop_front();
+  --in_flight_;
+  return c;
+}
+
+std::size_t SimBackend::in_flight() const { return in_flight_; }
+
+}  // namespace grasp::core

@@ -1,0 +1,40 @@
+// Virtual-time backend over the gridsim models.
+//
+// Costs are charged analytically: a compute op finishes after
+// NodeModel::compute_time (which integrates dynamic background load), a
+// transfer after LinkModel::transfer_duration.  Operations on one node/link
+// do not contend with each other — the engines serialise per node by
+// construction (demand-driven farm, FIFO stages), which is noted in
+// DESIGN.md as the simulator's one simplification.
+#pragma once
+
+#include <deque>
+
+#include "core/backend.hpp"
+#include "gridsim/event_queue.hpp"
+#include "gridsim/grid.hpp"
+
+namespace grasp::core {
+
+class SimBackend final : public Backend {
+ public:
+  explicit SimBackend(const gridsim::Grid& grid);
+
+  [[nodiscard]] Seconds now() const override;
+  void submit_compute(OpToken token, NodeId node, Mops work,
+                      std::function<void()> body = {}) override;
+  void submit_transfer(OpToken token, NodeId from, NodeId to,
+                       Bytes payload) override;
+  [[nodiscard]] std::optional<Completion> wait_next() override;
+  [[nodiscard]] std::size_t in_flight() const override;
+
+  [[nodiscard]] const gridsim::Grid& grid() const { return *grid_; }
+
+ private:
+  const gridsim::Grid* grid_;
+  gridsim::EventQueue events_;
+  std::deque<Completion> ready_;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace grasp::core

@@ -1,0 +1,111 @@
+#include "core/backend_thread.hpp"
+
+#include <chrono>
+
+namespace grasp::core {
+
+ThreadBackend::ThreadBackend(const gridsim::Grid& grid, Params params)
+    : grid_(&grid),
+      params_(params),
+      epoch_(std::chrono::steady_clock::now()) {
+  node_queues_.reserve(grid.node_count());
+  for (std::size_t i = 0; i < grid.node_count(); ++i) {
+    node_queues_.push_back(std::make_unique<WorkerQueue>());
+    threads_.emplace_back([this, i] { worker_loop(*node_queues_[i]); });
+  }
+  link_queue_ = std::make_unique<WorkerQueue>();
+  threads_.emplace_back([this] { worker_loop(*link_queue_); });
+}
+
+ThreadBackend::~ThreadBackend() {
+  for (auto& q : node_queues_) {
+    const std::lock_guard<std::mutex> lock(q->mutex);
+    q->stop = true;
+    q->cv.notify_all();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(link_queue_->mutex);
+    link_queue_->stop = true;
+    link_queue_->cv.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+Seconds ThreadBackend::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  const double wall = std::chrono::duration<double>(elapsed).count();
+  // Report in *virtual* seconds so engines see one time base everywhere.
+  return Seconds{wall / params_.time_scale};
+}
+
+void ThreadBackend::enqueue(WorkerQueue& queue, Job job) {
+  {
+    const std::lock_guard<std::mutex> ready_lock(ready_mutex_);
+    ++in_flight_;
+  }
+  const std::lock_guard<std::mutex> lock(queue.mutex);
+  queue.jobs.push_back(std::move(job));
+  queue.cv.notify_one();
+}
+
+void ThreadBackend::submit_compute(OpToken token, NodeId node, Mops work,
+                                   std::function<void()> body) {
+  const Seconds duration = grid_->node(node).compute_time(work, now());
+  Job job{token, node, duration,
+          params_.run_bodies ? std::move(body) : std::function<void()>{}};
+  enqueue(*node_queues_[node.value], std::move(job));
+}
+
+void ThreadBackend::submit_transfer(OpToken token, NodeId from, NodeId to,
+                                    Bytes payload) {
+  const Seconds duration = grid_->transfer_time(from, to, payload, now());
+  enqueue(*link_queue_, Job{token, to, duration, {}});
+}
+
+void ThreadBackend::worker_loop(WorkerQueue& queue) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue.mutex);
+      queue.cv.wait(lock, [&] { return queue.stop || !queue.jobs.empty(); });
+      if (queue.jobs.empty()) return;  // stop requested and drained
+      job = std::move(queue.jobs.front());
+      queue.jobs.pop_front();
+    }
+    const Seconds started = now();
+    if (job.body) job.body();
+    // Sleep out whatever the model says remains after real work ran.
+    const double wall_budget = job.model_duration.value * params_.time_scale;
+    const double wall_used = (now() - started).value * params_.time_scale;
+    if (wall_budget > wall_used) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(wall_budget - wall_used));
+    }
+    complete(job, started);
+  }
+}
+
+void ThreadBackend::complete(const Job& job, Seconds started) {
+  {
+    const std::lock_guard<std::mutex> lock(ready_mutex_);
+    ready_.push_back(Completion{job.token, job.report_node, started, now()});
+  }
+  ready_cv_.notify_one();
+}
+
+std::optional<Completion> ThreadBackend::wait_next() {
+  std::unique_lock<std::mutex> lock(ready_mutex_);
+  if (ready_.empty() && in_flight_ == 0) return std::nullopt;
+  ready_cv_.wait(lock, [&] { return !ready_.empty(); });
+  const Completion c = ready_.front();
+  ready_.pop_front();
+  --in_flight_;
+  return c;
+}
+
+std::size_t ThreadBackend::in_flight() const {
+  const std::lock_guard<std::mutex> lock(ready_mutex_);
+  return in_flight_;
+}
+
+}  // namespace grasp::core

@@ -1,0 +1,152 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace grasp::core {
+
+StaticBlockFarm::StaticBlockFarm(NodeId root) : root_(root) {}
+
+BaselineReport StaticBlockFarm::run(Backend& backend,
+                                    const std::vector<NodeId>& pool,
+                                    const workloads::TaskSet& tasks) {
+  if (pool.empty())
+    throw std::invalid_argument("StaticBlockFarm: empty pool");
+  const NodeId root = root_.is_valid() ? root_ : pool.front();
+
+  // Round-robin block partition, then per node: one input transfer with the
+  // whole block, sequential computes, one output transfer.
+  std::unordered_map<std::uint64_t, std::vector<workloads::TaskSpec>> blocks;
+  for (std::size_t i = 0; i < tasks.tasks.size(); ++i)
+    blocks[pool[i % pool.size()].value].push_back(tasks.tasks[i]);
+
+  struct NodePlan {
+    NodeId node;
+    std::vector<workloads::TaskSpec> block;
+    enum class Phase { Input, Compute, Output } phase = Phase::Input;
+  };
+  std::unordered_map<OpToken, NodePlan> in_flight;
+  OpToken next_token = 1;
+
+  BaselineReport report;
+  for (const NodeId n : pool) {
+    auto it = blocks.find(n.value);
+    if (it == blocks.end() || it->second.empty()) continue;
+    NodePlan plan;
+    plan.node = n;
+    plan.block = std::move(it->second);
+    Bytes input = Bytes::zero();
+    for (const auto& t : plan.block) input += t.input;
+    const OpToken token = next_token++;
+    backend.submit_transfer(token, root, n, input);
+    in_flight.emplace(token, std::move(plan));
+  }
+
+  Seconds finish = Seconds::zero();
+  while (!in_flight.empty()) {
+    const auto completion = backend.wait_next();
+    if (!completion)
+      throw std::logic_error("StaticBlockFarm: backend drained early");
+    const auto it = in_flight.find(completion->token);
+    if (it == in_flight.end())
+      throw std::logic_error("StaticBlockFarm: unknown token");
+    NodePlan plan = std::move(it->second);
+    in_flight.erase(it);
+    switch (plan.phase) {
+      case NodePlan::Phase::Input: {
+        plan.phase = NodePlan::Phase::Compute;
+        Mops work = Mops::zero();
+        for (const auto& t : plan.block) work += t.work;
+        const OpToken token = next_token++;
+        backend.submit_compute(token, plan.node, work);
+        in_flight.emplace(token, std::move(plan));
+        break;
+      }
+      case NodePlan::Phase::Compute: {
+        plan.phase = NodePlan::Phase::Output;
+        Bytes output = Bytes::zero();
+        for (const auto& t : plan.block) output += t.output;
+        const OpToken token = next_token++;
+        backend.submit_transfer(token, plan.node, root, output);
+        in_flight.emplace(token, std::move(plan));
+        break;
+      }
+      case NodePlan::Phase::Output: {
+        report.tasks_completed += plan.block.size();
+        finish = std::max(finish, backend.now());
+        break;
+      }
+    }
+  }
+  report.makespan = finish;
+  return report;
+}
+
+FarmParams make_demand_farm_params() {
+  FarmParams p;
+  p.calibration.strategy = RankingStrategy::TimeOnly;
+  p.calibration.select_fraction = 1.0;  // keep every node
+  p.adaptation_enabled = false;
+  p.reissue_stragglers = false;
+  p.adaptive_chunking = false;
+  return p;
+}
+
+FarmParams make_adaptive_farm_params() {
+  FarmParams p;
+  p.calibration.strategy = RankingStrategy::Univariate;
+  // Keep every node that pulls its weight; drop only genuinely harmful
+  // members (fitness worse than 4x the pool median).
+  p.calibration.select_fraction = 1.0;
+  p.calibration.exclusion_ratio = 4.0;
+  p.threshold.kind = ThresholdPolicy::Kind::RelativeMin;
+  p.threshold.z = 2.0;
+  p.threshold.stale_after = 120.0;
+  p.adaptation_enabled = true;
+  p.reissue_stragglers = true;
+  p.adaptive_chunking = false;
+  return p;
+}
+
+OracleFarm::OracleFarm(NodeId root) : root_(root) {}
+
+BaselineReport OracleFarm::run(const gridsim::Grid& grid,
+                               const std::vector<NodeId>& pool,
+                               const workloads::TaskSet& tasks) {
+  if (pool.empty()) throw std::invalid_argument("OracleFarm: empty pool");
+  const NodeId root = root_.is_valid() ? root_ : pool.front();
+
+  // Earliest-finish-time list scheduling with perfect knowledge: for each
+  // task in order, place it on the node that finishes it soonest given that
+  // node's current availability and the true time-varying models.
+  std::unordered_map<std::uint64_t, Seconds> available;
+  for (const NodeId n : pool) available[n.value] = Seconds::zero();
+
+  BaselineReport report;
+  Seconds makespan = Seconds::zero();
+  for (const auto& task : tasks.tasks) {
+    Seconds best_finish = Seconds::infinity();
+    NodeId best_node = pool.front();
+    for (const NodeId n : pool) {
+      const Seconds start = available[n.value];
+      const Seconds in_done =
+          start + grid.transfer_time(root, n, task.input, start);
+      const Seconds comp_done =
+          in_done + grid.node(n).compute_time(task.work, in_done);
+      const Seconds finish =
+          comp_done + grid.transfer_time(n, root, task.output, comp_done);
+      if (finish < best_finish) {
+        best_finish = finish;
+        best_node = n;
+      }
+    }
+    available[best_node.value] = best_finish;
+    makespan = std::max(makespan, best_finish);
+    ++report.tasks_completed;
+  }
+  report.makespan = makespan;
+  return report;
+}
+
+}  // namespace grasp::core

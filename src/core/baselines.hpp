@@ -1,0 +1,62 @@
+// Non-adaptive comparators for the farm experiments.
+//
+// * StaticBlockFarm — the classic SPMD distribution: tasks are partitioned
+//   round-robin across all pool nodes up front; every node processes its
+//   block sequentially; no calibration, no monitoring, no stealing.  This
+//   is the "non-adaptive" baseline the companion papers compare against.
+// * make_demand_farm_params — the intermediate point: demand-driven farm
+//   (pull scheduling soaks up rate differences) but no Algorithm 1/2.
+// * OracleFarm — clairvoyant earliest-finish-time list scheduler with
+//   access to the true grid models, including future load.  Not achievable
+//   in practice; bounds what adaptation could possibly win.
+#pragma once
+
+#include "core/backend.hpp"
+#include "core/task_farm.hpp"
+#include "gridsim/grid.hpp"
+#include "workloads/task.hpp"
+
+namespace grasp::core {
+
+struct BaselineReport {
+  Seconds makespan;
+  std::size_t tasks_completed = 0;
+};
+
+class StaticBlockFarm {
+ public:
+  /// Root defaults to pool.front().
+  explicit StaticBlockFarm(NodeId root = NodeId::invalid());
+
+  [[nodiscard]] BaselineReport run(Backend& backend,
+                                   const std::vector<NodeId>& pool,
+                                   const workloads::TaskSet& tasks);
+
+ private:
+  NodeId root_;
+};
+
+/// FarmParams for the demand-driven-but-not-adaptive farm: uses the whole
+/// pool (select_fraction 1.0), calibration ranking is still executed (it
+/// must place the first wave somewhere) but Algorithm 2 never fires.
+[[nodiscard]] FarmParams make_demand_farm_params();
+
+/// FarmParams with the paper's defaults for the fully adaptive farm.
+[[nodiscard]] FarmParams make_adaptive_farm_params();
+
+class OracleFarm {
+ public:
+  explicit OracleFarm(NodeId root = NodeId::invalid());
+
+  /// Greedy earliest-finish-time schedule using true (future-aware) costs.
+  /// Communication is charged like the real farm: input before compute,
+  /// output after, all relative to the root.
+  [[nodiscard]] BaselineReport run(const gridsim::Grid& grid,
+                                   const std::vector<NodeId>& pool,
+                                   const workloads::TaskSet& tasks);
+
+ private:
+  NodeId root_;
+};
+
+}  // namespace grasp::core

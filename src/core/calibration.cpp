@@ -1,0 +1,290 @@
+#include "core/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "support/log.hpp"
+#include "support/regression.hpp"
+#include "support/stats.hpp"
+
+namespace grasp::core {
+
+const char* to_string(RankingStrategy s) {
+  switch (s) {
+    case RankingStrategy::TimeOnly: return "time_only";
+    case RankingStrategy::Univariate: return "univariate";
+    case RankingStrategy::Multivariate: return "multivariate";
+  }
+  return "unknown";
+}
+
+RankingStrategy ranking_strategy_from_string(const std::string& name) {
+  if (name == "time_only") return RankingStrategy::TimeOnly;
+  if (name == "univariate") return RankingStrategy::Univariate;
+  if (name == "multivariate") return RankingStrategy::Multivariate;
+  throw std::invalid_argument("unknown ranking strategy: " + name);
+}
+
+bool CalibrationResult::contains(NodeId node) const {
+  return std::find(chosen.begin(), chosen.end(), node) != chosen.end();
+}
+
+Calibrator::Calibrator(SkeletonTraits traits, CalibrationParams params)
+    : traits_(std::move(traits)), params_(params) {
+  if (params_.select_count == 0 &&
+      (params_.select_fraction <= 0.0 || params_.select_fraction > 1.0))
+    throw std::invalid_argument("Calibrator: select_fraction out of (0,1]");
+}
+
+namespace {
+
+/// Phases of one node's calibration sample (input -> compute -> output).
+enum class Phase { Input, Compute, Output };
+
+struct SampleOp {
+  NodeId node;
+  Phase phase;
+  workloads::TaskSpec task;
+  bool is_probe = false;   ///< synthetic: result does not count as a task
+  Seconds sample_start;    ///< when the input transfer was submitted
+  std::size_t samples_left = 0;  ///< further samples after this one
+};
+
+}  // namespace
+
+CalibrationResult Calibrator::run(Backend& backend,
+                                  const std::vector<NodeId>& pool,
+                                  TaskSource& tasks,
+                                  perfmon::MonitorDaemon* monitor,
+                                  gridsim::TraceRecorder* trace,
+                                  TokenAllocator& tokens) {
+  if (pool.empty()) throw std::invalid_argument("Calibrator: empty pool");
+  if (backend.in_flight() != 0)
+    throw std::logic_error("Calibrator: backend has foreign ops in flight");
+
+  const NodeId root = params_.root.is_valid() ? params_.root : pool.front();
+  const std::size_t samples = params_.samples_per_node > 0
+                                  ? params_.samples_per_node
+                                  : std::max<std::size_t>(1, traits_.calibration_samples);
+
+  CalibrationResult result;
+  result.started = backend.now();
+  if (trace)
+    trace->record({backend.now(), gridsim::TraceEventKind::CalibrationStarted,
+                   root, TaskId::invalid(), static_cast<double>(pool.size()),
+                   "pool"});
+
+  // Dispatch one sample to every node concurrently (Algorithm 1 line 1).
+  std::unordered_map<OpToken, SampleOp> in_flight;
+  std::unordered_map<NodeId, OnlineStats> spm_stats;  // seconds-per-Mop
+  // Window over which each node executed its samples, so the statistical
+  // adjustment correlates times with the load the node *actually faced*.
+  std::unordered_map<NodeId, Seconds> window_begin, window_end;
+  workloads::TaskSpec probe_shape;  // last real task seen; reused when dry
+  probe_shape.work = Mops{1.0};
+  probe_shape.input = Bytes{1e3};
+  probe_shape.output = Bytes{1e3};
+
+  auto launch_sample = [&](NodeId node, std::size_t samples_left) {
+    SampleOp op;
+    op.node = node;
+    op.phase = Phase::Input;
+    op.samples_left = samples_left;
+    if (!tasks.empty()) {
+      op.task = tasks.pop();
+      op.is_probe = false;
+      probe_shape = op.task;
+    } else {
+      op.task = probe_shape;
+      op.task.id = TaskId::invalid();
+      op.is_probe = true;
+    }
+    op.sample_start = backend.now();
+    if (!window_begin.count(node)) window_begin[node] = op.sample_start;
+    const OpToken token = tokens.alloc();
+    backend.submit_transfer(token, root, node, op.task.input);
+    if (trace && !op.is_probe)
+      trace->record({backend.now(), gridsim::TraceEventKind::TaskDispatched,
+                     node, op.task.id, op.task.work.value, "calibration"});
+    in_flight.emplace(token, std::move(op));
+  };
+
+  for (const NodeId node : pool) launch_sample(node, samples - 1);
+
+  // Drive the transfer->compute->transfer chain per node to completion.
+  while (!in_flight.empty()) {
+    const auto completion = backend.wait_next();
+    if (!completion)
+      throw std::logic_error("Calibrator: backend drained unexpectedly");
+    if (monitor) monitor->advance_to(backend.now());
+    const auto it = in_flight.find(completion->token);
+    if (it == in_flight.end())
+      throw std::logic_error("Calibrator: unknown completion token");
+    SampleOp op = std::move(it->second);
+    in_flight.erase(it);
+
+    switch (op.phase) {
+      case Phase::Input: {
+        op.phase = Phase::Compute;
+        const OpToken token = tokens.alloc();
+        std::function<void()> body;
+        if (params_.task_body && !op.is_probe)
+          body = [fn = params_.task_body, task = op.task] { fn(task); };
+        backend.submit_compute(token, op.node, op.task.work, std::move(body));
+        in_flight.emplace(token, std::move(op));
+        break;
+      }
+      case Phase::Compute: {
+        op.phase = Phase::Output;
+        const OpToken token = tokens.alloc();
+        backend.submit_transfer(token, op.node, root, op.task.output);
+        in_flight.emplace(token, std::move(op));
+        break;
+      }
+      case Phase::Output: {
+        const Seconds elapsed = backend.now() - op.sample_start;
+        const double spm = elapsed.value / std::max(1e-9, op.task.work.value);
+        spm_stats[op.node].add(spm);
+        window_end[op.node] = backend.now();
+        if (!op.is_probe) {
+          tasks.mark_completed(op.task.id);
+          ++result.tasks_consumed;
+          if (trace)
+            trace->record({backend.now(),
+                           gridsim::TraceEventKind::TaskCompleted, op.node,
+                           op.task.id, elapsed.value, "calibration"});
+        }
+        if (op.samples_left > 0) launch_sample(op.node, op.samples_left - 1);
+        break;
+      }
+    }
+  }
+
+  // Build per-node scores with monitor context.
+  std::vector<NodeScore> scores;
+  scores.reserve(pool.size());
+  for (const NodeId node : pool) {
+    NodeScore s;
+    s.node = node;
+    s.observed_spm = spm_stats.at(node).mean();
+    s.adjusted_spm = s.observed_spm;
+    if (monitor) {
+      // The load that matters is the one the node faced *while running its
+      // sample*; a reading taken after the sample can miss a transient.
+      const Seconds from = window_begin.count(node) ? window_begin.at(node)
+                                                    : result.started;
+      const Seconds to =
+          window_end.count(node) ? window_end.at(node) : backend.now();
+      s.observed_load = monitor->mean_load_between(node, from, to);
+      s.observed_bandwidth = monitor->mean_bandwidth_between(node, from, to);
+    }
+    scores.push_back(s);
+  }
+
+  // "Adjust T statistically" (Algorithm 1, statistical calibration branch).
+  const bool statistical = params_.strategy != RankingStrategy::TimeOnly &&
+                           monitor != nullptr && pool.size() >= 4;
+  if (statistical) {
+    std::vector<double> times;
+    times.reserve(scores.size());
+    for (const auto& s : scores) times.push_back(s.observed_spm);
+
+    if (params_.strategy == RankingStrategy::Univariate) {
+      std::vector<double> loads;
+      loads.reserve(scores.size());
+      for (const auto& s : scores) loads.push_back(s.observed_load);
+      const UnivariateFit fit = fit_univariate(loads, times);
+      for (auto& s : scores) {
+        const double forecast = monitor->forecast_load(s.node);
+        // Extrapolate the observation to the load we expect to face.
+        s.adjusted_spm = std::max(
+            0.0, s.observed_spm + fit.slope * (forecast - s.observed_load));
+      }
+      GRASP_LOG_INFO("calibration")
+          << "univariate fit: slope=" << fit.slope << " r2=" << fit.r_squared;
+    } else {  // Multivariate: predictors (load, 1/bandwidth)
+      std::vector<std::vector<double>> rows;
+      rows.reserve(scores.size());
+      for (const auto& s : scores)
+        rows.push_back({s.observed_load,
+                        1.0 / std::max(1.0, s.observed_bandwidth)});
+      const MultivariateFit fit = fit_multivariate(rows, times);
+      if (fit.ok) {
+        for (auto& s : scores) {
+          const double load_fc = monitor->forecast_load(s.node);
+          const double bw_fc =
+              1.0 / std::max(1.0, monitor->forecast_bandwidth(s.node));
+          const double bw_obs =
+              1.0 / std::max(1.0, s.observed_bandwidth);
+          s.adjusted_spm = std::max(
+              0.0, s.observed_spm +
+                       fit.coefficients[1] * (load_fc - s.observed_load) +
+                       fit.coefficients[2] * (bw_fc - bw_obs));
+        }
+        GRASP_LOG_INFO("calibration")
+            << "multivariate fit r2=" << fit.r_squared;
+      } else {
+        // Uniform bandwidth makes the 1/bw column collinear with the
+        // intercept; drop it and regress on load alone rather than
+        // abandoning the statistical adjustment entirely.
+        std::vector<double> loads;
+        loads.reserve(scores.size());
+        for (const auto& s : scores) loads.push_back(s.observed_load);
+        const UnivariateFit uni = fit_univariate(loads, times);
+        for (auto& s : scores) {
+          const double forecast = monitor->forecast_load(s.node);
+          s.adjusted_spm = std::max(
+              0.0, s.observed_spm + uni.slope * (forecast - s.observed_load));
+        }
+        GRASP_LOG_INFO("calibration")
+            << "multivariate fit singular; fell back to load-only "
+               "regression (slope=" << uni.slope << ")";
+      }
+    }
+  }
+
+  // Rank (fittest = smallest adjusted seconds-per-Mop) and select.
+  std::sort(scores.begin(), scores.end(),
+            [](const NodeScore& a, const NodeScore& b) {
+              if (a.adjusted_spm != b.adjusted_spm)
+                return a.adjusted_spm < b.adjusted_spm;
+              return a.node < b.node;
+            });
+  std::size_t k = params_.select_count > 0
+                      ? std::min(params_.select_count, pool.size())
+                      : static_cast<std::size_t>(std::ceil(
+                            params_.select_fraction *
+                            static_cast<double>(pool.size())));
+  k = std::max<std::size_t>(1, k);
+
+  if (params_.exclusion_ratio > 0.0) {
+    std::vector<double> all_spm;
+    all_spm.reserve(scores.size());
+    for (const auto& s : scores) all_spm.push_back(s.adjusted_spm);
+    const double cutoff = params_.exclusion_ratio * median(all_spm);
+    const std::size_t floor_keep = std::min<std::size_t>(pool.size(), 2);
+    while (k > floor_keep && scores[k - 1].adjusted_spm > cutoff) --k;
+  }
+
+  result.ranking = scores;
+  OnlineStats baseline;
+  for (std::size_t i = 0; i < k; ++i) {
+    result.chosen.push_back(scores[i].node);
+    baseline.add(scores[i].adjusted_spm);
+  }
+  result.baseline_spm = baseline.mean();
+  result.finished = backend.now();
+  if (trace)
+    trace->record({backend.now(),
+                   gridsim::TraceEventKind::CalibrationFinished, root,
+                   TaskId::invalid(), static_cast<double>(result.chosen.size()),
+                   "chosen"});
+  GRASP_LOG_INFO("calibration")
+      << "selected " << result.chosen.size() << "/" << pool.size()
+      << " nodes, baseline " << result.baseline_spm << " s/Mop";
+  return result;
+}
+
+}  // namespace grasp::core

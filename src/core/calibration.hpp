@@ -1,0 +1,112 @@
+// Algorithm 1: autonomic calibration.
+//
+// "Execute F over P nodes concurrently; collect execution times into T;
+//  optionally adjust T statistically from processor and bandwidth values;
+//  rank P by extrapolating performance; select the fittest."
+//
+// Every allocated node concurrently executes a sample of real tasks (the
+// paper requires that calibration work contributes to the job).  Observed
+// cost is normalised to seconds-per-Mop so irregular task sizes stay
+// comparable.  Ranking strategies:
+//   * TimeOnly      — raw observed seconds-per-Mop, fastest first.
+//   * Univariate    — regress time on observed CPU load across the pool and
+//                     extrapolate each node to its *forecast* load: a fast
+//                     node that was transiently busy during the sample is
+//                     credited, one about to become busy is debited.
+//   * Multivariate  — same with (CPU load, 1/bandwidth) as predictors, so
+//                     communication-starved placements are discounted too.
+#pragma once
+
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/skeleton_traits.hpp"
+#include "core/task_source.hpp"
+#include "gridsim/trace.hpp"
+#include "perfmon/monitor.hpp"
+
+namespace grasp::core {
+
+enum class RankingStrategy { TimeOnly, Univariate, Multivariate };
+
+[[nodiscard]] const char* to_string(RankingStrategy s);
+[[nodiscard]] RankingStrategy ranking_strategy_from_string(
+    const std::string& name);
+
+struct CalibrationParams {
+  RankingStrategy strategy = RankingStrategy::TimeOnly;
+  /// Explicit size of the chosen set; 0 means use select_fraction.
+  std::size_t select_count = 0;
+  /// Fraction of the pool to keep when select_count == 0.
+  double select_fraction = 0.75;
+  /// When > 0, additionally drop any selected node whose adjusted
+  /// seconds-per-Mop exceeds this multiple of the pool median — "fittest
+  /// selection" that removes only genuinely harmful (swamped/dying)
+  /// members instead of a fixed share of capacity.  At least two nodes
+  /// (or one for singleton pools) are always kept.
+  double exclusion_ratio = 0.0;
+  /// Sample tasks per node (overrides SkeletonTraits::calibration_samples
+  /// when non-zero).
+  std::size_t samples_per_node = 0;
+  /// Farmer/root location: sample inputs ship from here, results return
+  /// here.  Invalid id means pool.front().
+  NodeId root;
+  /// Real per-task payload, forwarded to Backend::submit_compute.  The
+  /// simulator ignores it (model-driven costs); the threaded backend runs
+  /// it on the worker thread.  Null is fine.
+  std::function<void(const workloads::TaskSpec&)> task_body;
+};
+
+/// Per-node calibration outcome.
+struct NodeScore {
+  NodeId node;
+  double observed_spm = 0.0;   ///< observed seconds per Mop (lower = fitter)
+  double adjusted_spm = 0.0;   ///< after statistical extrapolation
+  double observed_load = 0.0;  ///< monitor reading at calibration
+  double observed_bandwidth = 0.0;
+};
+
+struct CalibrationResult {
+  std::vector<NodeId> chosen;      ///< fittest subset, fitness order
+  std::vector<NodeScore> ranking;  ///< whole pool, fitness order
+  Seconds started;
+  Seconds finished;
+  std::size_t tasks_consumed = 0;  ///< real tasks finished during calibration
+  /// Mean adjusted seconds-per-Mop over the chosen set: the baseline the
+  /// execution monitor compares against.
+  double baseline_spm = 0.0;
+
+  [[nodiscard]] bool contains(NodeId node) const;
+};
+
+/// Monotonic operation-token allocator shared between calibration and the
+/// engine that invoked it (one token space per run).
+struct TokenAllocator {
+  OpToken next = 1;
+  OpToken alloc() { return next++; }
+};
+
+class Calibrator {
+ public:
+  Calibrator(SkeletonTraits traits, CalibrationParams params);
+
+  /// Run Algorithm 1 on `pool`.  Consumes up to samples*|pool| tasks from
+  /// `tasks` (marking them completed); when the queue runs dry a synthetic
+  /// probe of the last seen shape is used instead.  `monitor` may be null
+  /// (statistical strategies then degrade to TimeOnly).  Requires the
+  /// backend to have no foreign operations in flight.
+  [[nodiscard]] CalibrationResult run(Backend& backend,
+                                      const std::vector<NodeId>& pool,
+                                      TaskSource& tasks,
+                                      perfmon::MonitorDaemon* monitor,
+                                      gridsim::TraceRecorder* trace,
+                                      TokenAllocator& tokens);
+
+  [[nodiscard]] const CalibrationParams& params() const { return params_; }
+
+ private:
+  SkeletonTraits traits_;
+  CalibrationParams params_;
+};
+
+}  // namespace grasp::core

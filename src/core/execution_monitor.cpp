@@ -1,0 +1,143 @@
+#include "core/execution_monitor.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "support/log.hpp"
+
+namespace grasp::core {
+
+const char* to_string(ThresholdPolicy::Kind kind) {
+  switch (kind) {
+    case ThresholdPolicy::Kind::AbsoluteMin: return "absolute_min";
+    case ThresholdPolicy::Kind::RelativeMin: return "relative_min";
+    case ThresholdPolicy::Kind::RelativeMean: return "relative_mean";
+    case ThresholdPolicy::Kind::RelativeMax: return "relative_max";
+  }
+  return "unknown";
+}
+
+const char* to_string(MonitorVerdict verdict) {
+  switch (verdict) {
+    case MonitorVerdict::None: return "none";
+    case MonitorVerdict::ThresholdExceeded: return "threshold_exceeded";
+    case MonitorVerdict::RoundStale: return "round_stale";
+  }
+  return "unknown";
+}
+
+ExecutionMonitor::ExecutionMonitor(SkeletonTraits traits,
+                                   ThresholdPolicy policy)
+    : traits_(std::move(traits)), policy_(policy) {
+  if (policy_.z <= 0.0)
+    throw std::invalid_argument("ExecutionMonitor: threshold must be positive");
+}
+
+void ExecutionMonitor::arm(double baseline_spm,
+                           const std::vector<NodeId>& chosen, Seconds now) {
+  if (chosen.empty())
+    throw std::invalid_argument("ExecutionMonitor: empty chosen set");
+  baseline_spm_ = baseline_spm;
+  chosen_ = chosen;
+  latest_.clear();
+  begin_round(now);
+}
+
+void ExecutionMonitor::begin_round(Seconds now) {
+  round_times_.clear();
+  round_started_ = now;
+}
+
+void ExecutionMonitor::observe(NodeId node, double seconds_per_mop,
+                               Seconds at) {
+  (void)at;
+  // Keep the *latest* time per node within the round, as Algorithm 2's
+  // "collect t from Chosen nodes into T" implies one slot per node.
+  round_times_[node] = seconds_per_mop;
+  latest_[node] = seconds_per_mop;
+}
+
+double ExecutionMonitor::threshold_spm() const {
+  switch (policy_.kind) {
+    case ThresholdPolicy::Kind::AbsoluteMin:
+      return policy_.z;
+    case ThresholdPolicy::Kind::RelativeMin:
+    case ThresholdPolicy::Kind::RelativeMean:
+    case ThresholdPolicy::Kind::RelativeMax:
+      return policy_.z * baseline_spm_;
+  }
+  return policy_.z;
+}
+
+MonitorVerdict ExecutionMonitor::check(Seconds now) {
+  // The bottleneck statistic (RelativeMax) must not wait for synchronised
+  // rounds: a pipeline's upstream stages legitimately stop reporting once
+  // their part of the stream has drained, which would gate the round
+  // forever, and a *single* degraded observation already proves a
+  // bottleneck.  Evaluate over the latest per-node observations instead.
+  if (policy_.kind == ThresholdPolicy::Kind::RelativeMax) {
+    const bool all_reported =
+        std::all_of(chosen_.begin(), chosen_.end(),
+                    [&](NodeId n) { return latest_.count(n) != 0; });
+    if (!all_reported) return MonitorVerdict::None;
+    double max_t = 0.0;
+    for (const NodeId n : chosen_) max_t = std::max(max_t, latest_.at(n));
+    ++rounds_;
+    if (max_t > threshold_spm()) {
+      ++triggers_;
+      GRASP_LOG_INFO("monitor")
+          << traits_.name << " bottleneck threshold breached: max="
+          << max_t << " threshold=" << threshold_spm();
+      begin_round(now);
+      return MonitorVerdict::ThresholdExceeded;
+    }
+    return MonitorVerdict::None;
+  }
+
+  // Staleness: some chosen node has gone silent for the whole window.
+  const bool round_complete =
+      std::all_of(chosen_.begin(), chosen_.end(), [&](NodeId n) {
+        return round_times_.count(n) != 0;
+      });
+  if (!round_complete) {
+    if (policy_.stale_after > 0.0 &&
+        (now - round_started_).value > policy_.stale_after &&
+        !round_times_.empty()) {
+      ++rounds_;
+      ++triggers_;
+      GRASP_LOG_INFO("monitor") << traits_.name << " round stale after "
+                                << (now - round_started_).value << "s";
+      begin_round(now);
+      return MonitorVerdict::RoundStale;
+    }
+    return MonitorVerdict::None;
+  }
+
+  ++rounds_;
+  double min_t = std::numeric_limits<double>::infinity();
+  double max_t = 0.0;
+  double sum = 0.0;
+  for (const NodeId n : chosen_) {
+    const double t = round_times_.at(n);
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+    sum += t;
+  }
+  const double mean_t = sum / static_cast<double>(chosen_.size());
+  double statistic = min_t;
+  if (policy_.kind == ThresholdPolicy::Kind::RelativeMean) statistic = mean_t;
+  if (policy_.kind == ThresholdPolicy::Kind::RelativeMax) statistic = max_t;
+
+  begin_round(now);
+  if (statistic > threshold_spm()) {
+    ++triggers_;
+    GRASP_LOG_INFO("monitor")
+        << traits_.name << " threshold breached: statistic=" << statistic
+        << " threshold=" << threshold_spm();
+    return MonitorVerdict::ThresholdExceeded;
+  }
+  return MonitorVerdict::None;
+}
+
+}  // namespace grasp::core

@@ -1,0 +1,86 @@
+// Algorithm 2: threshold-triggered execution monitoring.
+//
+// "While not recalibration: execute F over the chosen nodes; collect the
+//  execution times into T; if min T > Z set recalibration."
+//
+// Observations are normalised seconds-per-Mop.  A *round* completes when
+// every chosen node has reported at least once since the round began; the
+// poster's trigger fires when even the fastest node of the round breaches
+// the threshold Z (if the *best* node is slow, the environment — not task
+// irregularity — has shifted).  Variants keep the same round structure but
+// compare the round mean, for the ablation study.  A staleness trigger
+// covers the case Algorithm 2 cannot see: a chosen node that stops
+// reporting entirely.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/skeleton_traits.hpp"
+#include "support/ids.hpp"
+
+namespace grasp::core {
+
+struct ThresholdPolicy {
+  enum class Kind {
+    AbsoluteMin,   ///< trigger when round-min spm > z (z in seconds/Mop)
+    RelativeMin,   ///< trigger when round-min spm > z * calibration baseline
+    RelativeMean,  ///< trigger when round-mean spm > z * baseline (ablation)
+    RelativeMax,   ///< trigger when round-max spm > z * baseline — the
+                   ///< bottleneck statistic the pipeline's traits demand
+  };
+  Kind kind = Kind::RelativeMin;
+  double z = 2.0;
+  /// A round older than this many seconds with missing reporters is stale.
+  /// 0 disables staleness detection.
+  double stale_after = 0.0;
+};
+
+[[nodiscard]] const char* to_string(ThresholdPolicy::Kind kind);
+
+enum class MonitorVerdict { None, ThresholdExceeded, RoundStale };
+
+[[nodiscard]] const char* to_string(MonitorVerdict verdict);
+
+class ExecutionMonitor {
+ public:
+  ExecutionMonitor(SkeletonTraits traits, ThresholdPolicy policy);
+
+  /// Install the calibration baseline (mean chosen seconds-per-Mop) and the
+  /// chosen set; starts a fresh round.
+  void arm(double baseline_spm, const std::vector<NodeId>& chosen,
+           Seconds now);
+
+  /// Record one completed work unit on `node`.
+  void observe(NodeId node, double seconds_per_mop, Seconds at);
+
+  /// Evaluate Algorithm 2's condition.  Returns a verdict once per
+  /// completed (or stale) round, then begins the next round.
+  [[nodiscard]] MonitorVerdict check(Seconds now);
+
+  [[nodiscard]] double baseline_spm() const { return baseline_spm_; }
+  [[nodiscard]] double threshold_spm() const;
+  [[nodiscard]] std::size_t rounds_completed() const { return rounds_; }
+  [[nodiscard]] std::size_t triggers() const { return triggers_; }
+
+  /// Latest observed seconds-per-Mop per chosen node (for reporting).
+  [[nodiscard]] const std::unordered_map<NodeId, double>& latest() const {
+    return latest_;
+  }
+
+ private:
+  void begin_round(Seconds now);
+
+  SkeletonTraits traits_;
+  ThresholdPolicy policy_;
+  double baseline_spm_ = 0.0;
+  std::vector<NodeId> chosen_;
+  std::unordered_map<NodeId, double> round_times_;  ///< this round
+  std::unordered_map<NodeId, double> latest_;       ///< across rounds
+  Seconds round_started_{0.0};
+  std::size_t rounds_ = 0;
+  std::size_t triggers_ = 0;
+};
+
+}  // namespace grasp::core

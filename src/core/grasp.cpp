@@ -1,0 +1,125 @@
+#include "core/grasp.hpp"
+
+#include <stdexcept>
+
+#include "core/backend_sim.hpp"
+
+namespace grasp::core {
+
+Seconds RunSummary::makespan() const {
+  if (farm) return farm->makespan;
+  if (pipeline) return pipeline->makespan;
+  return Seconds::zero();
+}
+
+GraspProgram::GraspProgram(std::string name) : name_(std::move(name)) {}
+
+GraspProgram& GraspProgram::use_task_farm(FarmParams params) {
+  if (pipeline_params_)
+    throw std::logic_error("GraspProgram: skeleton already selected");
+  farm_params_ = std::move(params);
+  return *this;
+}
+
+GraspProgram& GraspProgram::use_pipeline(PipelineParams params,
+                                         workloads::PipelineSpec spec,
+                                         std::size_t item_count) {
+  if (farm_params_)
+    throw std::logic_error("GraspProgram: skeleton already selected");
+  pipeline_params_ = std::move(params);
+  pipeline_spec_ = std::move(spec);
+  pipeline_items_ = item_count;
+  return *this;
+}
+
+GraspProgram& GraspProgram::with_tasks(workloads::TaskSet tasks) {
+  tasks_ = std::move(tasks);
+  return *this;
+}
+
+GraspProgram& GraspProgram::on_nodes(std::vector<NodeId> pool) {
+  pool_ = std::move(pool);
+  return *this;
+}
+
+GraspExecutable GraspProgram::compile(const gridsim::Grid& grid) const {
+  if (!farm_params_ && !pipeline_params_)
+    throw std::logic_error("GraspProgram: no skeleton selected (programming "
+                           "phase incomplete)");
+  if (farm_params_ && !tasks_)
+    throw std::logic_error("GraspProgram: farm selected but no task set");
+  std::vector<NodeId> pool = pool_.empty() ? grid.node_ids() : pool_;
+  return GraspExecutable(*this, grid, std::move(pool));
+}
+
+GraspExecutable::GraspExecutable(GraspProgram program,
+                                 const gridsim::Grid& grid,
+                                 std::vector<NodeId> pool)
+    : program_(std::move(program)), grid_(&grid), pool_(std::move(pool)) {}
+
+namespace {
+
+/// Derive the calibration/execution timeline from the engine trace.
+void append_dynamic_phases(const gridsim::TraceRecorder& trace,
+                           Seconds makespan, RunSummary& summary) {
+  using gridsim::TraceEventKind;
+  Seconds cal_start = Seconds::zero();
+  bool in_calibration = false;
+  Seconds cursor = Seconds::zero();
+  std::size_t calibrations = 0;
+  for (const auto& e : trace.events()) {
+    if (e.kind == TraceEventKind::CalibrationStarted) {
+      if (cursor < e.at)
+        summary.phases.push_back(
+            {"execution", cursor, e.at, "monitored execution"});
+      cal_start = e.at;
+      in_calibration = true;
+      ++calibrations;
+    } else if (e.kind == TraceEventKind::CalibrationFinished &&
+               in_calibration) {
+      summary.phases.push_back(
+          {"calibration", cal_start, e.at, "Algorithm 1"});
+      in_calibration = false;
+      cursor = e.at;
+    }
+  }
+  if (cursor < makespan)
+    summary.phases.push_back(
+        {"execution", cursor, makespan, "monitored execution"});
+  // Every calibration after the first is an execution->calibration feedback
+  // transition (the loop arrow of Fig. 1).
+  summary.feedback_transitions = calibrations > 0 ? calibrations - 1 : 0;
+}
+
+}  // namespace
+
+RunSummary GraspExecutable::execute() {
+  RunSummary summary;
+  summary.application = program_.name_;
+
+  summary.phases.push_back({"programming", Seconds::zero(), Seconds::zero(),
+                            "skeleton selection + parametrisation"});
+  summary.phases.push_back({"compilation", Seconds::zero(), Seconds::zero(),
+                            "bound to grid environment (SimBackend)"});
+
+  SimBackend backend(*grid_);
+  if (program_.farm_params_) {
+    summary.skeleton = "task_farm";
+    TaskFarm farm(*program_.farm_params_);
+    FarmReport report =
+        farm.run(backend, *grid_, pool_, *program_.tasks_);
+    append_dynamic_phases(report.trace, report.makespan, summary);
+    summary.farm = std::move(report);
+  } else {
+    summary.skeleton = "pipeline";
+    Pipeline pipe(*program_.pipeline_params_);
+    PipelineReport report = pipe.run(backend, *grid_, pool_,
+                                     *program_.pipeline_spec_,
+                                     program_.pipeline_items_);
+    append_dynamic_phases(report.trace, report.makespan, summary);
+    summary.pipeline = std::move(report);
+  }
+  return summary;
+}
+
+}  // namespace grasp::core

@@ -1,0 +1,101 @@
+// The GRASP four-phase driver (Fig. 1 of the paper).
+//
+//   programming  -> skeleton selection and parametrisation   (static)
+//   compilation  -> binding with the parallel environment    (static)
+//   calibration  -> Algorithm 1, autonomic                   (dynamic)
+//   execution    -> Algorithm 2, monitored + adaptive        (dynamic)
+//
+// Usage (the quickstart example in full):
+//
+//   GraspProgram program("sweep");            // phase 1: programming
+//   program.use_task_farm(make_adaptive_farm_params());
+//   program.with_tasks(task_set);
+//   GraspExecutable exe = program.compile(grid);  // phase 2: compilation
+//   RunSummary summary = exe.execute();       // phases 3 + 4
+//
+// The summary carries the per-phase timeline, including every feedback
+// transition from execution back to calibration (the arrow in Fig. 1).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/task_farm.hpp"
+#include "gridsim/grid.hpp"
+#include "workloads/task.hpp"
+
+namespace grasp::core {
+
+struct PhaseRecord {
+  std::string phase;   ///< programming | compilation | calibration | execution
+  Seconds began;       ///< engine-clock time (static phases: 0-width stamps)
+  Seconds ended;
+  std::string detail;
+};
+
+struct RunSummary {
+  std::string application;
+  std::string skeleton;
+  std::vector<PhaseRecord> phases;  ///< in chronological order
+  std::size_t feedback_transitions = 0;  ///< execution -> calibration loops
+
+  /// Exactly one of these is set, matching the selected skeleton.
+  std::optional<FarmReport> farm;
+  std::optional<PipelineReport> pipeline;
+
+  [[nodiscard]] Seconds makespan() const;
+};
+
+class GraspExecutable;
+
+/// Phase 1: programming.  Select and parameterise a skeleton, then attach
+/// the problem instance.
+class GraspProgram {
+ public:
+  explicit GraspProgram(std::string name);
+
+  GraspProgram& use_task_farm(FarmParams params);
+  GraspProgram& use_pipeline(PipelineParams params,
+                             workloads::PipelineSpec spec,
+                             std::size_t item_count);
+  GraspProgram& with_tasks(workloads::TaskSet tasks);
+
+  /// Restrict execution to a subset of the grid (default: every node).
+  GraspProgram& on_nodes(std::vector<NodeId> pool);
+
+  /// Phase 2: compilation — bind with the parallel environment.  The
+  /// returned executable owns a SimBackend over `grid`; `grid` must outlive
+  /// it.  Throws std::logic_error when no skeleton or workload was set.
+  [[nodiscard]] GraspExecutable compile(const gridsim::Grid& grid) const;
+
+ private:
+  friend class GraspExecutable;
+  std::string name_;
+  std::optional<FarmParams> farm_params_;
+  std::optional<PipelineParams> pipeline_params_;
+  std::optional<workloads::PipelineSpec> pipeline_spec_;
+  std::size_t pipeline_items_ = 0;
+  std::optional<workloads::TaskSet> tasks_;
+  std::vector<NodeId> pool_;
+};
+
+/// Phases 3 + 4: run calibration and monitored execution.
+class GraspExecutable {
+ public:
+  /// Execute on the bound environment and assemble the phase timeline.
+  [[nodiscard]] RunSummary execute();
+
+ private:
+  friend class GraspProgram;
+  GraspExecutable(GraspProgram program, const gridsim::Grid& grid,
+                  std::vector<NodeId> pool);
+
+  GraspProgram program_;
+  const gridsim::Grid* grid_;
+  std::vector<NodeId> pool_;
+};
+
+}  // namespace grasp::core

@@ -1,0 +1,482 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "support/log.hpp"
+#include "support/stats.hpp"
+
+namespace grasp::core {
+
+Pipeline::Pipeline(PipelineParams params)
+    : params_(std::move(params)), traits_(pipeline_traits()) {
+  if (params_.source_window == 0)
+    throw std::invalid_argument("Pipeline: source_window must be positive");
+  if (params_.remap_advantage < 1.0)
+    throw std::invalid_argument("Pipeline: remap_advantage must be >= 1");
+  if (params_.replicate_imbalance_factor < 0.0)
+    throw std::invalid_argument(
+        "Pipeline: replicate_imbalance_factor must be >= 0");
+}
+
+namespace {
+
+enum class OpKind { StageIn, StageCompute, SinkOut, Migration };
+
+struct PendingOp {
+  OpKind kind;
+  std::size_t stage = 0;
+  std::size_t replica = 0;
+  std::uint64_t item = 0;
+};
+
+struct ItemState {
+  NodeId location;  ///< node currently holding the item's data
+  Seconds entered;  ///< when its first transfer was submitted
+};
+
+/// One node executing (a share of) a stage.
+struct Replica {
+  NodeId node;
+  std::optional<std::uint64_t> receiving;
+  std::deque<std::uint64_t> received;  ///< shipped in, awaiting compute
+  std::optional<std::uint64_t> computing;
+  bool migrating = false;  ///< remap or replica-seeding transfer in flight
+  double latest_spm = 0.0;
+
+  [[nodiscard]] bool quiescent() const {
+    return !receiving && !computing && !migrating;
+  }
+};
+
+struct StageState {
+  std::vector<Replica> replicas;
+  std::deque<std::uint64_t> waiting;  ///< items ready to be shipped here
+  std::optional<NodeId> pending_remap;
+  std::size_t pending_remap_replica = 0;
+  // Exit resequencing: a replicated stage can finish items out of order;
+  // emission is held until the next id in sequence is ready.
+  std::uint64_t next_expected = 0;
+  std::map<std::uint64_t, bool> done_buffer;
+  // statistics
+  std::size_t items_done = 0;
+  double busy_seconds = 0.0;
+  double service_sum = 0.0;
+  Ewma service_ewma{0.3};
+  std::size_t items_since_structural = 0;
+};
+
+}  // namespace
+
+PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
+                             const std::vector<NodeId>& pool,
+                             const workloads::PipelineSpec& spec,
+                             std::size_t item_count) {
+  const std::size_t depth = spec.depth();
+  if (depth == 0) throw std::invalid_argument("Pipeline: empty spec");
+  if (item_count == 0)
+    throw std::invalid_argument("Pipeline: item_count must be positive");
+  if (!params_.stage_replicas.empty() &&
+      params_.stage_replicas.size() != depth)
+    throw std::invalid_argument(
+        "Pipeline: stage_replicas must match the stage count");
+  std::size_t initial_nodes = 0;
+  for (std::size_t s = 0; s < depth; ++s) {
+    const std::size_t r = params_.stage_replicas.empty()
+                              ? 1
+                              : std::max<std::size_t>(
+                                    1, params_.stage_replicas[s]);
+    initial_nodes += r;
+  }
+  if (pool.size() < initial_nodes)
+    throw std::invalid_argument("Pipeline: pool smaller than total replicas");
+
+  const NodeId source =
+      params_.source_node.is_valid() ? params_.source_node : pool.front();
+
+  PipelineReport report;
+  TokenAllocator tokens;
+
+  perfmon::MonitorDaemon::Params mon_params = params_.monitor;
+  mon_params.root = source;
+  perfmon::MonitorDaemon monitor(grid, pool, mon_params);
+
+  // ---- Calibration: probe every pool node with stage-shaped work. ------
+  workloads::TaskSet probes;
+  probes.name = "pipeline-probes";
+  const double mean_stage_work =
+      spec.work_per_item().value / static_cast<double>(depth);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    workloads::TaskSpec t;
+    t.id = TaskId{i};
+    t.work = Mops{mean_stage_work};
+    t.input = spec.source_bytes;
+    t.output = spec.stages.back().output_bytes;
+    probes.tasks.push_back(t);
+  }
+  TaskSource probe_source(probes);
+  CalibrationParams cal_params = params_.calibration;
+  if (!cal_params.root.is_valid()) cal_params.root = source;
+  cal_params.select_fraction = 1.0;  // rank everyone; mapping picks below
+  cal_params.exclusion_ratio = 0.0;
+  Calibrator calibrator(traits_, cal_params);
+  const CalibrationResult calibration = calibrator.run(
+      backend, pool, probe_source, &monitor, &report.trace, tokens);
+
+  std::unordered_map<NodeId, double> cal_spm, cal_load;
+  for (const auto& s : calibration.ranking) {
+    cal_spm[s.node] = std::max(1e-9, s.adjusted_spm);
+    cal_load[s.node] = s.observed_load;
+  }
+
+  // Extrapolate a node's current fitness from calibration fitness and the
+  // forecast load via the processor-sharing rule (spm scales with load+1).
+  auto estimate_spm = [&](NodeId n) {
+    const double forecast = monitor.forecast_load(n);
+    return cal_spm.at(n) * (forecast + 1.0) / (cal_load.at(n) + 1.0);
+  };
+
+  // ---- Initial mapping: heaviest stage -> fittest nodes. ---------------
+  std::vector<std::size_t> stage_order(depth);
+  for (std::size_t s = 0; s < depth; ++s) stage_order[s] = s;
+  std::sort(stage_order.begin(), stage_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return spec.stages[a].work_per_item >
+                     spec.stages[b].work_per_item;
+            });
+  std::vector<StageState> stages(depth);
+  std::deque<NodeId> spares;
+  {
+    std::size_t next = 0;
+    for (const std::size_t s : stage_order) {
+      const std::size_t want = params_.stage_replicas.empty()
+                                   ? 1
+                                   : std::max<std::size_t>(
+                                         1, params_.stage_replicas[s]);
+      for (std::size_t r = 0; r < want; ++r) {
+        Replica rep;
+        rep.node = calibration.ranking[next++].node;
+        stages[s].replicas.push_back(std::move(rep));
+      }
+    }
+    for (; next < calibration.ranking.size(); ++next)
+      spares.push_back(calibration.ranking[next].node);
+  }
+
+  ExecutionMonitor exec_monitor(traits_, params_.threshold);
+  auto arm_monitor = [&] {
+    std::vector<NodeId> mapped;
+    OnlineStats base;
+    for (const auto& st : stages) {
+      for (const auto& rep : st.replicas) {
+        if (std::find(mapped.begin(), mapped.end(), rep.node) == mapped.end())
+          mapped.push_back(rep.node);
+        base.add(cal_spm.at(rep.node));
+      }
+    }
+    exec_monitor.arm(base.mean(), mapped, backend.now());
+  };
+  arm_monitor();
+
+  // ---- Streaming state. -------------------------------------------------
+  std::unordered_map<std::uint64_t, ItemState> items;
+  std::unordered_map<OpToken, PendingOp> ops;
+  std::uint64_t injected = 0;
+  std::vector<double> latencies;
+  std::vector<std::uint64_t> emission_order;  // delivered order at the sink
+  latencies.reserve(item_count);
+  Seconds last_done = Seconds::zero();
+
+  auto bytes_into = [&](std::size_t s) {
+    return s == 0 ? spec.source_bytes : spec.stages[s - 1].output_bytes;
+  };
+
+  // Emit `item` out of stage `s` (already resequenced): hand it to the
+  // next stage's waiting queue, or ship it to the sink.
+  auto emit_downstream = [&](std::size_t s, std::uint64_t item) {
+    if (s + 1 < depth) {
+      stages[s + 1].waiting.push_back(item);
+    } else {
+      emission_order.push_back(item);
+      const OpToken token = tokens.alloc();
+      backend.submit_transfer(token, items.at(item).location, source,
+                              spec.stages.back().output_bytes);
+      ops.emplace(token, PendingOp{OpKind::SinkOut, s, 0, item});
+    }
+  };
+
+  auto apply_pending_remap = [&](std::size_t s) {
+    StageState& st = stages[s];
+    if (!st.pending_remap) return;
+    Replica& rep = st.replicas[st.pending_remap_replica];
+    if (rep.receiving || rep.computing || rep.migrating) return;
+    const NodeId target = *st.pending_remap;
+    st.pending_remap.reset();
+    rep.migrating = true;
+    // Items already shipped to the old node must be re-shipped: return
+    // them to the stage queue in id order (they predate everything queued).
+    while (!rep.received.empty()) {
+      st.waiting.push_front(rep.received.back());
+      rep.received.pop_back();
+    }
+    const OpToken token = tokens.alloc();
+    backend.submit_transfer(token, rep.node, target,
+                            Bytes{params_.stage_state_bytes});
+    ops.emplace(token,
+                PendingOp{OpKind::Migration, s, st.pending_remap_replica, 0});
+    report.trace.record({backend.now(), gridsim::TraceEventKind::StageRemapped,
+                         target, TaskId::invalid(), static_cast<double>(s),
+                         "migrating"});
+    GRASP_LOG_INFO("pipeline") << "stage " << s << " remapping "
+                               << rep.node.value << " -> " << target.value;
+    ++report.remaps;
+  };
+
+  auto schedule = [&] {
+    // Source keeps stage 0 fed up to the window.
+    StageState& first = stages.front();
+    while (injected < item_count &&
+           first.waiting.size() < params_.source_window) {
+      const std::uint64_t id = injected++;
+      items[id] = ItemState{source, backend.now()};
+      first.waiting.push_back(id);
+    }
+    for (std::size_t s = 0; s < depth; ++s) {
+      StageState& st = stages[s];
+      apply_pending_remap(s);
+      for (std::size_t r = 0; r < st.replicas.size(); ++r) {
+        Replica& rep = st.replicas[r];
+        if (rep.migrating) continue;
+        const bool remap_hold =
+            st.pending_remap && st.pending_remap_replica == r;
+        // Double buffering: receive the next item while computing.
+        if (!remap_hold && !rep.receiving && rep.received.size() < 2 &&
+            !st.waiting.empty()) {
+          const std::uint64_t id = st.waiting.front();
+          st.waiting.pop_front();
+          rep.receiving = id;
+          const OpToken token = tokens.alloc();
+          backend.submit_transfer(token, items.at(id).location, rep.node,
+                                  bytes_into(s));
+          ops.emplace(token, PendingOp{OpKind::StageIn, s, r, id});
+        }
+        if (!rep.computing && !rep.received.empty()) {
+          const std::uint64_t id = rep.received.front();
+          rep.received.pop_front();
+          rep.computing = id;
+          const OpToken token = tokens.alloc();
+          backend.submit_compute(token, rep.node,
+                                 spec.stages[s].work_per_item);
+          ops.emplace(token, PendingOp{OpKind::StageCompute, s, r, id});
+        }
+      }
+    }
+  };
+
+  auto any_structural_in_flight = [&] {
+    for (const auto& st : stages) {
+      if (st.pending_remap) return true;
+      for (const auto& rep : st.replicas)
+        if (rep.migrating) return true;
+    }
+    return false;
+  };
+
+  // Structural action: farm out the bottleneck stage onto one more node.
+  auto maybe_replicate = [&] {
+    if (params_.replicate_imbalance_factor <= 0.0) return;
+    if (report.replications >= params_.max_replications) return;
+    if (spares.empty() || any_structural_in_flight()) return;
+    std::vector<double> effective(depth, 0.0);
+    for (std::size_t s = 0; s < depth; ++s) {
+      if (stages[s].service_ewma.empty()) return;  // not warmed up yet
+      effective[s] = stages[s].service_ewma.value() /
+                     static_cast<double>(stages[s].replicas.size());
+    }
+    const double med = median(effective);
+    const auto worst_it = std::max_element(effective.begin(), effective.end());
+    const std::size_t worst =
+        static_cast<std::size_t>(worst_it - effective.begin());
+    if (*worst_it <= params_.replicate_imbalance_factor * med) return;
+    if (stages[worst].items_since_structural <
+        params_.replication_cooldown_items)
+      return;
+    // Grow the stage on the fittest spare; seed it with stage state from
+    // the primary replica.
+    const auto best_it =
+        std::min_element(spares.begin(), spares.end(),
+                         [&](NodeId a, NodeId b) {
+                           return estimate_spm(a) < estimate_spm(b);
+                         });
+    const NodeId target = *best_it;
+    spares.erase(best_it);
+    Replica rep;
+    rep.node = target;
+    rep.migrating = true;
+    stages[worst].replicas.push_back(std::move(rep));
+    stages[worst].items_since_structural = 0;
+    const OpToken token = tokens.alloc();
+    backend.submit_transfer(token, stages[worst].replicas.front().node,
+                            target, Bytes{params_.stage_state_bytes});
+    ops.emplace(token, PendingOp{OpKind::Migration, worst,
+                                 stages[worst].replicas.size() - 1, 0});
+    report.trace.record({backend.now(),
+                         gridsim::TraceEventKind::StageReplicated, target,
+                         TaskId::invalid(), static_cast<double>(worst),
+                         "seeding"});
+    GRASP_LOG_INFO("pipeline")
+        << "stage " << worst << " replicating onto " << target.value << " ("
+        << stages[worst].replicas.size() << " replicas)";
+    ++report.replications;
+  };
+
+  auto consider_adaptation = [&] {
+    // Structural replication has its own switch (replicate_imbalance_factor)
+    // because it corrects the *program's* shape, not the environment;
+    // adaptation_enabled gates the Algorithm-2 monitor/remap loop.
+    if ((traits_.actions & kActionReplicateStage) != 0) maybe_replicate();
+    if (!params_.adaptation_enabled) return;
+    if ((traits_.actions & kActionRemapStage) == 0) return;
+    if (report.remaps >= params_.max_remaps) return;
+    if (spares.empty()) return;
+    const MonitorVerdict verdict = exec_monitor.check(backend.now());
+    if (verdict == MonitorVerdict::None) return;
+
+    // Bottleneck replica: worst observed slowdown vs calibrated fitness.
+    std::size_t worst_stage = 0, worst_replica = 0;
+    double worst_ratio = 0.0;
+    for (std::size_t s = 0; s < depth; ++s) {
+      for (std::size_t r = 0; r < stages[s].replicas.size(); ++r) {
+        const Replica& rep = stages[s].replicas[r];
+        if (rep.latest_spm <= 0.0) continue;
+        const double ratio = rep.latest_spm / cal_spm.at(rep.node);
+        if (ratio > worst_ratio) {
+          worst_ratio = ratio;
+          worst_stage = s;
+          worst_replica = r;
+        }
+      }
+    }
+    StageState& st = stages[worst_stage];
+    const Replica& rep = st.replicas[worst_replica];
+    const auto best_it =
+        std::min_element(spares.begin(), spares.end(),
+                         [&](NodeId a, NodeId b) {
+                           return estimate_spm(a) < estimate_spm(b);
+                         });
+    const double current_spm =
+        rep.latest_spm > 0.0 ? rep.latest_spm : estimate_spm(rep.node);
+    if (estimate_spm(*best_it) * params_.remap_advantage >= current_spm)
+      return;  // no spare is convincingly better
+    if (st.pending_remap || rep.migrating) return;
+    const NodeId target = *best_it;
+    spares.erase(best_it);
+    spares.push_back(rep.node);  // old node becomes a spare
+    st.pending_remap = target;
+    st.pending_remap_replica = worst_replica;
+  };
+
+  // ---- Main loop. -------------------------------------------------------
+  while (report.items_completed < item_count) {
+    schedule();
+    const auto completion = backend.wait_next();
+    if (!completion)
+      throw std::logic_error("Pipeline: deadlock — items remain but nothing "
+                             "in flight");
+    monitor.advance_to(backend.now());
+    const auto it = ops.find(completion->token);
+    if (it == ops.end())
+      throw std::logic_error("Pipeline: unknown completion token");
+    const PendingOp op = it->second;
+    ops.erase(it);
+
+    switch (op.kind) {
+      case OpKind::StageIn: {
+        Replica& rep = stages[op.stage].replicas[op.replica];
+        rep.receiving.reset();
+        rep.received.push_back(op.item);
+        items.at(op.item).location = rep.node;
+        break;
+      }
+      case OpKind::StageCompute: {
+        StageState& st = stages[op.stage];
+        Replica& rep = st.replicas[op.replica];
+        rep.computing.reset();
+        const double service = completion->duration().value;
+        const double work = spec.stages[op.stage].work_per_item.value;
+        const double spm = service / std::max(1e-9, work);
+        rep.latest_spm = spm;
+        st.busy_seconds += service;
+        st.service_sum += service;
+        st.service_ewma.add(service);
+        ++st.items_done;
+        ++st.items_since_structural;
+        exec_monitor.observe(rep.node, spm, backend.now());
+        // Resequenced exit: emit in item-id order.
+        st.done_buffer[op.item] = true;
+        while (!st.done_buffer.empty() &&
+               st.done_buffer.begin()->first == st.next_expected) {
+          st.done_buffer.erase(st.done_buffer.begin());
+          emit_downstream(op.stage, st.next_expected);
+          ++st.next_expected;
+        }
+        consider_adaptation();
+        break;
+      }
+      case OpKind::SinkOut: {
+        ++report.items_completed;
+        last_done = backend.now();
+        latencies.push_back((backend.now() - items.at(op.item).entered).value);
+        report.trace.record({backend.now(),
+                             gridsim::TraceEventKind::ItemCompleted, source,
+                             TaskId{op.item}, latencies.back(), ""});
+        items.erase(op.item);
+        break;
+      }
+      case OpKind::Migration: {
+        StageState& st = stages[op.stage];
+        Replica& rep = st.replicas[op.replica];
+        rep.node = completion->node;
+        rep.migrating = false;
+        rep.latest_spm = 0.0;
+        arm_monitor();
+        report.trace.record({backend.now(),
+                             gridsim::TraceEventKind::StageRemapped, rep.node,
+                             TaskId::invalid(),
+                             static_cast<double>(op.stage), "resumed"});
+        break;
+      }
+    }
+  }
+
+  // ---- Report. ----------------------------------------------------------
+  report.makespan = last_done;
+  report.rounds = exec_monitor.rounds_completed();
+  for (std::size_t s = 0; s < depth; ++s) {
+    StageStats st;
+    st.stage = spec.stages[s].id;
+    st.node = stages[s].replicas.front().node;
+    st.replicas = stages[s].replicas.size();
+    st.items = stages[s].items_done;
+    st.mean_service_s =
+        stages[s].items_done > 0
+            ? stages[s].service_sum / static_cast<double>(stages[s].items_done)
+            : 0.0;
+    st.busy_fraction = report.makespan.value > 0.0
+                           ? stages[s].busy_seconds / report.makespan.value
+                           : 0.0;
+    report.stages.push_back(st);
+    report.final_mapping.push_back(stages[s].replicas.front().node);
+  }
+  if (!latencies.empty()) {
+    report.mean_latency_s = mean(latencies);
+    report.p95_latency_s = quantile(latencies, 0.95);
+  }
+  report.output_in_order =
+      std::is_sorted(emission_order.begin(), emission_order.end());
+  return report;
+}
+
+}  // namespace grasp::core

@@ -1,0 +1,29 @@
+#include "core/skeleton_traits.hpp"
+
+namespace grasp::core {
+
+SkeletonTraits task_farm_traits() {
+  SkeletonTraits t;
+  t.name = "task_farm";
+  t.independent_tasks = true;
+  t.ordered_output = false;
+  t.demand_driven = true;
+  t.actions = kActionRecalibrate | kActionReissueTask | kActionResizeChunk;
+  t.calibration_samples = 1;
+  t.default_threshold_factor = 2.0;
+  return t;
+}
+
+SkeletonTraits pipeline_traits() {
+  SkeletonTraits t;
+  t.name = "pipeline";
+  t.independent_tasks = false;
+  t.ordered_output = true;
+  t.demand_driven = false;
+  t.actions = kActionRecalibrate | kActionRemapStage | kActionReplicateStage;
+  t.calibration_samples = 1;
+  t.default_threshold_factor = 1.8;
+  return t;
+}
+
+}  // namespace grasp::core

@@ -1,0 +1,55 @@
+// Intrinsic skeleton properties.
+//
+// The paper's central claim is that a skeleton's "intrinsic properties,
+// which capture its essence and distinguish it from the rest" are exactly
+// the information an adaptive runtime should exploit.  This descriptor is
+// that information made explicit: the calibrator reads it to size samples,
+// the execution monitor to pick threshold semantics, and the adaptation
+// policy to know which corrective actions the pattern legally admits.
+#pragma once
+
+#include <string>
+
+namespace grasp::core {
+
+/// Corrective actions a skeleton admits (bitmask).
+enum AdaptationActions : unsigned {
+  kActionNone = 0,
+  kActionRecalibrate = 1u << 0,     ///< rerun Algorithm 1, reselect nodes
+  kActionReissueTask = 1u << 1,     ///< duplicate a straggling task elsewhere
+  kActionResizeChunk = 1u << 2,     ///< change farm dispatch granularity
+  kActionRemapStage = 1u << 3,      ///< move a pipeline stage to another node
+  kActionReplicateStage = 1u << 4,  ///< farm a pipeline stage across nodes
+};
+
+struct SkeletonTraits {
+  std::string name;
+
+  /// Work units are mutually independent (farm) vs. ordered through stages
+  /// (pipeline).  Independence is what legalises reissue and chunking.
+  bool independent_tasks = false;
+
+  /// Results must leave in submission order.
+  bool ordered_output = false;
+
+  /// Scheduling is demand-driven (pull) rather than placement-driven.
+  bool demand_driven = false;
+
+  /// Bitmask of AdaptationActions this pattern admits.
+  unsigned actions = kActionNone;
+
+  /// Calibration sample tasks per node (Algorithm 1 executes F over P).
+  std::size_t calibration_samples = 1;
+
+  /// Default relative performance threshold: recalibrate when observed
+  /// per-work time exceeds this multiple of the calibrated baseline.
+  double default_threshold_factor = 2.0;
+};
+
+/// The task farm: independent tasks, demand-driven, unordered results.
+[[nodiscard]] SkeletonTraits task_farm_traits();
+
+/// The pipeline: dependent stages, ordered items, placement-driven.
+[[nodiscard]] SkeletonTraits pipeline_traits();
+
+}  // namespace grasp::core

@@ -1,0 +1,336 @@
+#include "core/task_farm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/log.hpp"
+
+namespace grasp::core {
+
+TaskFarm::TaskFarm(FarmParams params) : params_(std::move(params)),
+                                        traits_(task_farm_traits()) {
+  if (params_.chunk_size == 0)
+    throw std::invalid_argument("TaskFarm: chunk_size must be positive");
+  if (params_.straggler_factor <= 1.0)
+    throw std::invalid_argument("TaskFarm: straggler_factor must exceed 1");
+}
+
+FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
+                         const std::vector<NodeId>& pool,
+                         const workloads::TaskSet& tasks) {
+  if (pool.empty()) throw std::invalid_argument("TaskFarm: empty pool");
+  const NodeId root =
+      params_.root.is_valid() ? params_.root : pool.front();
+
+  FarmReport report;
+  TaskSource source(tasks);
+  TokenAllocator tokens;
+
+  // Mean task work, used for chunk sizing and straggler expectations.
+  const double mean_work =
+      tasks.total_work().value / static_cast<double>(tasks.size());
+
+  perfmon::MonitorDaemon::Params mon_params = params_.monitor;
+  mon_params.root = root;
+  perfmon::MonitorDaemon monitor(grid, pool, mon_params);
+
+  CalibrationParams cal_params = params_.calibration;
+  if (!cal_params.root.is_valid()) cal_params.root = root;
+  Calibrator calibrator(traits_, cal_params);
+
+  ExecutionMonitor exec_monitor(traits_, params_.threshold);
+
+  // ---- Phase: calibration (Algorithm 1) -------------------------------
+  CalibrationResult calibration =
+      calibrator.run(backend, pool, source, &monitor, &report.trace, tokens);
+  report.calibration_tasks += calibration.tasks_consumed;
+  exec_monitor.arm(calibration.baseline_spm, calibration.chosen,
+                   backend.now());
+
+  // Per-node performance estimate (seconds per Mop), seeded by calibration
+  // and refreshed by every completion; drives chunking and stragglers.
+  std::unordered_map<NodeId, double> node_spm;
+  for (const auto& s : calibration.ranking) node_spm[s.node] = s.adjusted_spm;
+  // Per-node current chunk size (adaptive chunking).
+  std::unordered_map<NodeId, std::size_t> node_chunk;
+  for (const NodeId n : pool) node_chunk[n] = params_.chunk_size;
+
+  std::vector<NodeId> chosen = calibration.chosen;
+  std::unordered_map<NodeId, bool> busy;
+  for (const NodeId n : pool) busy[n] = false;
+
+  std::unordered_map<OpToken, Assignment> in_flight;
+
+  Seconds finish_time = Seconds::zero();
+  bool finished = false;
+  std::size_t recalibrations = 0;
+
+  // Wrap the caller's per-task payload (if any) around a chunk: the
+  // threaded backend runs it on the worker thread, the simulator ignores it.
+  auto make_chunk_body =
+      [&](const std::vector<workloads::TaskSpec>& chunk) -> std::function<void()> {
+    if (!params_.calibration.task_body) return {};
+    return [fn = params_.calibration.task_body, chunk] {
+      for (const auto& t : chunk) fn(t);
+    };
+  };
+
+  auto spm_estimate = [&](NodeId n) {
+    const auto it = node_spm.find(n);
+    if (it != node_spm.end() && it->second > 0.0) return it->second;
+    return std::max(1e-9, calibration.baseline_spm);
+  };
+
+  auto chunk_for = [&](NodeId n) -> std::size_t {
+    if (!params_.adaptive_chunking) return params_.chunk_size;
+    const double per_task = spm_estimate(n) * mean_work;
+    if (per_task <= 0.0) return params_.chunk_size;
+    const auto ideal = static_cast<std::size_t>(
+        std::llround(params_.target_chunk_seconds / per_task));
+    const std::size_t clamped =
+        std::clamp<std::size_t>(ideal, 1, params_.max_chunk);
+    if (clamped != node_chunk[n]) {
+      node_chunk[n] = clamped;
+      ++report.chunk_resizes;
+      report.trace.record({backend.now(),
+                           gridsim::TraceEventKind::ChunkResized, n,
+                           TaskId::invalid(), static_cast<double>(clamped),
+                           "chunk"});
+    }
+    return clamped;
+  };
+
+  auto dispatch_chunk = [&](NodeId node, std::vector<workloads::TaskSpec> chunk,
+                            bool is_reissue) {
+    Assignment a;
+    a.chunk = std::move(chunk);
+    a.node = node;
+    a.dispatched = backend.now();
+    a.is_reissue = is_reissue;
+    Bytes input = Bytes::zero();
+    for (const auto& t : a.chunk) input += t.input;
+    const OpToken token = tokens.alloc();
+    backend.submit_transfer(token, root, node, input);
+    for (const auto& t : a.chunk)
+      report.trace.record({backend.now(),
+                           is_reissue ? gridsim::TraceEventKind::TaskReissued
+                                      : gridsim::TraceEventKind::TaskDispatched,
+                           node, t.id, t.work.value, ""});
+    busy[node] = true;
+    in_flight.emplace(token, std::move(a));
+  };
+
+  auto dispatch_to_idle = [&] {
+    for (const NodeId n : chosen) {
+      if (source.empty()) break;
+      if (busy[n]) continue;
+      const std::size_t want = chunk_for(n);
+      std::vector<workloads::TaskSpec> chunk;
+      while (chunk.size() < want && !source.empty())
+        chunk.push_back(source.pop());
+      if (!chunk.empty()) dispatch_chunk(n, std::move(chunk), false);
+    }
+  };
+
+  // Straggler scan: when the queue is dry, duplicate late chunks onto idle
+  // chosen workers (first completion wins).
+  auto maybe_reissue = [&] {
+    if (!params_.reissue_stragglers || !source.empty()) return;
+    if ((traits_.actions & kActionReissueTask) == 0) return;
+    // Idle chosen workers, fastest first.
+    std::vector<NodeId> idle;
+    for (const NodeId n : chosen)
+      if (!busy[n]) idle.push_back(n);
+    if (idle.empty()) return;
+    std::sort(idle.begin(), idle.end(), [&](NodeId a, NodeId b) {
+      return spm_estimate(a) < spm_estimate(b);
+    });
+    // Collect decisions first: dispatch_chunk inserts into in_flight and
+    // would invalidate the iteration otherwise.
+    struct Reissue {
+      NodeId from;
+      std::vector<workloads::TaskSpec> pending;
+    };
+    std::vector<Reissue> planned;
+    for (const auto& [token, a] : in_flight) {
+      (void)token;
+      if (planned.size() >= idle.size()) break;
+      if (a.is_reissue) continue;
+      const double expected =
+          spm_estimate(a.node) * a.work().value + 1.0;  // +1 s transfer slack
+      const double age = (backend.now() - a.dispatched).value;
+      if (age <= params_.straggler_factor * expected) continue;
+      std::vector<workloads::TaskSpec> pending;
+      for (const auto& t : a.chunk)
+        if (!source.is_completed(t.id)) pending.push_back(t);
+      if (!pending.empty()) planned.push_back({a.node, std::move(pending)});
+    }
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      const NodeId target = idle[i];
+      ++report.reissues;
+      GRASP_LOG_INFO("farm") << "reissuing " << planned[i].pending.size()
+                             << " tasks from " << planned[i].from.value
+                             << " to " << target.value;
+      dispatch_chunk(target, std::move(planned[i].pending), true);
+    }
+  };
+
+  auto drain = [&] {
+    while (backend.in_flight() > 0) {
+      const auto c = backend.wait_next();
+      if (!c) break;
+      monitor.advance_to(backend.now());
+      const auto it = in_flight.find(c->token);
+      if (it == in_flight.end()) continue;  // should not happen
+      Assignment a = std::move(it->second);
+      in_flight.erase(it);
+      if (a.phase == Assignment::Phase::Input) {
+        a.phase = Assignment::Phase::Compute;
+        const OpToken token = tokens.alloc();
+        backend.submit_compute(token, a.node, a.work(),
+                                make_chunk_body(a.chunk));
+        in_flight.emplace(token, std::move(a));
+      } else if (a.phase == Assignment::Phase::Compute) {
+        a.phase = Assignment::Phase::Output;
+        Bytes output = Bytes::zero();
+        for (const auto& t : a.chunk) output += t.output;
+        const OpToken token = tokens.alloc();
+        backend.submit_transfer(token, a.node, root, output);
+        in_flight.emplace(token, std::move(a));
+      } else {
+        // Completed; account below through the shared bookkeeping.
+        const double elapsed = (backend.now() - a.dispatched).value;
+        const double spm = elapsed / std::max(1e-9, a.work().value);
+        node_spm[a.node] = 0.5 * node_spm[a.node] + 0.5 * spm;
+        busy[a.node] = false;
+        for (const auto& t : a.chunk) {
+          if (source.mark_completed(t.id)) {
+            ++report.tasks_completed;
+            report.trace.record({backend.now(),
+                                 gridsim::TraceEventKind::TaskCompleted,
+                                 a.node, t.id, elapsed, ""});
+          }
+        }
+        if (!finished && source.all_done()) {
+          finished = true;
+          finish_time = backend.now();
+        }
+      }
+    }
+  };
+
+  auto recalibrate = [&] {
+    ++recalibrations;
+    report.trace.record({backend.now(),
+                         gridsim::TraceEventKind::RecalibrationTriggered,
+                         root, TaskId::invalid(),
+                         static_cast<double>(recalibrations), ""});
+    GRASP_LOG_INFO("farm") << "recalibration #" << recalibrations << " at t="
+                           << backend.now().value;
+    drain();
+    if (source.all_done()) return;
+    if (source.empty()) return;  // nothing left to schedule differently
+    const std::vector<NodeId> previous = chosen;
+    CalibrationResult recal = calibrator.run(backend, pool, source, &monitor,
+                                             &report.trace, tokens);
+    report.calibration_tasks += recal.tasks_consumed;
+    if (!finished && source.all_done()) {
+      finished = true;
+      finish_time = backend.now();
+    }
+    for (const auto& s : recal.ranking) node_spm[s.node] = s.adjusted_spm;
+    chosen = recal.chosen;
+    exec_monitor.arm(recal.baseline_spm, chosen, backend.now());
+    report.final_baseline_spm = recal.baseline_spm;
+    for (const NodeId n : chosen) {
+      if (std::find(previous.begin(), previous.end(), n) == previous.end())
+        report.trace.record({backend.now(),
+                             gridsim::TraceEventKind::NodeSwapped, n,
+                             TaskId::invalid(), 1.0, "joined"});
+    }
+  };
+
+  report.final_baseline_spm = calibration.baseline_spm;
+
+  // ---- Phase: execution (Algorithm 2 loop) ----------------------------
+  while (!source.all_done()) {
+    dispatch_to_idle();
+    maybe_reissue();
+    const auto completion = backend.wait_next();
+    if (!completion) {
+      if (!source.all_done())
+        throw std::logic_error("TaskFarm: deadlock — tasks remain but "
+                               "nothing in flight");
+      break;
+    }
+    monitor.advance_to(backend.now());
+
+    const auto it = in_flight.find(completion->token);
+    if (it == in_flight.end())
+      throw std::logic_error("TaskFarm: unknown completion token");
+    Assignment a = std::move(it->second);
+    in_flight.erase(it);
+
+    switch (a.phase) {
+      case Assignment::Phase::Input: {
+        a.phase = Assignment::Phase::Compute;
+        const OpToken token = tokens.alloc();
+        backend.submit_compute(token, a.node, a.work(),
+                                make_chunk_body(a.chunk));
+        in_flight.emplace(token, std::move(a));
+        break;
+      }
+      case Assignment::Phase::Compute: {
+        a.phase = Assignment::Phase::Output;
+        Bytes output = Bytes::zero();
+        for (const auto& t : a.chunk) output += t.output;
+        const OpToken token = tokens.alloc();
+        backend.submit_transfer(token, a.node, root, output);
+        in_flight.emplace(token, std::move(a));
+        break;
+      }
+      case Assignment::Phase::Output: {
+        const double elapsed = (backend.now() - a.dispatched).value;
+        const double spm = elapsed / std::max(1e-9, a.work().value);
+        // Blend the observation into the node estimate (EWMA, alpha 0.5).
+        node_spm[a.node] = node_spm.count(a.node)
+                               ? 0.5 * node_spm[a.node] + 0.5 * spm
+                               : spm;
+        busy[a.node] = false;
+        for (const auto& t : a.chunk) {
+          if (source.mark_completed(t.id)) {
+            ++report.tasks_completed;
+            report.trace.record({backend.now(),
+                                 gridsim::TraceEventKind::TaskCompleted,
+                                 a.node, t.id, elapsed, ""});
+          }
+        }
+        exec_monitor.observe(a.node, spm, backend.now());
+        if (!finished && source.all_done()) {
+          finished = true;
+          finish_time = backend.now();
+        }
+        break;
+      }
+    }
+
+    if (params_.adaptation_enabled && !source.all_done() &&
+        recalibrations < params_.max_recalibrations) {
+      const MonitorVerdict verdict = exec_monitor.check(backend.now());
+      if (verdict != MonitorVerdict::None) recalibrate();
+    }
+  }
+
+  if (!finished) finish_time = backend.now();
+  drain();  // late duplicates / abandoned twins complete off the clock
+
+  report.makespan = finish_time;
+  report.recalibrations = recalibrations;
+  report.monitor_samples = monitor.samples_taken();
+  report.rounds = exec_monitor.rounds_completed();
+  report.final_chosen = chosen;
+  return report;
+}
+
+}  // namespace grasp::core

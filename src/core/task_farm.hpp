@@ -1,0 +1,107 @@
+// Adaptive task farm (GRASP instantiation [6]).
+//
+// Demand-driven farmer/worker execution over a calibrated worker set, with
+// the full Algorithm 1 + Algorithm 2 loop:
+//
+//   calibrate -> dispatch (demand-driven, chunked) -> monitor rounds ->
+//   threshold breach -> drain -> recalibrate -> resume
+//
+// plus the two farm-specific actions its traits admit: straggler reissue
+// (duplicate a late chunk on an idle worker, first completion wins) and
+// adaptive chunk sizing (per-node granularity tracks forecast speed so every
+// dispatch costs roughly the same wall time).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/calibration.hpp"
+#include "core/execution_monitor.hpp"
+#include "core/skeleton_traits.hpp"
+#include "core/task_source.hpp"
+#include "gridsim/grid.hpp"
+#include "gridsim/trace.hpp"
+#include "perfmon/monitor.hpp"
+
+namespace grasp::core {
+
+struct FarmParams {
+  CalibrationParams calibration;
+  ThresholdPolicy threshold;
+  /// Monitor daemon settings (period, forecaster, sensor noise).
+  perfmon::MonitorDaemon::Params monitor;
+
+  /// Tasks per dispatch when adaptive chunking is off.
+  std::size_t chunk_size = 1;
+  /// Per-node chunk sizing toward `target_chunk_seconds` per dispatch.
+  bool adaptive_chunking = false;
+  double target_chunk_seconds = 5.0;
+  std::size_t max_chunk = 64;
+
+  /// Master switch for Algorithm 2 (false = calibrate once, never adapt;
+  /// with select_fraction = 1 this is the classic demand-driven farm).
+  bool adaptation_enabled = true;
+  std::size_t max_recalibrations = 16;
+
+  /// Duplicate chunks that exceed straggler_factor x their expected time
+  /// when idle capacity exists.
+  bool reissue_stragglers = true;
+  double straggler_factor = 4.0;
+
+  /// Farmer location; invalid means pool.front().
+  NodeId root;
+};
+
+struct FarmReport {
+  Seconds makespan;                ///< time when the last task first finished
+  std::size_t tasks_completed = 0;
+  std::size_t calibration_tasks = 0;  ///< completed inside calibrations
+  std::size_t recalibrations = 0;
+  std::size_t reissues = 0;
+  std::size_t chunk_resizes = 0;
+  std::size_t monitor_samples = 0;
+  std::size_t rounds = 0;
+  double final_baseline_spm = 0.0;
+  std::vector<NodeId> final_chosen;
+  gridsim::TraceRecorder trace;
+
+  [[nodiscard]] double throughput() const {
+    return makespan.value > 0.0
+               ? static_cast<double>(tasks_completed) / makespan.value
+               : 0.0;
+  }
+};
+
+class TaskFarm {
+ public:
+  explicit TaskFarm(FarmParams params);
+
+  /// Execute `tasks` over `pool`.  The grid reference is used only for the
+  /// monitor daemon's sensors; all costs flow through `backend`.
+  [[nodiscard]] FarmReport run(Backend& backend, const gridsim::Grid& grid,
+                               const std::vector<NodeId>& pool,
+                               const workloads::TaskSet& tasks);
+
+  [[nodiscard]] const FarmParams& params() const { return params_; }
+
+ private:
+  struct Assignment {
+    std::vector<workloads::TaskSpec> chunk;
+    NodeId node;
+    Seconds dispatched;
+    enum class Phase { Input, Compute, Output } phase = Phase::Input;
+    bool is_reissue = false;
+    Mops work() const {
+      Mops total = Mops::zero();
+      for (const auto& t : chunk) total += t.work;
+      return total;
+    }
+  };
+
+  FarmParams params_;
+  SkeletonTraits traits_;
+};
+
+}  // namespace grasp::core

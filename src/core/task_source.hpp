@@ -1,0 +1,47 @@
+// Task source: the farm's shared work queue.
+//
+// Supports the operations the adaptive farm needs beyond plain FIFO:
+// front-of-queue reinsertion (failed/abandoned dispatches go back first so
+// order skew stays bounded) and duplicate-completion tracking for straggler
+// reissue (first completion wins; late twins are discarded).
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+
+#include "workloads/task.hpp"
+
+namespace grasp::core {
+
+class TaskSource {
+ public:
+  explicit TaskSource(const workloads::TaskSet& set);
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t remaining() const { return queue_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t completed() const { return completed_.size(); }
+  [[nodiscard]] bool all_done() const { return completed_.size() == total_; }
+
+  /// Pop the next task.  Precondition: !empty().
+  [[nodiscard]] workloads::TaskSpec pop();
+
+  /// Return a dispatched-but-unfinished task to the *front* of the queue
+  /// (used when a recalibration abandons in-flight work).
+  void push_front(const workloads::TaskSpec& task);
+
+  /// Record a completion.  Returns true when this is the first completion
+  /// of the task (duplicates from straggler reissue return false).
+  bool mark_completed(TaskId id);
+
+  [[nodiscard]] bool is_completed(TaskId id) const {
+    return completed_.count(id) != 0;
+  }
+
+ private:
+  std::deque<workloads::TaskSpec> queue_;
+  std::unordered_set<TaskId> completed_;
+  std::size_t total_;
+};
+
+}  // namespace grasp::core

@@ -1,0 +1,46 @@
+#include "gridsim/event_queue.hpp"
+
+#include <utility>
+
+namespace grasp::gridsim {
+
+void EventQueue::schedule_at(Seconds when, Callback fn) {
+  if (when < clock_.now())
+    throw std::invalid_argument("EventQueue: scheduling into the past");
+  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_after(Seconds delay, Callback fn) {
+  if (delay.value < 0.0)
+    throw std::invalid_argument("EventQueue: negative delay");
+  schedule_at(clock_.now() + delay, std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out
+  // before pop, so copy the entry (callbacks are cheap shared closures).
+  Entry entry = heap_.top();
+  heap_.pop();
+  clock_.advance_to(entry.when);
+  entry.fn();
+  return true;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+std::size_t EventQueue::run_until(Seconds until) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    step();
+    ++executed;
+  }
+  clock_.advance_to(until);
+  return executed;
+}
+
+}  // namespace grasp::gridsim

@@ -1,0 +1,75 @@
+// Discrete-event simulation core: a virtual clock plus an ordered queue of
+// timestamped callbacks.
+//
+// Ties are broken by insertion sequence so runs are deterministic even when
+// many events share a timestamp (common when a farm dispatches a batch).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace grasp::gridsim {
+
+/// Monotonic virtual clock owned by the event queue.
+class SimClock {
+ public:
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Advance to `t`; never moves backwards.
+  void advance_to(Seconds t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Seconds now_{0.0};
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `when` (must be >= now).
+  void schedule_at(Seconds when, Callback fn);
+
+  /// Schedule `fn` `delay` after the current time.
+  void schedule_after(Seconds delay, Callback fn);
+
+  [[nodiscard]] Seconds now() const { return clock_.now(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Pop and run the earliest event; advances the clock to its timestamp.
+  /// Returns false when no events remain.
+  bool step();
+
+  /// Run events until the queue drains.  Returns the number executed.
+  std::size_t run_all();
+
+  /// Run events with timestamp <= `until` (clock ends at min(until, last
+  /// event time)).  Returns the number executed.
+  std::size_t run_until(Seconds until);
+
+ private:
+  struct Entry {
+    Seconds when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;  // FIFO among equal timestamps
+    }
+  };
+
+  SimClock clock_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace grasp::gridsim

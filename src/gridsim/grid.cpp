@@ -1,0 +1,95 @@
+#include "gridsim/grid.hpp"
+
+#include <stdexcept>
+
+namespace grasp::gridsim {
+
+Grid::Grid(std::vector<NodeModel> nodes, Topology topology)
+    : nodes_(std::move(nodes)), topology_(std::move(topology)) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].id().value != i)
+      throw std::invalid_argument(
+          "Grid: node ids must be dense and index-ordered");
+  }
+}
+
+const NodeModel& Grid::node(NodeId id) const {
+  if (id.value >= nodes_.size()) throw std::out_of_range("Grid: unknown node");
+  return nodes_[id.value];
+}
+
+NodeModel& Grid::node(NodeId id) {
+  if (id.value >= nodes_.size()) throw std::out_of_range("Grid: unknown node");
+  return nodes_[id.value];
+}
+
+std::vector<NodeId> Grid::node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& n : nodes_) ids.push_back(n.id());
+  return ids;
+}
+
+Seconds Grid::transfer_time(NodeId from, NodeId to, Bytes payload,
+                            Seconds start) const {
+  if (from == to) return Seconds::zero();
+  const SiteId sa = node(from).site();
+  const SiteId sb = node(to).site();
+  return topology_.link(sa, sb).transfer_duration(payload, start);
+}
+
+GridBuilder::GridBuilder() = default;
+
+SiteId GridBuilder::add_site(std::string name, Seconds intra_latency,
+                             BytesPerSecond intra_bandwidth) {
+  LinkModel::Params p;
+  p.id = LinkId{next_link_id_++};
+  p.latency = intra_latency;
+  p.bandwidth = intra_bandwidth;
+  return topology_.add_site(std::move(name), LinkModel(std::move(p)));
+}
+
+NodeId GridBuilder::add_node(SiteId site, double base_speed_mops,
+                             std::unique_ptr<LoadModel> load, double cores,
+                             std::string name) {
+  NodeModel::Params p;
+  p.id = NodeId{static_cast<std::uint64_t>(nodes_.size())};
+  p.name = name.empty()
+               ? topology_.site(site).name + "-n" + std::to_string(p.id.value)
+               : std::move(name);
+  p.site = site;
+  p.base_speed_mops = base_speed_mops;
+  p.cores = cores;
+  p.load = std::move(load);
+  nodes_.emplace_back(std::move(p));
+  return nodes_.back().id();
+}
+
+void GridBuilder::set_inter_site_link(SiteId a, SiteId b, Seconds latency,
+                                      BytesPerSecond bandwidth,
+                                      std::unique_ptr<LoadModel> contention) {
+  LinkModel::Params p;
+  p.id = LinkId{next_link_id_++};
+  p.latency = latency;
+  p.bandwidth = bandwidth;
+  p.contention = std::move(contention);
+  topology_.set_inter_site_link(a, b, LinkModel(std::move(p)));
+}
+
+void GridBuilder::set_default_inter_site_link(
+    Seconds latency, BytesPerSecond bandwidth,
+    std::unique_ptr<LoadModel> contention) {
+  LinkModel::Params p;
+  p.id = LinkId{next_link_id_++};
+  p.latency = latency;
+  p.bandwidth = bandwidth;
+  p.contention = std::move(contention);
+  topology_.set_default_inter_site_link(LinkModel(std::move(p)));
+}
+
+Grid GridBuilder::build() {
+  if (nodes_.empty()) throw std::logic_error("GridBuilder: no nodes");
+  return Grid(std::move(nodes_), std::move(topology_));
+}
+
+}  // namespace grasp::gridsim

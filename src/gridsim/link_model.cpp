@@ -1,0 +1,74 @@
+#include "gridsim/link_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace grasp::gridsim {
+
+namespace {
+constexpr std::size_t kMaxIntegrationSlots = 10'000'000;
+constexpr double kContinuousStep = 0.25;
+}  // namespace
+
+LinkModel::LinkModel(Params params)
+    : id_(params.id),
+      latency_(params.latency),
+      bandwidth_(params.bandwidth),
+      contention_(params.contention ? std::move(params.contention)
+                                    : std::make_unique<ConstantLoad>(0.0)) {
+  if (latency_.value < 0.0)
+    throw std::invalid_argument("LinkModel: negative latency");
+  if (bandwidth_.value <= 0.0)
+    throw std::invalid_argument("LinkModel: bandwidth must be positive");
+}
+
+LinkModel::LinkModel(const LinkModel& other)
+    : id_(other.id_),
+      latency_(other.latency_),
+      bandwidth_(other.bandwidth_),
+      contention_(other.contention_->clone()) {}
+
+LinkModel& LinkModel::operator=(const LinkModel& other) {
+  if (this == &other) return *this;
+  id_ = other.id_;
+  latency_ = other.latency_;
+  bandwidth_ = other.bandwidth_;
+  contention_ = other.contention_->clone();
+  return *this;
+}
+
+double LinkModel::contention_at(Seconds t) const {
+  return contention_->load_at(t);
+}
+
+BytesPerSecond LinkModel::effective_bandwidth(Seconds t) const {
+  const double flows = std::max(0.0, contention_->load_at(t)) + 1.0;
+  return BytesPerSecond{bandwidth_.value / flows};
+}
+
+Seconds LinkModel::transfer_duration(Bytes payload, Seconds start) const {
+  if (payload.value <= 0.0) return latency_;
+  const Seconds slot = contention_->slot_width();
+  const double step = slot.value > 0.0 ? slot.value : kContinuousStep;
+
+  double t = start.value + latency_.value;
+  double remaining = payload.value;
+  for (std::size_t iter = 0; iter < kMaxIntegrationSlots; ++iter) {
+    const double slot_end = (std::floor(t / step) + 1.0) * step;
+    const double bw = effective_bandwidth(Seconds{t}).value;
+    if (bw <= 0.0) {
+      t = slot_end;
+      continue;
+    }
+    const double slot_capacity = bw * (slot_end - t);
+    if (slot_capacity >= remaining) {
+      t += remaining / bw;
+      return Seconds{t - start.value};
+    }
+    remaining -= slot_capacity;
+    t = slot_end;
+  }
+  return Seconds::infinity();
+}
+
+}  // namespace grasp::gridsim

@@ -1,0 +1,188 @@
+// Background ("external") load models for non-dedicated grid nodes.
+//
+// A computational grid node is shared: other users' processes come and go
+// and steal CPU from our skeleton.  We model this as a non-negative external
+// load L(t) — the average number of competing runnable processes — that is
+// piecewise-constant over fixed-width slots of duration `slot`.  The
+// piecewise-constant discretisation gives every model deterministic O(1)
+// amortised random access (stochastic models memoise slot values, which are
+// derived only from the seed and preceding slots), which in turn makes whole
+// simulation runs reproducible.
+//
+// Effective node speed under load follows the classic processor-sharing
+// rule: a node with `c` cores running one of our tasks alongside L external
+// processes delivers a fraction  c / max(c, L + 1)  of its base speed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/ids.hpp"
+#include "support/rng.hpp"
+
+namespace grasp::gridsim {
+
+/// Interface: external CPU load as a function of time.
+///
+/// Implementations must be deterministic: two calls with the same `t` return
+/// the same value, regardless of query order.
+class LoadModel {
+ public:
+  virtual ~LoadModel() = default;
+
+  /// External load (competing runnable processes, >= 0) at time t.
+  [[nodiscard]] virtual double load_at(Seconds t) const = 0;
+
+  /// Width of the piecewise-constant slots.  load_at is constant on
+  /// [k*slot, (k+1)*slot).  Deterministic models may return 0 meaning
+  /// "continuous".
+  [[nodiscard]] virtual Seconds slot_width() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<LoadModel> clone() const = 0;
+};
+
+/// Constant external load (dedicated node when load == 0).
+class ConstantLoad final : public LoadModel {
+ public:
+  explicit ConstantLoad(double load = 0.0);
+  [[nodiscard]] double load_at(Seconds) const override { return load_; }
+  [[nodiscard]] Seconds slot_width() const override { return Seconds::zero(); }
+  [[nodiscard]] std::unique_ptr<LoadModel> clone() const override;
+
+ private:
+  double load_;
+};
+
+/// Scripted step changes: load is `segments[i].load` from `segments[i].start`
+/// until the next segment.  Used to inject the "node degrades at t=X"
+/// scenarios of the adaptation experiments.
+class StepLoad final : public LoadModel {
+ public:
+  struct Segment {
+    Seconds start;
+    double load;
+  };
+  /// Segments must be sorted by start time; load before the first segment
+  /// is `initial`.
+  explicit StepLoad(std::vector<Segment> segments, double initial = 0.0);
+  [[nodiscard]] double load_at(Seconds t) const override;
+  [[nodiscard]] Seconds slot_width() const override { return Seconds::zero(); }
+  [[nodiscard]] std::unique_ptr<LoadModel> clone() const override;
+
+ private:
+  std::vector<Segment> segments_;
+  double initial_;
+};
+
+/// Smooth daily cycle: load = mean + amplitude * sin(2*pi*(t+phase)/period),
+/// clamped at 0.  Grids see diurnal interactive-user load.
+class DiurnalLoad final : public LoadModel {
+ public:
+  DiurnalLoad(double mean, double amplitude, Seconds period,
+              Seconds phase = Seconds::zero());
+  [[nodiscard]] double load_at(Seconds t) const override;
+  [[nodiscard]] Seconds slot_width() const override { return Seconds::zero(); }
+  [[nodiscard]] std::unique_ptr<LoadModel> clone() const override;
+
+ private:
+  double mean_;
+  double amplitude_;
+  Seconds period_;
+  Seconds phase_;
+};
+
+/// Mean-reverting bounded random walk, slotted.  Each slot the load moves by
+/// a normal step pulled toward `mean`; values are clamped to [0, max_load].
+class RandomWalkLoad final : public LoadModel {
+ public:
+  struct Params {
+    double initial = 0.5;
+    double mean = 0.5;        ///< value the walk reverts toward
+    double reversion = 0.1;   ///< fraction of the gap closed per slot
+    double step_stddev = 0.2;
+    double max_load = 8.0;
+    Seconds slot{1.0};
+  };
+  RandomWalkLoad(Params params, std::uint64_t seed);
+  [[nodiscard]] double load_at(Seconds t) const override;
+  [[nodiscard]] Seconds slot_width() const override { return params_.slot; }
+  [[nodiscard]] std::unique_ptr<LoadModel> clone() const override;
+
+ private:
+  double slot_value(std::size_t k) const;
+
+  Params params_;
+  std::uint64_t seed_;
+  // Memoised slot values; extended on demand.  Mutable: logically const
+  // (value(k) is a pure function of seed), physically cached.
+  mutable std::vector<double> cache_;
+  mutable Rng rng_;
+};
+
+/// Two-state (idle/busy) Markov-modulated load, slotted.  Models bursty
+/// batch arrivals: long quiet stretches punctuated by heavy episodes.
+class BurstyLoad final : public LoadModel {
+ public:
+  struct Params {
+    double idle_load = 0.1;
+    double busy_load = 4.0;
+    double p_idle_to_busy = 0.05;  ///< per-slot transition probability
+    double p_busy_to_idle = 0.15;
+    Seconds slot{1.0};
+    bool start_busy = false;
+  };
+  BurstyLoad(Params params, std::uint64_t seed);
+  [[nodiscard]] double load_at(Seconds t) const override;
+  [[nodiscard]] Seconds slot_width() const override { return params_.slot; }
+  [[nodiscard]] std::unique_ptr<LoadModel> clone() const override;
+
+ private:
+  bool slot_busy(std::size_t k) const;
+
+  Params params_;
+  std::uint64_t seed_;
+  mutable std::vector<char> cache_;  // 0 = idle, 1 = busy
+  mutable Rng rng_;
+};
+
+/// Replay of a recorded load trace at fixed sample spacing; the last sample
+/// extends to infinity, mirroring how NWS traces are replayed.
+class TraceLoad final : public LoadModel {
+ public:
+  TraceLoad(std::vector<double> samples, Seconds sample_spacing);
+  [[nodiscard]] double load_at(Seconds t) const override;
+  [[nodiscard]] Seconds slot_width() const override { return spacing_; }
+  [[nodiscard]] std::unique_ptr<LoadModel> clone() const override;
+
+ private:
+  std::vector<double> samples_;
+  Seconds spacing_;
+};
+
+/// Sum of component loads, clamped to [0, max_load].  Lets scenarios layer a
+/// diurnal baseline under bursty episodes plus a scripted step.
+class CompositeLoad final : public LoadModel {
+ public:
+  explicit CompositeLoad(std::vector<std::unique_ptr<LoadModel>> parts,
+                         double max_load = 64.0);
+  CompositeLoad(const CompositeLoad& other);
+  [[nodiscard]] double load_at(Seconds t) const override;
+  [[nodiscard]] Seconds slot_width() const override;
+  [[nodiscard]] std::unique_ptr<LoadModel> clone() const override;
+
+ private:
+  std::vector<std::unique_ptr<LoadModel>> parts_;
+  double max_load_;
+};
+
+/// Processor-sharing speed fraction for a node with `cores` cores running
+/// one of our tasks against external load `load`.
+[[nodiscard]] inline double sharing_fraction(double cores, double load) {
+  const double competitors = std::max(0.0, load) + 1.0;
+  if (competitors <= cores) return 1.0;
+  return cores / competitors;
+}
+
+}  // namespace grasp::gridsim

@@ -1,0 +1,168 @@
+#include "gridsim/scenarios.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace grasp::gridsim {
+
+const char* to_string(Dynamics d) {
+  switch (d) {
+    case Dynamics::None: return "none";
+    case Dynamics::Stable: return "stable";
+    case Dynamics::Walk: return "walk";
+    case Dynamics::Bursty: return "bursty";
+    case Dynamics::Diurnal: return "diurnal";
+    case Dynamics::Mixed: return "mixed";
+  }
+  return "unknown";
+}
+
+Dynamics dynamics_from_string(const std::string& name) {
+  if (name == "none") return Dynamics::None;
+  if (name == "stable") return Dynamics::Stable;
+  if (name == "walk") return Dynamics::Walk;
+  if (name == "bursty") return Dynamics::Bursty;
+  if (name == "diurnal") return Dynamics::Diurnal;
+  if (name == "mixed") return Dynamics::Mixed;
+  throw std::invalid_argument("unknown dynamics: " + name);
+}
+
+Grid make_uniform_grid(std::size_t node_count, double speed_mops) {
+  GridBuilder builder;
+  const SiteId site = builder.add_site("cluster");
+  for (std::size_t i = 0; i < node_count; ++i)
+    builder.add_node(site, speed_mops);
+  return builder.build();
+}
+
+namespace {
+
+std::unique_ptr<LoadModel> make_dynamics(Dynamics kind, double scale,
+                                         Rng& rng, std::size_t node_index) {
+  switch (kind) {
+    case Dynamics::None:
+      return std::make_unique<ConstantLoad>(0.0);
+    case Dynamics::Stable:
+      return std::make_unique<ConstantLoad>(scale * rng.uniform(0.0, 0.5));
+    case Dynamics::Walk: {
+      RandomWalkLoad::Params p;
+      p.initial = rng.uniform(0.0, scale);
+      p.mean = scale * rng.uniform(0.3, 0.9);
+      p.reversion = 0.08;
+      p.step_stddev = 0.25 * scale;
+      p.max_load = 8.0 * scale;
+      p.slot = Seconds{1.0};
+      return std::make_unique<RandomWalkLoad>(p, rng.next());
+    }
+    case Dynamics::Bursty: {
+      BurstyLoad::Params p;
+      p.idle_load = 0.05 * scale;
+      p.busy_load = rng.uniform(2.0, 6.0) * scale;
+      p.p_idle_to_busy = 0.02;
+      p.p_busy_to_idle = 0.10;
+      p.slot = Seconds{1.0};
+      p.start_busy = rng.bernoulli(0.15);
+      return std::make_unique<BurstyLoad>(p, rng.next());
+    }
+    case Dynamics::Diurnal: {
+      // Period shortened from 24 h to a simulation-friendly 600 s; the
+      // phase spread keeps sites from peaking simultaneously.
+      const double phase = 600.0 * static_cast<double>(node_index % 7) / 7.0;
+      return std::make_unique<DiurnalLoad>(0.8 * scale, 0.8 * scale,
+                                           Seconds{600.0}, Seconds{phase});
+    }
+    case Dynamics::Mixed: {
+      std::vector<std::unique_ptr<LoadModel>> parts;
+      parts.push_back(make_dynamics(Dynamics::Walk, 0.5 * scale, rng, node_index));
+      parts.push_back(make_dynamics(Dynamics::Bursty, 0.7 * scale, rng, node_index));
+      parts.push_back(
+          make_dynamics(Dynamics::Diurnal, 0.4 * scale, rng, node_index));
+      return std::make_unique<CompositeLoad>(std::move(parts));
+    }
+  }
+  return std::make_unique<ConstantLoad>(0.0);
+}
+
+}  // namespace
+
+Grid make_grid(const ScenarioParams& params) {
+  if (params.node_count == 0)
+    throw std::invalid_argument("make_grid: node_count must be positive");
+  if (params.sites == 0)
+    throw std::invalid_argument("make_grid: sites must be positive");
+  if (params.min_speed_mops <= 0.0 ||
+      params.max_speed_mops < params.min_speed_mops)
+    throw std::invalid_argument("make_grid: bad speed range");
+
+  Rng rng(params.seed);
+  GridBuilder builder;
+  std::vector<SiteId> sites;
+  sites.reserve(params.sites);
+  for (std::size_t s = 0; s < params.sites; ++s)
+    sites.push_back(builder.add_site("site" + std::to_string(s)));
+
+  // WAN links between sites: 20 ms, 12.5 MB/s, mild random-walk contention.
+  for (std::size_t a = 0; a < sites.size(); ++a) {
+    for (std::size_t b = a + 1; b < sites.size(); ++b) {
+      RandomWalkLoad::Params c;
+      c.initial = 0.3;
+      c.mean = 0.5;
+      c.reversion = 0.05;
+      c.step_stddev = 0.15;
+      c.max_load = 4.0;
+      c.slot = Seconds{2.0};
+      builder.set_inter_site_link(
+          sites[a], sites[b], Seconds{0.02}, BytesPerSecond{12.5e6},
+          std::make_unique<RandomWalkLoad>(c, rng.next()));
+    }
+  }
+
+  const double log_lo = std::log(params.min_speed_mops);
+  const double log_hi = std::log(params.max_speed_mops);
+  const auto swamped_count = static_cast<std::size_t>(
+      std::floor(params.swamped_fraction *
+                 static_cast<double>(params.node_count)));
+  for (std::size_t i = 0; i < params.node_count; ++i) {
+    const double speed = std::exp(rng.uniform(log_lo, log_hi));
+    std::unique_ptr<LoadModel> load;
+    if (i < swamped_count) {
+      // Swamped member: permanently buried under external work.
+      load = std::make_unique<ConstantLoad>(rng.uniform(15.0, 30.0));
+    } else {
+      load = make_dynamics(params.dynamics, params.load_scale, rng, i);
+    }
+    builder.add_node(sites[i % sites.size()], speed, std::move(load));
+  }
+  return builder.build();
+}
+
+void inject_load_step_on(Grid& grid, NodeId node, Seconds at,
+                         double extra_load) {
+  NodeModel& n = grid.node(node);
+  // Keep the node's existing behaviour and add the scripted step on top.
+  std::vector<std::unique_ptr<LoadModel>> parts;
+  parts.push_back(n.load_model().clone());
+  parts.push_back(std::make_unique<StepLoad>(
+      std::vector<StepLoad::Segment>{{at, extra_load}}, 0.0));
+  n.set_load_model(std::make_unique<CompositeLoad>(std::move(parts)));
+}
+
+void inject_load_step(Grid& grid, double victim_fraction, Seconds at,
+                      double extra_load) {
+  if (victim_fraction <= 0.0) return;
+  std::vector<NodeId> by_speed = grid.node_ids();
+  std::sort(by_speed.begin(), by_speed.end(), [&](NodeId a, NodeId b) {
+    return grid.node(a).base_speed_mops() < grid.node(b).base_speed_mops();
+  });
+  const auto victims = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(
+             victim_fraction * static_cast<double>(by_speed.size()))));
+  for (std::size_t i = 0; i < victims && i < by_speed.size(); ++i)
+    inject_load_step_on(grid, by_speed[i], at, extra_load);
+}
+
+}  // namespace grasp::gridsim

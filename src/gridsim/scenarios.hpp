@@ -1,0 +1,64 @@
+// Canonical grid scenarios shared by tests, examples and benches.
+//
+// Each factory produces a fully specified Grid from a seed so every
+// experiment names its environment ("heterogeneous-32, mixed dynamics,
+// seed 7") instead of hand-rolling node lists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gridsim/grid.hpp"
+
+namespace grasp::gridsim {
+
+/// Kinds of background dynamics layered onto the scenario nodes.
+enum class Dynamics {
+  None,     ///< dedicated nodes, zero external load
+  Stable,   ///< small constant per-node loads (heterogeneity only)
+  Walk,     ///< mean-reverting random-walk load per node
+  Bursty,   ///< on/off batch episodes per node
+  Diurnal,  ///< slow sinusoidal load, phase-shifted per node
+  Mixed,    ///< walk + bursty + diurnal layered (the "real grid" case)
+};
+
+[[nodiscard]] const char* to_string(Dynamics d);
+[[nodiscard]] Dynamics dynamics_from_string(const std::string& name);
+
+struct ScenarioParams {
+  std::size_t node_count = 16;
+  std::size_t sites = 2;
+  double min_speed_mops = 50.0;   ///< slowest node class
+  double max_speed_mops = 400.0;  ///< fastest node class
+  Dynamics dynamics = Dynamics::Mixed;
+  double load_scale = 1.0;  ///< multiplies the dynamic-load intensity
+  /// Fraction of nodes that are "swamped": permanently carrying a heavy
+  /// external load (15-30 competitors).  Real grid pools contain such
+  /// nearly-useless members; they are what fittest-subset selection exists
+  /// to exclude.
+  double swamped_fraction = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Homogeneous dedicated cluster (the control case: no heterogeneity, no
+/// dynamism — adaptive and static schedules should coincide).
+[[nodiscard]] Grid make_uniform_grid(std::size_t node_count,
+                                     double speed_mops = 100.0);
+
+/// Heterogeneous multi-site grid with the requested dynamics.  Speeds are
+/// log-uniform in [min_speed, max_speed]; nodes are dealt round-robin across
+/// sites; inter-site links are WAN-class with mild contention.
+[[nodiscard]] Grid make_grid(const ScenarioParams& params);
+
+/// Inject a load step: from `at`, the `victims` slowest fraction of nodes
+/// (by base speed) gains `extra_load` competing processes on top of their
+/// existing model.  Mutates `grid` in place; used by the degradation
+/// experiments (E3, E4, E5).
+void inject_load_step(Grid& grid, double victim_fraction, Seconds at,
+                      double extra_load);
+
+/// Inject a load step on one specific node.
+void inject_load_step_on(Grid& grid, NodeId node, Seconds at,
+                         double extra_load);
+
+}  // namespace grasp::gridsim

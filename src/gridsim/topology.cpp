@@ -1,0 +1,56 @@
+#include "gridsim/topology.hpp"
+
+#include <stdexcept>
+
+namespace grasp::gridsim {
+
+namespace {
+LinkModel default_inter_link() {
+  LinkModel::Params p;
+  p.id = LinkId{0};
+  p.latency = Seconds{0.01};            // 10 ms WAN
+  p.bandwidth = BytesPerSecond{10e6};   // 10 MB/s shared WAN path
+  return LinkModel(std::move(p));
+}
+}  // namespace
+
+Topology::Topology() : default_inter_(default_inter_link()) {}
+
+SiteId Topology::add_site(std::string name, LinkModel intra_link) {
+  const SiteId id{static_cast<std::uint64_t>(sites_.size())};
+  sites_.push_back(Site{id, std::move(name)});
+  intra_links_.push_back(std::move(intra_link));
+  return id;
+}
+
+void Topology::set_inter_site_link(SiteId a, SiteId b, LinkModel link) {
+  if (a == b)
+    throw std::invalid_argument("Topology: inter-site link needs two sites");
+  inter_links_.insert_or_assign(ordered(a, b), std::move(link));
+}
+
+void Topology::set_default_inter_site_link(LinkModel link) {
+  default_inter_ = std::move(link);
+}
+
+const Site& Topology::site(SiteId id) const {
+  if (id.value >= sites_.size())
+    throw std::out_of_range("Topology: unknown site");
+  return sites_[id.value];
+}
+
+const LinkModel& Topology::link(SiteId a, SiteId b) const {
+  if (a.value >= sites_.size() || b.value >= sites_.size())
+    throw std::out_of_range("Topology: unknown site in link query");
+  if (a == b) return intra_links_[a.value];
+  const auto it = inter_links_.find(ordered(a, b));
+  if (it != inter_links_.end()) return it->second;
+  return default_inter_;
+}
+
+Topology::SitePair Topology::ordered(SiteId a, SiteId b) {
+  return a.value < b.value ? SitePair{a.value, b.value}
+                           : SitePair{b.value, a.value};
+}
+
+}  // namespace grasp::gridsim

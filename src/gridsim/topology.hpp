@@ -1,0 +1,53 @@
+// Multi-site grid topology.
+//
+// Computational grids are federations of clusters ("sites"): fast links
+// inside a site, slower shared links between sites.  The topology maps any
+// ordered pair of sites to the LinkModel that carries their traffic; the
+// skeletons see heterogeneous communication cost without knowing why.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gridsim/link_model.hpp"
+#include "support/ids.hpp"
+
+namespace grasp::gridsim {
+
+struct Site {
+  SiteId id;
+  std::string name;
+};
+
+class Topology {
+ public:
+  Topology();
+
+  /// Register a site with its intra-site link.  Returns the new SiteId.
+  SiteId add_site(std::string name, LinkModel intra_link);
+
+  /// Set the link used between two distinct sites (order-insensitive).
+  void set_inter_site_link(SiteId a, SiteId b, LinkModel link);
+
+  /// Fallback for inter-site pairs with no explicit link.
+  void set_default_inter_site_link(LinkModel link);
+
+  [[nodiscard]] const std::vector<Site>& sites() const { return sites_; }
+  [[nodiscard]] const Site& site(SiteId id) const;
+
+  /// Link carrying traffic between sites a and b (a == b: intra-site link).
+  [[nodiscard]] const LinkModel& link(SiteId a, SiteId b) const;
+
+ private:
+  using SitePair = std::pair<std::uint64_t, std::uint64_t>;
+  static SitePair ordered(SiteId a, SiteId b);
+
+  std::vector<Site> sites_;
+  std::vector<LinkModel> intra_links_;  // indexed by SiteId value
+  std::map<SitePair, LinkModel> inter_links_;
+  LinkModel default_inter_;
+};
+
+}  // namespace grasp::gridsim

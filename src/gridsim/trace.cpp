@@ -1,0 +1,91 @@
+#include "gridsim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace grasp::gridsim {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::TaskDispatched: return "task_dispatched";
+    case TraceEventKind::TaskCompleted: return "task_completed";
+    case TraceEventKind::TaskReissued: return "task_reissued";
+    case TraceEventKind::CalibrationStarted: return "calibration_started";
+    case TraceEventKind::CalibrationFinished: return "calibration_finished";
+    case TraceEventKind::RecalibrationTriggered:
+      return "recalibration_triggered";
+    case TraceEventKind::NodeSwapped: return "node_swapped";
+    case TraceEventKind::StageRemapped: return "stage_remapped";
+    case TraceEventKind::StageReplicated: return "stage_replicated";
+    case TraceEventKind::ChunkResized: return "chunk_resized";
+    case TraceEventKind::ItemCompleted: return "item_completed";
+  }
+  return "unknown";
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceRecorder::count(TraceEventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::vector<double> TraceRecorder::throughput_series(Seconds bucket,
+                                                     Seconds horizon) const {
+  const auto buckets = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(horizon.value / bucket.value)));
+  std::vector<double> series(buckets, 0.0);
+  for (const auto& e : events_) {
+    if (e.kind != TraceEventKind::TaskCompleted &&
+        e.kind != TraceEventKind::ItemCompleted)
+      continue;
+    auto idx = static_cast<std::size_t>(e.at.value / bucket.value);
+    if (idx >= buckets) idx = buckets - 1;
+    series[idx] += 1.0;
+  }
+  return series;
+}
+
+std::vector<double> TraceRecorder::node_busy_fraction(std::size_t node_count,
+                                                      Seconds horizon) const {
+  std::vector<double> busy(node_count, 0.0);
+  std::unordered_map<std::uint64_t, Seconds> open;  // task id -> dispatch time
+  for (const auto& e : events_) {
+    if (e.kind == TraceEventKind::TaskDispatched) {
+      open[e.task.value] = e.at;
+    } else if (e.kind == TraceEventKind::TaskCompleted) {
+      const auto it = open.find(e.task.value);
+      if (it == open.end()) continue;
+      if (e.node.is_valid() && e.node.value < node_count)
+        busy[e.node.value] += (e.at - it->second).value;
+      open.erase(it);
+    }
+  }
+  if (horizon.value > 0.0)
+    for (auto& b : busy) b /= horizon.value;
+  return busy;
+}
+
+std::vector<Seconds> TraceRecorder::adaptation_times() const {
+  std::vector<Seconds> times;
+  for (const auto& e : events_) {
+    switch (e.kind) {
+      case TraceEventKind::RecalibrationTriggered:
+      case TraceEventKind::NodeSwapped:
+      case TraceEventKind::StageRemapped:
+      case TraceEventKind::StageReplicated:
+      case TraceEventKind::ChunkResized:
+        times.push_back(e.at);
+        break;
+      default:
+        break;
+    }
+  }
+  return times;
+}
+
+}  // namespace grasp::gridsim

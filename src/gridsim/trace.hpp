@@ -1,0 +1,70 @@
+// Execution trace recording and post-hoc analysis.
+//
+// Skeleton runs emit a stream of timestamped events (task dispatch and
+// completion, calibration rounds, adaptation actions).  The recorder stores
+// them and derives the series the experiments plot: throughput over time,
+// per-node utilisation, adaptation timelines.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace grasp::gridsim {
+
+enum class TraceEventKind {
+  TaskDispatched,
+  TaskCompleted,
+  TaskReissued,
+  CalibrationStarted,
+  CalibrationFinished,
+  RecalibrationTriggered,
+  NodeSwapped,
+  StageRemapped,
+  StageReplicated,
+  ChunkResized,
+  ItemCompleted,  // pipeline sink
+};
+
+[[nodiscard]] const char* to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  Seconds at;
+  TraceEventKind kind;
+  NodeId node;      ///< involved node, if any
+  TaskId task;      ///< involved task/item, if any
+  double value{0};  ///< kind-specific payload (e.g. observed time, chunk)
+  std::string note;
+};
+
+class TraceRecorder {
+ public:
+  void record(TraceEvent event);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t count(TraceEventKind kind) const;
+
+  /// Completions per bucket of width `bucket` from 0 to `horizon`
+  /// (TaskCompleted + ItemCompleted).  The throughput-over-time figure.
+  [[nodiscard]] std::vector<double> throughput_series(Seconds bucket,
+                                                      Seconds horizon) const;
+
+  /// Busy fraction per node over [0, horizon]: sum of (complete - dispatch)
+  /// per node divided by horizon.  Pairs dispatch/completion by task id.
+  [[nodiscard]] std::vector<double> node_busy_fraction(
+      std::size_t node_count, Seconds horizon) const;
+
+  /// Times of adaptation actions (recalibrations, swaps, remaps, resizes).
+  [[nodiscard]] std::vector<Seconds> adaptation_times() const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace grasp::gridsim

@@ -1,0 +1,180 @@
+#include "mp/communicator.hpp"
+
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace grasp::mp {
+
+namespace {
+// Distinct internal tags per collective so consecutive different
+// collectives cannot cross-match.
+constexpr int kTagBarrierUp = kInternalTagBase + 0;
+constexpr int kTagBarrierDown = kInternalTagBase + 1;
+constexpr int kTagBroadcast = kInternalTagBase + 2;
+constexpr int kTagGather = kInternalTagBase + 3;
+constexpr int kTagScatter = kInternalTagBase + 4;
+constexpr int kTagReduce = kInternalTagBase + 5;
+}  // namespace
+
+Comm::Comm(World& world, int rank) : world_(&world), rank_(rank) {
+  if (rank < 0 || rank >= world.size())
+    throw std::out_of_range("Comm: rank outside world");
+}
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
+  if (dest < 0 || dest >= size())
+    throw std::out_of_range("Comm::send: bad destination rank");
+  if (tag < 0) throw std::invalid_argument("Comm::send: negative tag");
+  if (const auto& hook = world_->send_hook(); hook)
+    hook(rank_, dest, payload.size());
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload = std::move(payload);
+  world_->mailbox(dest).deliver(std::move(msg));
+}
+
+Message Comm::recv(int source, int tag) {
+  return world_->mailbox(rank_).receive(source, tag);
+}
+
+std::optional<Message> Comm::try_recv(int source, int tag) {
+  return world_->mailbox(rank_).try_receive(source, tag);
+}
+
+void Comm::barrier() {
+  // Linear fan-in to rank 0, then fan-out.
+  constexpr int root = 0;
+  if (rank_ == root) {
+    for (int r = 1; r < size(); ++r)
+      (void)world_->mailbox(root).receive(kAnySource, kTagBarrierUp);
+    for (int r = 1; r < size(); ++r) {
+      Message msg;
+      msg.source = root;
+      msg.tag = kTagBarrierDown;
+      world_->mailbox(r).deliver(std::move(msg));
+    }
+  } else {
+    Message up;
+    up.source = rank_;
+    up.tag = kTagBarrierUp;
+    world_->mailbox(root).deliver(std::move(up));
+    (void)world_->mailbox(rank_).receive(root, kTagBarrierDown);
+  }
+}
+
+double Comm::broadcast(double value, int root) {
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      Message msg;
+      msg.source = rank_;
+      msg.tag = kTagBroadcast;
+      msg.payload = Message::pack(value);
+      world_->mailbox(r).deliver(std::move(msg));
+    }
+    return value;
+  }
+  return world_->mailbox(rank_).receive(root, kTagBroadcast).unpack<double>();
+}
+
+std::vector<double> Comm::gather(double value, int root) {
+  if (rank_ == root) {
+    std::vector<double> all(static_cast<std::size_t>(size()), 0.0);
+    all[static_cast<std::size_t>(root)] = value;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      const Message msg = world_->mailbox(rank_).receive(r, kTagGather);
+      all[static_cast<std::size_t>(r)] = msg.unpack<double>();
+    }
+    return all;
+  }
+  Message msg;
+  msg.source = rank_;
+  msg.tag = kTagGather;
+  msg.payload = Message::pack(value);
+  world_->mailbox(root).deliver(std::move(msg));
+  return {};
+}
+
+double Comm::scatter(const std::vector<double>& values, int root) {
+  if (rank_ == root) {
+    if (values.size() != static_cast<std::size_t>(size()))
+      throw std::invalid_argument("Comm::scatter: need one value per rank");
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      Message msg;
+      msg.source = rank_;
+      msg.tag = kTagScatter;
+      msg.payload = Message::pack(values[static_cast<std::size_t>(r)]);
+      world_->mailbox(r).deliver(std::move(msg));
+    }
+    return values[static_cast<std::size_t>(root)];
+  }
+  return world_->mailbox(rank_).receive(root, kTagScatter).unpack<double>();
+}
+
+double Comm::reduce(double value,
+                    const std::function<double(double, double)>& op,
+                    int root) {
+  if (rank_ == root) {
+    double acc = value;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      const Message msg = world_->mailbox(rank_).receive(r, kTagReduce);
+      acc = op(acc, msg.unpack<double>());
+    }
+    return acc;
+  }
+  Message msg;
+  msg.source = rank_;
+  msg.tag = kTagReduce;
+  msg.payload = Message::pack(value);
+  world_->mailbox(root).deliver(std::move(msg));
+  return 0.0;
+}
+
+double Comm::allreduce(double value,
+                       const std::function<double(double, double)>& op) {
+  const double reduced = reduce(value, op, 0);
+  return broadcast(rank_ == 0 ? reduced : 0.0, 0);
+}
+
+World::World(int size) {
+  if (size <= 0) throw std::invalid_argument("World: size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+Mailbox& World::mailbox(int rank) {
+  if (rank < 0 || rank >= size())
+    throw std::out_of_range("World: bad rank");
+  return *mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+void World::run(const std::function<void(Comm&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size()));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (int r = 0; r < size(); ++r) {
+    threads.emplace_back([this, r, &body, &first_error, &error_mutex] {
+      try {
+        Comm comm(*this, r);
+        body(comm);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace grasp::mp

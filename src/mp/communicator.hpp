@@ -1,0 +1,117 @@
+// Communicator: the rank-centric API the skeletons program against.
+//
+// A `World` owns one mailbox per rank; each participating thread holds a
+// `Comm` (its rank plus a handle on the world) exposing MPI-flavoured
+// point-to-point operations and collectives.  Collectives are built from
+// point-to-point messages with reserved tags, so user tags never collide
+// with internal traffic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mp/message.hpp"
+
+namespace grasp::mp {
+
+class World;
+
+/// Per-rank communication handle.  Cheap to copy; all state lives in World.
+class Comm {
+ public:
+  Comm(World& world, int rank);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  // ------------------------------------------------------------- pt2pt
+  /// Send a raw payload to `dest` with `tag` (asynchronous, never blocks).
+  void send(int dest, int tag, std::vector<std::byte> payload);
+
+  /// Send a trivially copyable value.
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    send(dest, tag, Message::pack(value));
+  }
+
+  template <typename T>
+  void send_vector(int dest, int tag, const std::vector<T>& values) {
+    send(dest, tag, Message::pack_vector(values));
+  }
+
+  /// Blocking receive with wildcard support.
+  [[nodiscard]] Message recv(int source = kAnySource, int tag = kAnyTag);
+
+  template <typename T>
+  [[nodiscard]] T recv_value(int source = kAnySource, int tag = kAnyTag) {
+    return recv(source, tag).template unpack<T>();
+  }
+
+  [[nodiscard]] std::optional<Message> try_recv(int source = kAnySource,
+                                                int tag = kAnyTag);
+
+  // -------------------------------------------------------- collectives
+  // All ranks must call each collective in the same order.  `root`
+  // defaults to 0.  Implementations are linear in world size: correct and
+  // simple; the pools here are tens of ranks.
+
+  /// Synchronise all ranks.
+  void barrier();
+
+  /// Root's value is distributed to every rank; all ranks return it.
+  [[nodiscard]] double broadcast(double value, int root = 0);
+
+  /// Every rank contributes one double; root returns all (by rank order),
+  /// non-roots return an empty vector.
+  [[nodiscard]] std::vector<double> gather(double value, int root = 0);
+
+  /// Root supplies one value per rank; every rank returns its own.
+  [[nodiscard]] double scatter(const std::vector<double>& values,
+                               int root = 0);
+
+  /// Reduce with a binary op; result valid on root only (0 elsewhere).
+  [[nodiscard]] double reduce(double value,
+                              const std::function<double(double, double)>& op,
+                              int root = 0);
+
+  /// Reduce + broadcast.
+  [[nodiscard]] double allreduce(
+      double value, const std::function<double(double, double)>& op);
+
+ private:
+  World* world_;
+  int rank_;
+};
+
+/// Shared state: mailbox per rank, optional transfer-cost hook.
+class World {
+ public:
+  explicit World(int size);
+
+  [[nodiscard]] int size() const { return static_cast<int>(mailboxes_.size()); }
+  [[nodiscard]] Mailbox& mailbox(int rank);
+
+  /// Construct the Comm handle for `rank`.
+  [[nodiscard]] Comm comm(int rank) { return Comm(*this, rank); }
+
+  /// Optional hook invoked on every send with (source, dest, bytes);
+  /// the threaded backend uses it to charge transfer costs (sleep) or to
+  /// account traffic.  Called on the sender's thread before delivery.
+  using SendHook = std::function<void(int, int, std::size_t)>;
+  void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
+  [[nodiscard]] const SendHook& send_hook() const { return send_hook_; }
+
+  /// Run `body(comm)` on `size` threads, one per rank; joins them all.
+  /// Exceptions thrown by any rank are rethrown (first rank wins).
+  void run(const std::function<void(Comm&)>& body);
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  SendHook send_hook_;
+};
+
+/// Tags >= kInternalTagBase are reserved for collectives.
+inline constexpr int kInternalTagBase = 1 << 28;
+
+}  // namespace grasp::mp

@@ -1,0 +1,46 @@
+#include "mp/message.hpp"
+
+#include <algorithm>
+
+namespace grasp::mp {
+
+void Mailbox::deliver(Message msg) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::receive(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto it = std::find_if(
+        queue_.begin(), queue_.end(),
+        [&](const Message& m) { return matches(m, source, tag); });
+    if (it != queue_.end()) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::try_receive(int source, int tag) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it =
+      std::find_if(queue_.begin(), queue_.end(),
+                   [&](const Message& m) { return matches(m, source, tag); });
+  if (it == queue_.end()) return std::nullopt;
+  Message msg = std::move(*it);
+  queue_.erase(it);
+  return msg;
+}
+
+std::size_t Mailbox::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace grasp::mp

@@ -1,0 +1,107 @@
+// Message and mailbox primitives for the in-process parallel environment.
+//
+// GRASP's published prototype ran on MPI across grid middleware; here the
+// same role — node initialisation, point-to-point data movement, collective
+// synchronisation — is played by an in-process runtime whose ranks are
+// threads.  Messages are byte buffers with a tag, exactly the envelope MPI
+// gives us, so skeleton code written against this API has the structure of
+// the original.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace grasp::mp {
+
+/// Wildcards for receive matching (mirrors MPI_ANY_SOURCE / MPI_ANY_TAG).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int source = kAnySource;
+  int tag = 0;
+  std::vector<std::byte> payload;
+
+  /// Serialise a trivially copyable value into a payload.
+  template <typename T>
+  static std::vector<std::byte> pack(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "pack requires a trivially copyable type");
+    std::vector<std::byte> bytes(sizeof(T));
+    std::memcpy(bytes.data(), &value, sizeof(T));
+    return bytes;
+  }
+
+  /// Deserialise; throws std::runtime_error on size mismatch.
+  template <typename T>
+  [[nodiscard]] T unpack() const {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "unpack requires a trivially copyable type");
+    if (payload.size() != sizeof(T))
+      throw std::runtime_error("Message::unpack: size mismatch");
+    T value;
+    std::memcpy(&value, payload.data(), sizeof(T));
+    return value;
+  }
+
+  /// Serialise a vector of trivially copyable elements.
+  template <typename T>
+  static std::vector<std::byte> pack_vector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(values.size() * sizeof(T));
+    if (!values.empty())
+      std::memcpy(bytes.data(), values.data(), bytes.size());
+    return bytes;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> unpack_vector() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (payload.size() % sizeof(T) != 0)
+      throw std::runtime_error("Message::unpack_vector: size mismatch");
+    std::vector<T> values(payload.size() / sizeof(T));
+    if (!values.empty())
+      std::memcpy(values.data(), payload.data(), payload.size());
+    return values;
+  }
+};
+
+/// Thread-safe in-order mailbox with (source, tag) matching.
+class Mailbox {
+ public:
+  /// Enqueue a message and wake matching receivers.
+  void deliver(Message msg);
+
+  /// Block until a message matching (source, tag) arrives, then remove and
+  /// return it.  Wildcards kAnySource / kAnyTag match anything.  Among
+  /// matches, delivery order is preserved (no overtaking).
+  [[nodiscard]] Message receive(int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking variant; empty optional when nothing matches.
+  [[nodiscard]] std::optional<Message> try_receive(int source = kAnySource,
+                                                   int tag = kAnyTag);
+
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  [[nodiscard]] static bool matches(const Message& m, int source, int tag) {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace grasp::mp

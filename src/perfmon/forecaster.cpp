@@ -1,0 +1,121 @@
+#include "perfmon/forecaster.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "support/regression.hpp"
+
+namespace grasp::perfmon {
+
+SlidingMedianForecaster::SlidingMedianForecaster(std::size_t window)
+    : window_(window) {}
+
+void SlidingMedianForecaster::observe(Sample s) { window_.push(s.value); }
+
+double SlidingMedianForecaster::forecast() const {
+  if (window_.empty()) return 0.0;
+  const std::vector<double> values = window_.to_vector();
+  return median(values);
+}
+
+std::unique_ptr<Forecaster> SlidingMedianForecaster::clone() const {
+  return std::make_unique<SlidingMedianForecaster>(*this);
+}
+
+Ar1Forecaster::Ar1Forecaster(std::size_t window) : window_(window) {}
+
+void Ar1Forecaster::observe(Sample s) { window_.push(s.value); }
+
+double Ar1Forecaster::forecast() const {
+  if (window_.empty()) return 0.0;
+  const std::size_t n = window_.size();
+  if (n < 4) return window_.back();
+  std::vector<double> xs, ys;
+  xs.reserve(n - 1);
+  ys.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    xs.push_back(window_[i]);
+    ys.push_back(window_[i + 1]);
+  }
+  const UnivariateFit fit = fit_univariate(xs, ys);
+  const double predicted = fit.predict(window_.back());
+  // A wildly unstable fit (|b| >> 1) extrapolates nonsense; clamp to the
+  // observed range, which keeps the forecaster safe under constant series.
+  const std::vector<double> values = window_.to_vector();
+  const double lo = min_value(values);
+  const double hi = max_value(values);
+  if (predicted < lo) return lo;
+  if (predicted > hi) return hi;
+  return predicted;
+}
+
+std::unique_ptr<Forecaster> Ar1Forecaster::clone() const {
+  return std::make_unique<Ar1Forecaster>(*this);
+}
+
+MetaForecaster::MetaForecaster(std::size_t error_window) {
+  for (const char* member :
+       {"last_value", "running_mean", "sliding_median", "ewma", "ar1"})
+    members_.emplace_back(make_forecaster(member), error_window);
+}
+
+void MetaForecaster::observe(Sample s) {
+  for (auto& m : members_) {
+    // Score the member's prediction of this sample before updating it.
+    if (seeded_) m.abs_errors.push(std::abs(m.forecaster->forecast() - s.value));
+    m.forecaster->observe(s);
+  }
+  seeded_ = true;
+}
+
+std::size_t MetaForecaster::best_index() const {
+  std::size_t best = 0;
+  double best_error = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const auto errors = members_[i].abs_errors.to_vector();
+    // Until errors accumulate, prefer the earliest member (last_value).
+    const double score = errors.empty() ? 0.0 : mean(errors);
+    if (score < best_error) {
+      best_error = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double MetaForecaster::forecast() const {
+  if (members_.empty()) return 0.0;
+  return members_[best_index()].forecaster->forecast();
+}
+
+std::string MetaForecaster::current_best() const {
+  return members_[best_index()].forecaster->name();
+}
+
+std::unique_ptr<Forecaster> MetaForecaster::clone() const {
+  auto copy = std::make_unique<MetaForecaster>();
+  copy->members_.clear();
+  for (const auto& m : members_) {
+    Member cloned(m.forecaster->clone(), m.abs_errors.capacity());
+    for (std::size_t i = 0; i < m.abs_errors.size(); ++i)
+      cloned.abs_errors.push(m.abs_errors[i]);
+    copy->members_.push_back(std::move(cloned));
+  }
+  copy->seeded_ = seeded_;
+  return copy;
+}
+
+std::unique_ptr<Forecaster> make_forecaster(const std::string& name) {
+  if (name == "last_value") return std::make_unique<LastValueForecaster>();
+  if (name == "running_mean") return std::make_unique<RunningMeanForecaster>();
+  if (name == "sliding_median")
+    return std::make_unique<SlidingMedianForecaster>();
+  if (name == "ewma") return std::make_unique<EwmaForecaster>();
+  if (name == "ar1") return std::make_unique<Ar1Forecaster>();
+  if (name == "meta") return std::make_unique<MetaForecaster>();
+  throw std::invalid_argument("make_forecaster: unknown forecaster " + name);
+}
+
+}  // namespace grasp::perfmon

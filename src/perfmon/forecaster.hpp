@@ -1,0 +1,136 @@
+// Time-series forecasters in the Network Weather Service tradition.
+//
+// Calibration ranks nodes by *extrapolated* performance; the execution
+// monitor predicts near-future load from recent samples.  Each forecaster
+// consumes an observation stream and answers "what will the next value be?".
+// The set mirrors the NWS family: last value, running mean, sliding median,
+// exponential smoothing, and an AR(1) fit for trend-following.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "perfmon/sensor.hpp"
+#include "support/ring_buffer.hpp"
+#include "support/stats.hpp"
+
+namespace grasp::perfmon {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  virtual void observe(Sample s) = 0;
+  /// Predicted next value; implementations return 0 before any observation.
+  [[nodiscard]] virtual double forecast() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Forecaster> clone() const = 0;
+};
+
+/// Predicts the most recent observation (NWS "last value").
+class LastValueForecaster final : public Forecaster {
+ public:
+  void observe(Sample s) override { last_ = s.value; }
+  [[nodiscard]] double forecast() const override { return last_; }
+  [[nodiscard]] std::string name() const override { return "last_value"; }
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override {
+    return std::make_unique<LastValueForecaster>(*this);
+  }
+
+ private:
+  double last_ = 0.0;
+};
+
+/// Predicts the mean of all observations so far.
+class RunningMeanForecaster final : public Forecaster {
+ public:
+  void observe(Sample s) override { stats_.add(s.value); }
+  [[nodiscard]] double forecast() const override { return stats_.mean(); }
+  [[nodiscard]] std::string name() const override { return "running_mean"; }
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override {
+    return std::make_unique<RunningMeanForecaster>(*this);
+  }
+
+ private:
+  OnlineStats stats_;
+};
+
+/// Predicts the median of a sliding window (robust to bursts).
+class SlidingMedianForecaster final : public Forecaster {
+ public:
+  explicit SlidingMedianForecaster(std::size_t window = 16);
+  void observe(Sample s) override;
+  [[nodiscard]] double forecast() const override;
+  [[nodiscard]] std::string name() const override { return "sliding_median"; }
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override;
+
+ private:
+  RingBuffer<double> window_;
+};
+
+/// Exponentially smoothed prediction.
+class EwmaForecaster final : public Forecaster {
+ public:
+  explicit EwmaForecaster(double alpha = 0.3) : ewma_(alpha) {}
+  void observe(Sample s) override { ewma_.add(s.value); }
+  [[nodiscard]] double forecast() const override { return ewma_.value(); }
+  [[nodiscard]] std::string name() const override { return "ewma"; }
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override {
+    return std::make_unique<EwmaForecaster>(*this);
+  }
+
+ private:
+  Ewma ewma_;
+};
+
+/// AR(1): fits x_{k+1} = a + b x_k over a sliding window and extrapolates
+/// one step ahead.  Falls back to last-value until the window has enough
+/// points for a stable fit.
+class Ar1Forecaster final : public Forecaster {
+ public:
+  explicit Ar1Forecaster(std::size_t window = 32);
+  void observe(Sample s) override;
+  [[nodiscard]] double forecast() const override;
+  [[nodiscard]] std::string name() const override { return "ar1"; }
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override;
+
+ private:
+  RingBuffer<double> window_;
+};
+
+/// NWS-style adaptive predictor selection: runs the whole forecaster family
+/// in parallel on the observation stream, tracks each member's recent
+/// absolute one-step error (sliding window), and answers with the current
+/// best member's forecast.  This is the Network Weather Service's
+/// "dynamic predictor choice" idea; it costs one extra comparison per
+/// observation and removes the need to pick a forecaster per load regime.
+class MetaForecaster final : public Forecaster {
+ public:
+  explicit MetaForecaster(std::size_t error_window = 32);
+  void observe(Sample s) override;
+  [[nodiscard]] double forecast() const override;
+  [[nodiscard]] std::string name() const override { return "meta"; }
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override;
+
+  /// Name of the member currently trusted (for diagnostics).
+  [[nodiscard]] std::string current_best() const;
+
+ private:
+  struct Member {
+    std::unique_ptr<Forecaster> forecaster;
+    RingBuffer<double> abs_errors;
+    Member(std::unique_ptr<Forecaster> f, std::size_t window)
+        : forecaster(std::move(f)), abs_errors(window) {}
+  };
+  [[nodiscard]] std::size_t best_index() const;
+
+  std::vector<Member> members_;
+  bool seeded_ = false;
+};
+
+/// Factory: "last_value" | "running_mean" | "sliding_median" | "ewma" |
+/// "ar1" | "meta".  Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<Forecaster> make_forecaster(
+    const std::string& name);
+
+}  // namespace grasp::perfmon

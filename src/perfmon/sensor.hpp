@@ -1,0 +1,67 @@
+// Resource sensors: how GRASP observes the grid.
+//
+// The paper assumes an NWS-style monitoring library reporting processor
+// load and bandwidth utilisation.  Our sensors sample the simulator's
+// ground truth through a configurable noise model, so experiments can study
+// calibration quality as observation fidelity degrades (perfect sensors are
+// noise_stddev = 0).
+#pragma once
+
+#include <cstdint>
+
+#include "gridsim/grid.hpp"
+#include "support/ids.hpp"
+#include "support/rng.hpp"
+
+namespace grasp::perfmon {
+
+/// One timestamped observation.
+struct Sample {
+  Seconds at;
+  double value = 0.0;
+};
+
+/// Observation noise: value' = max(0, value * (1 + eps_rel) + eps_abs) with
+/// both terms Gaussian.  Deterministic per seed.
+class NoiseModel {
+ public:
+  NoiseModel(double relative_stddev, double absolute_stddev,
+             std::uint64_t seed);
+
+  /// Perfect observation (no noise).
+  static NoiseModel none();
+
+  [[nodiscard]] double perturb(double value);
+
+ private:
+  double relative_stddev_;
+  double absolute_stddev_;
+  Rng rng_;
+};
+
+/// Samples the external CPU load of grid nodes.
+class CpuLoadSensor {
+ public:
+  CpuLoadSensor(const gridsim::Grid& grid, NoiseModel noise);
+
+  [[nodiscard]] Sample sample(NodeId node, Seconds t);
+
+ private:
+  const gridsim::Grid* grid_;
+  NoiseModel noise_;
+};
+
+/// Samples the effective bandwidth (bytes/s) between two nodes.  For a node
+/// paired with itself the loopback is reported as a large constant.
+class BandwidthSensor {
+ public:
+  BandwidthSensor(const gridsim::Grid& grid, NoiseModel noise);
+
+  [[nodiscard]] Sample sample(NodeId from, NodeId to, Seconds t);
+
+ private:
+  const gridsim::Grid* grid_;
+  NoiseModel noise_;
+};
+
+}  // namespace grasp::perfmon

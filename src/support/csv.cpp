@@ -1,0 +1,43 @@
+#include "support/csv.hpp"
+
+#include <stdexcept>
+
+namespace grasp {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (header.empty())
+    throw std::invalid_argument("CsvWriter: header must not be empty");
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != width_)
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  write_row(cells);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out_ << escape(cells[i]);
+    if (i + 1 < cells.size()) out_ << ',';
+  }
+  out_ << '\n';
+}
+
+}  // namespace grasp

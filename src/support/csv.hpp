@@ -1,0 +1,33 @@
+// Minimal CSV emission for experiment series (figure data).
+//
+// Bench binaries print human-readable tables to stdout and, when asked,
+// write the underlying series as CSV so figures can be re-plotted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace grasp {
+
+/// Streams rows to a CSV file.  Fields containing commas, quotes or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  /// Throws std::runtime_error when the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Quote a single field if needed (exposed for testing).
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace grasp

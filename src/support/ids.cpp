@@ -1,0 +1,29 @@
+#include "support/ids.hpp"
+
+#include <ostream>
+
+namespace grasp {
+
+std::ostream& operator<<(std::ostream& os, NodeId id) {
+  if (!id.is_valid()) return os << "node(<invalid>)";
+  return os << "node(" << id.value << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, TaskId id) {
+  if (!id.is_valid()) return os << "task(<invalid>)";
+  return os << "task(" << id.value << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, Seconds s) {
+  return os << s.value << "s";
+}
+
+std::ostream& operator<<(std::ostream& os, Bytes b) {
+  return os << b.value << "B";
+}
+
+std::ostream& operator<<(std::ostream& os, Mops m) {
+  return os << m.value << "Mops";
+}
+
+}  // namespace grasp

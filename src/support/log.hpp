@@ -1,0 +1,59 @@
+// Leveled logging with a process-global threshold.
+//
+// The skeletons log adaptation decisions (recalibrations, node swaps, stage
+// remaps) at Info; the simulator logs event-level detail at Debug.  Tests
+// and benches run at Warn by default to keep output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace grasp {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-global log threshold (not thread-safe to *change* mid-run; set it
+/// once at startup).
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+namespace detail {
+/// Builds the message lazily: the stream body only runs when enabled.
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)),
+        enabled_(level >= log_level()) {}
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+  ~LogStatement() {
+    if (enabled_) log_line(level_, component_, stream_.str());
+  }
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace grasp
+
+#define GRASP_LOG_DEBUG(component) \
+  ::grasp::detail::LogStatement(::grasp::LogLevel::Debug, component)
+#define GRASP_LOG_INFO(component) \
+  ::grasp::detail::LogStatement(::grasp::LogLevel::Info, component)
+#define GRASP_LOG_WARN(component) \
+  ::grasp::detail::LogStatement(::grasp::LogLevel::Warn, component)
+#define GRASP_LOG_ERROR(component) \
+  ::grasp::detail::LogStatement(::grasp::LogLevel::Error, component)

@@ -1,0 +1,127 @@
+#include "support/regression.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/stats.hpp"
+
+namespace grasp {
+
+double MultivariateFit::predict(std::span<const double> x) const {
+  if (coefficients.empty()) return 0.0;
+  assert(x.size() + 1 == coefficients.size());
+  double y = coefficients[0];
+  for (std::size_t i = 0; i < x.size(); ++i) y += coefficients[i + 1] * x[i];
+  return y;
+}
+
+UnivariateFit fit_univariate(std::span<const double> xs,
+                             std::span<const double> ys) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("fit_univariate: size mismatch");
+  UnivariateFit fit;
+  fit.n = xs.size();
+  if (xs.size() < 2) {
+    fit.intercept = ys.empty() ? 0.0 : mean(ys);
+    return fit;
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+bool solve_linear_system(std::vector<double>& a, std::vector<double>& b,
+                         std::size_t n) {
+  assert(a.size() == n * n && b.size() == n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: bring the largest remaining entry to the diagonal.
+    std::size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(a[r * n + col]);
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double diag = a[col * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= factor * a[col * n + c];
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a[i * n + c] * b[c];
+    b[i] = acc / a[i * n + i];
+  }
+  return true;
+}
+
+MultivariateFit fit_multivariate(std::span<const std::vector<double>> rows,
+                                 std::span<const double> ys) {
+  MultivariateFit fit;
+  fit.n = rows.size();
+  if (rows.size() != ys.size())
+    throw std::invalid_argument("fit_multivariate: size mismatch");
+  if (rows.empty()) return fit;
+  const std::size_t k = rows.front().size();
+  for (const auto& r : rows)
+    if (r.size() != k)
+      throw std::invalid_argument("fit_multivariate: ragged feature rows");
+  const std::size_t p = k + 1;  // predictors + intercept
+  if (rows.size() < p) return fit;
+
+  // Normal equations: (X^T X) beta = X^T y, with X = [1 | features].
+  std::vector<double> xtx(p * p, 0.0);
+  std::vector<double> xty(p, 0.0);
+  std::vector<double> xrow(p, 1.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < k; ++j) xrow[j + 1] = rows[i][j];
+    for (std::size_t r = 0; r < p; ++r) {
+      xty[r] += xrow[r] * ys[i];
+      for (std::size_t c = 0; c < p; ++c) xtx[r * p + c] += xrow[r] * xrow[c];
+    }
+  }
+  if (!solve_linear_system(xtx, xty, p)) return fit;
+  fit.coefficients = std::move(xty);
+  fit.ok = true;
+
+  // R^2 = 1 - SS_res / SS_tot.
+  const double my = mean(ys);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double pred = fit.predict(rows[i]);
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - my) * (ys[i] - my);
+  }
+  fit.r_squared = (ss_tot == 0.0) ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace grasp

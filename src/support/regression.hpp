@@ -1,0 +1,55 @@
+// Ordinary least squares regression.
+//
+// GRASP's statistical calibration (Algorithm 1, "Adjust T statistically")
+// extrapolates node performance from execution time, processor load and
+// bandwidth utilisation using univariate and multivariate linear regression.
+// The problem sizes are tiny (observations = nodes or calibration samples,
+// predictors <= 3) so the normal-equations route with partially pivoted
+// Gaussian elimination is accurate enough and dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace grasp {
+
+/// Result of a simple (one predictor) linear regression y = a + b x.
+struct UnivariateFit {
+  double intercept = 0.0;  ///< a
+  double slope = 0.0;      ///< b
+  double r_squared = 0.0;  ///< coefficient of determination in [0, 1]
+  std::size_t n = 0;       ///< observations used
+
+  [[nodiscard]] double predict(double x) const { return intercept + slope * x; }
+};
+
+/// Result of a multiple linear regression y = b0 + b1 x1 + ... + bk xk.
+struct MultivariateFit {
+  std::vector<double> coefficients;  ///< [b0, b1, ..., bk]; b0 is intercept
+  double r_squared = 0.0;
+  std::size_t n = 0;
+  bool ok = false;  ///< false when the system was singular / underdetermined
+
+  /// Predict for a feature vector x (length k, *without* the leading 1).
+  [[nodiscard]] double predict(std::span<const double> x) const;
+};
+
+/// Fit y = a + b x by least squares.  Degenerate inputs (fewer than two
+/// points, constant x) yield slope 0 and intercept mean(y).
+[[nodiscard]] UnivariateFit fit_univariate(std::span<const double> xs,
+                                           std::span<const double> ys);
+
+/// Fit y = b0 + b1 x1 + ... + bk xk.  `rows` holds n feature vectors of
+/// equal length k (without the leading constant).  Returns ok=false if the
+/// normal equations are singular (collinear predictors or n <= k).
+[[nodiscard]] MultivariateFit fit_multivariate(
+    std::span<const std::vector<double>> rows, std::span<const double> ys);
+
+/// Solve the dense linear system A x = b in place via Gaussian elimination
+/// with partial pivoting.  A is n x n row-major.  Returns false when the
+/// matrix is (numerically) singular.
+bool solve_linear_system(std::vector<double>& a, std::vector<double>& b,
+                         std::size_t n);
+
+}  // namespace grasp

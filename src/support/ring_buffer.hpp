@@ -1,0 +1,75 @@
+// Fixed-capacity ring buffer for bounded observation histories.
+//
+// Monitoring keeps a sliding window of recent samples per node; once the
+// window is full the oldest sample is dropped.  This container never
+// allocates after construction.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace grasp {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : data_(capacity), capacity_(capacity) {
+    if (capacity == 0)
+      throw std::invalid_argument("RingBuffer: capacity must be positive");
+  }
+
+  /// Append, evicting the oldest element when full.
+  void push(const T& value) {
+    data_[(head_ + size_) % capacity_] = value;
+    if (size_ < capacity_) {
+      ++size_;
+    } else {
+      head_ = (head_ + 1) % capacity_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == capacity_; }
+
+  /// Element i, with 0 the *oldest* retained element.
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return data_[(head_ + i) % capacity_];
+  }
+
+  /// Most recently pushed element.  Precondition: not empty.
+  [[nodiscard]] const T& back() const {
+    if (empty()) throw std::out_of_range("RingBuffer::back on empty buffer");
+    return (*this)[size_ - 1];
+  }
+
+  /// Oldest retained element.  Precondition: not empty.
+  [[nodiscard]] const T& front() const {
+    if (empty()) throw std::out_of_range("RingBuffer::front on empty buffer");
+    return (*this)[0];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Copy out in oldest-to-newest order (for batch statistics).
+  [[nodiscard]] std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace grasp

@@ -1,0 +1,88 @@
+// Descriptive and online statistics used by calibration, monitoring and the
+// experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace grasp {
+
+/// Numerically stable single-pass accumulator (Welford) for mean/variance,
+/// plus min/max.  Suitable for unbounded streams of observations.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  /// Mean of the observations; 0 when empty.
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Coefficient of variation (stddev/mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Merge another accumulator into this one (parallel reduction identity).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average; alpha in (0, 1].
+class Ewma {
+ public:
+  explicit Ewma(double alpha);
+
+  void add(double x);
+  [[nodiscard]] bool empty() const { return !seeded_; }
+  /// Current smoothed value; 0 before the first observation.
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+// Batch helpers.  All take read-only spans and do not modify the input.
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);  ///< unbiased
+[[nodiscard]] double stddev(std::span<const double> xs);
+[[nodiscard]] double min_value(std::span<const double> xs);
+[[nodiscard]] double max_value(std::span<const double> xs);
+[[nodiscard]] double sum(std::span<const double> xs);
+
+/// q-quantile (0 <= q <= 1) with linear interpolation between order
+/// statistics (type-7, the numpy/R default).  Copies and sorts internally.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Pearson product-moment correlation; 0 if either side is constant.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson on fractional ranks, ties averaged).
+[[nodiscard]] double spearman(std::span<const double> xs,
+                              std::span<const double> ys);
+
+/// Kendall's tau-b rank correlation (handles ties); O(n^2), fine for the
+/// pool sizes calibration deals with.
+[[nodiscard]] double kendall_tau(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Fractional ranks of `xs` (1-based, ties receive their average rank).
+[[nodiscard]] std::vector<double> fractional_ranks(std::span<const double> xs);
+
+}  // namespace grasp

@@ -1,0 +1,37 @@
+// Fixed-width console tables for experiment output.
+//
+// Every bench binary prints the rows a paper table would hold; this helper
+// keeps the formatting consistent and the bench code free of iomanip noise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace grasp {
+
+/// Column-aligned text table.  Usage:
+///   Table t({"strategy", "noise", "accuracy"});
+///   t.add_row({"time-only", "0.1", "0.93"});
+///   std::cout << t.to_string();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles/ints into cells.
+  static std::string num(double v, int precision = 3);
+  static std::string num(long long v);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with a separator rule under the header.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace grasp

@@ -1,0 +1,137 @@
+#include "workloads/applications.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "support/rng.hpp"
+#include "workloads/kernels.hpp"
+
+namespace grasp::workloads {
+
+TaskSet make_mandelbrot_sweep(const MandelbrotSweepParams& p) {
+  if (p.tiles_x == 0 || p.tiles_y == 0 || p.probe_resolution == 0)
+    throw std::invalid_argument("make_mandelbrot_sweep: zero dimension");
+  constexpr double kXMin = -2.0, kXMax = 1.0;
+  constexpr double kYMin = -1.25, kYMax = 1.25;
+  const double tile_w = (kXMax - kXMin) / static_cast<double>(p.tiles_x);
+  const double tile_h = (kYMax - kYMin) / static_cast<double>(p.tiles_y);
+
+  TaskSet set;
+  set.name = "mandelbrot-" + std::to_string(p.tiles_x) + "x" +
+             std::to_string(p.tiles_y);
+  set.tasks.reserve(p.tiles_x * p.tiles_y);
+  std::size_t id = 0;
+  for (std::size_t ty = 0; ty < p.tiles_y; ++ty) {
+    for (std::size_t tx = 0; tx < p.tiles_x; ++tx) {
+      const double x0 = kXMin + static_cast<double>(tx) * tile_w;
+      const double y0 = kYMin + static_cast<double>(ty) * tile_h;
+      const std::uint64_t iterations = mandelbrot_tile_iterations(
+          x0, y0, tile_w, tile_h, p.probe_resolution, p.max_iterations);
+      TaskSpec t;
+      t.id = TaskId{id++};
+      t.work = Mops{p.mops_per_kilo_iteration *
+                    static_cast<double>(iterations) / 1000.0};
+      t.input = Bytes{p.tile_input_bytes};
+      t.output = Bytes{p.tile_output_bytes};
+      set.tasks.push_back(t);
+    }
+  }
+  return set;
+}
+
+TaskSet make_alignment_batch(const AlignmentBatchParams& p) {
+  if (p.pairs == 0)
+    throw std::invalid_argument("make_alignment_batch: zero pairs");
+  Rng rng(p.seed);
+  const double sigma2 = std::log(1.0 + p.length_cv * p.length_cv);
+  const double sigma = std::sqrt(sigma2);
+  auto draw_len = [&](double mean) {
+    const double mu = std::log(mean) - sigma2 / 2.0;
+    return std::max(16.0, rng.lognormal(mu, sigma));
+  };
+
+  TaskSet set;
+  set.name = "alignment-" + std::to_string(p.pairs);
+  set.tasks.reserve(p.pairs);
+  for (std::size_t i = 0; i < p.pairs; ++i) {
+    const double m = draw_len(p.mean_query_len);
+    const double n = draw_len(p.mean_subject_len);
+    TaskSpec t;
+    t.id = TaskId{i};
+    t.work = Mops{p.mops_per_megacell * (m * n) / 1e6};
+    t.input = Bytes{m + n};  // one byte per residue
+    t.output = Bytes{256};   // score + traceback summary
+    set.tasks.push_back(t);
+  }
+  return set;
+}
+
+TaskSet make_quadrature_panels(const QuadratureParams& p) {
+  if (p.panels == 0)
+    throw std::invalid_argument("make_quadrature_panels: zero panels");
+  Rng rng(p.seed);
+  TaskSet set;
+  set.name = "quadrature-" + std::to_string(p.panels);
+  set.tasks.reserve(p.panels);
+  for (std::size_t i = 0; i < p.panels; ++i) {
+    const bool refined = rng.bernoulli(p.refine_probability);
+    const double jitter = rng.uniform(0.9, 1.1);
+    TaskSpec t;
+    t.id = TaskId{i};
+    t.work = Mops{p.mean_mops * jitter * (refined ? p.refine_factor : 1.0)};
+    t.input = Bytes{48};   // panel bounds + tolerance
+    t.output = Bytes{16};  // partial integral + error estimate
+    set.tasks.push_back(t);
+  }
+  return set;
+}
+
+PipelineSpec make_image_pipeline(const ImagePipelineParams& p) {
+  if (p.stages < 3 || p.stages > 5)
+    throw std::invalid_argument("make_image_pipeline: stages must be in 3..5");
+  struct Proto {
+    const char* name;
+    double mops;
+    double out_fraction;  // output bytes as fraction of frame
+  };
+  // Segment dominates: the pipeline is intentionally unbalanced.
+  const Proto protos[5] = {
+      {"decode", 40.0, 1.0},   {"denoise", 80.0, 1.0},
+      {"segment", 240.0, 0.5}, {"annotate", 30.0, 0.5},
+      {"encode", 60.0, 0.1},
+  };
+  PipelineSpec spec;
+  spec.name = "image-pipeline-" + std::to_string(p.stages);
+  spec.source_bytes = Bytes{p.frame_bytes};
+  for (std::size_t s = 0; s < p.stages; ++s) {
+    StageSpec stage;
+    stage.id = StageId{s};
+    stage.name = protos[s].name;
+    stage.work_per_item = Mops{protos[s].mops * p.work_scale};
+    stage.output_bytes = Bytes{p.frame_bytes * protos[s].out_fraction};
+    spec.stages.push_back(stage);
+  }
+  return spec;
+}
+
+PipelineSpec make_uniform_pipeline(std::size_t depth, double stage_mops,
+                                   double item_bytes) {
+  if (depth == 0)
+    throw std::invalid_argument("make_uniform_pipeline: zero depth");
+  PipelineSpec spec;
+  spec.name = "uniform-pipeline-" + std::to_string(depth);
+  spec.source_bytes = Bytes{item_bytes};
+  for (std::size_t s = 0; s < depth; ++s) {
+    StageSpec stage;
+    stage.id = StageId{s};
+    stage.name = "stage" + std::to_string(s);
+    stage.work_per_item = Mops{stage_mops};
+    stage.output_bytes = Bytes{item_bytes};
+    spec.stages.push_back(stage);
+  }
+  return spec;
+}
+
+}  // namespace grasp::workloads

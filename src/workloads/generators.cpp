@@ -1,0 +1,87 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace grasp::workloads {
+
+const char* to_string(CostDistribution d) {
+  switch (d) {
+    case CostDistribution::Constant: return "constant";
+    case CostDistribution::Uniform: return "uniform";
+    case CostDistribution::Normal: return "normal";
+    case CostDistribution::LogNormal: return "lognormal";
+    case CostDistribution::Bimodal: return "bimodal";
+    case CostDistribution::Pareto: return "pareto";
+  }
+  return "unknown";
+}
+
+CostDistribution cost_distribution_from_string(const std::string& name) {
+  if (name == "constant") return CostDistribution::Constant;
+  if (name == "uniform") return CostDistribution::Uniform;
+  if (name == "normal") return CostDistribution::Normal;
+  if (name == "lognormal") return CostDistribution::LogNormal;
+  if (name == "bimodal") return CostDistribution::Bimodal;
+  if (name == "pareto") return CostDistribution::Pareto;
+  throw std::invalid_argument("unknown cost distribution: " + name);
+}
+
+namespace {
+
+double draw_cost(const TaskSetParams& p, Rng& rng) {
+  const double mean = p.mean_mops;
+  switch (p.distribution) {
+    case CostDistribution::Constant:
+      return mean;
+    case CostDistribution::Uniform:
+      return rng.uniform(0.5 * mean, 1.5 * mean);
+    case CostDistribution::Normal:
+      return std::max(mean / 10.0, rng.normal(mean, p.cv * mean));
+    case CostDistribution::LogNormal: {
+      // Match the requested mean and cv:  sigma^2 = ln(1+cv^2),
+      // mu = ln(mean) - sigma^2/2.
+      const double sigma2 = std::log(1.0 + p.cv * p.cv);
+      const double mu = std::log(mean) - sigma2 / 2.0;
+      return rng.lognormal(mu, std::sqrt(sigma2));
+    }
+    case CostDistribution::Bimodal:
+      // 90% light at mean/2, 10% heavy at 5.5x mean -> overall mean ~= mean.
+      return rng.bernoulli(0.1) ? 5.5 * mean : 0.5 * mean;
+    case CostDistribution::Pareto: {
+      // E[X] = alpha*xm/(alpha-1); choose alpha=2.2 and solve for xm.
+      const double alpha = 2.2;
+      const double xm = mean * (alpha - 1.0) / alpha;
+      return rng.pareto(xm, alpha);
+    }
+  }
+  return mean;
+}
+
+}  // namespace
+
+TaskSet make_task_set(const TaskSetParams& params) {
+  if (params.count == 0)
+    throw std::invalid_argument("make_task_set: count must be positive");
+  if (params.mean_mops <= 0.0)
+    throw std::invalid_argument("make_task_set: mean_mops must be positive");
+  Rng rng(params.seed);
+  TaskSet set;
+  set.name = std::string(to_string(params.distribution)) + "-" +
+             std::to_string(params.count);
+  set.tasks.reserve(params.count);
+  for (std::size_t i = 0; i < params.count; ++i) {
+    TaskSpec t;
+    t.id = TaskId{i};
+    t.work = Mops{draw_cost(params, rng)};
+    t.input = Bytes{params.input_bytes};
+    t.output = Bytes{params.output_bytes};
+    set.tasks.push_back(t);
+  }
+  return set;
+}
+
+}  // namespace grasp::workloads

@@ -1,0 +1,42 @@
+// Synthetic task-set generators over standard cost distributions.
+//
+// The farm experiments sweep task irregularity: regular (constant),
+// mildly irregular (uniform/normal), skewed (lognormal), heavy-tailed
+// (pareto) and bimodal ("mostly cheap, a few monsters").  All generators
+// are seed-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/task.hpp"
+
+namespace grasp::workloads {
+
+enum class CostDistribution {
+  Constant,
+  Uniform,    ///< uniform in [mean/2, 3*mean/2]
+  Normal,     ///< mean, cv -> stddev = cv*mean, truncated at mean/10
+  LogNormal,  ///< matched to requested mean and cv
+  Bimodal,    ///< 90% cheap (mean/2), 10% expensive (~5.5x mean)
+  Pareto,     ///< shape 2.2, scale matched to mean (heavy tail)
+};
+
+[[nodiscard]] const char* to_string(CostDistribution d);
+[[nodiscard]] CostDistribution cost_distribution_from_string(
+    const std::string& name);
+
+struct TaskSetParams {
+  std::size_t count = 1000;
+  double mean_mops = 100.0;      ///< average compute cost per task
+  double cv = 0.5;               ///< coefficient of variation (where used)
+  CostDistribution distribution = CostDistribution::LogNormal;
+  double input_bytes = 10e3;
+  double output_bytes = 1e3;
+  std::uint64_t seed = 42;
+};
+
+/// Generate `params.count` tasks with ids 0..count-1.
+[[nodiscard]] TaskSet make_task_set(const TaskSetParams& params);
+
+}  // namespace grasp::workloads

@@ -1,0 +1,90 @@
+#include "workloads/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace grasp::workloads {
+
+std::uint64_t mandelbrot_tile_iterations(double x0, double y0, double w,
+                                         double h, std::size_t resolution,
+                                         std::size_t max_iterations) {
+  std::uint64_t total = 0;
+  const double res = static_cast<double>(resolution);
+  for (std::size_t py = 0; py < resolution; ++py) {
+    for (std::size_t px = 0; px < resolution; ++px) {
+      const double cx = x0 + (static_cast<double>(px) + 0.5) / res * w;
+      const double cy = y0 + (static_cast<double>(py) + 0.5) / res * h;
+      double zx = 0.0, zy = 0.0;
+      std::size_t iter = 0;
+      while (iter < max_iterations && zx * zx + zy * zy <= 4.0) {
+        const double nzx = zx * zx - zy * zy + cx;
+        zy = 2.0 * zx * zy + cy;
+        zx = nzx;
+        ++iter;
+      }
+      total += iter;
+    }
+  }
+  return total;
+}
+
+int smith_waterman_score(std::string_view a, std::string_view b) {
+  constexpr int kMatch = 2, kMismatch = -1, kGap = -2;
+  if (a.empty() || b.empty()) return 0;
+  // Two-row DP keeps memory at O(|b|).
+  std::vector<int> prev(b.size() + 1, 0), curr(b.size() + 1, 0);
+  int best = 0;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = 0;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const int sub = (a[i - 1] == b[j - 1]) ? kMatch : kMismatch;
+      const int diag = prev[j - 1] + sub;
+      const int up = prev[j] + kGap;
+      const int left = curr[j - 1] + kGap;
+      curr[j] = std::max({0, diag, up, left});
+      best = std::max(best, curr[j]);
+    }
+    std::swap(prev, curr);
+  }
+  return best;
+}
+
+std::string random_dna(std::size_t n, std::uint64_t seed) {
+  static constexpr char kAlphabet[] = {'A', 'C', 'G', 'T'};
+  Rng rng(seed);
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    s.push_back(kAlphabet[rng.uniform_index(4)]);
+  return s;
+}
+
+double burn_mops(double mops) {
+  if (mops <= 0.0) return 0.0;
+  // ~4 flops per inner iteration; one "Mop" = 1e6 operations.
+  const auto iterations = static_cast<std::uint64_t>(mops * 1e6 / 4.0);
+  double x = 1.000000001, acc = 0.0;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    acc += x * 1.0000001;    // fma-shaped
+    x = x * 0.9999999 + 1e-9;
+  }
+  return acc + x;
+}
+
+double simpson_integral(double a, double b, std::size_t n) {
+  if (n < 2) n = 2;
+  if (n % 2 != 0) ++n;
+  auto f = [](double x) { return std::sin(x) * std::exp(-x / 4.0); };
+  const double h = (b - a) / static_cast<double>(n);
+  double acc = f(a) + f(b);
+  for (std::size_t i = 1; i < n; ++i) {
+    const double x = a + static_cast<double>(i) * h;
+    acc += f(x) * ((i % 2 == 0) ? 2.0 : 4.0);
+  }
+  return acc * h / 3.0;
+}
+
+}  // namespace grasp::workloads

@@ -1,0 +1,39 @@
+// Real compute kernels.
+//
+// Two uses: (1) deriving authentic cost structure for the simulated task
+// sets (Mandelbrot escape iterations), and (2) giving the threaded backend
+// and the examples genuine CPU work to run — `burn_mops` spins a calibrated
+// arithmetic loop, `smith_waterman_score` is the actual DP.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace grasp::workloads {
+
+/// Total Mandelbrot escape-time iterations over a `resolution x resolution`
+/// sample of the tile with origin (x0, y0) and extent (w, h).
+[[nodiscard]] std::uint64_t mandelbrot_tile_iterations(
+    double x0, double y0, double w, double h, std::size_t resolution,
+    std::size_t max_iterations);
+
+/// Smith–Waterman local-alignment score with linear gap penalty
+/// (match +2, mismatch -1, gap -2).  O(|a| * |b|) time, O(min) space.
+[[nodiscard]] int smith_waterman_score(std::string_view a,
+                                       std::string_view b);
+
+/// Deterministic pseudo-DNA sequence of length n (alphabet ACGT).
+[[nodiscard]] std::string random_dna(std::size_t n, std::uint64_t seed);
+
+/// Burn roughly `mops` mega-operations of CPU (floating-point multiply-add
+/// loop).  Returns a value derived from the computation so the loop cannot
+/// be optimised away.  Used by the threaded backend to realise simulated
+/// task costs as wall-clock work.
+double burn_mops(double mops);
+
+/// Composite Simpson integration of f(x) = sin(x)*exp(-x/4) over [a, b]
+/// with n panels (n forced even).  The quadrature example's payload.
+[[nodiscard]] double simpson_integral(double a, double b, std::size_t n);
+
+}  // namespace grasp::workloads

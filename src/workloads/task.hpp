@@ -1,0 +1,65 @@
+// Task and stage specifications: the workload currency of the skeletons.
+//
+// Skeletons treat work abstractly: a farm task is (compute cost, input
+// payload, output payload); a pipeline stage is per-item compute plus the
+// bytes it passes downstream.  This is precisely the information GRASP's
+// calibration needs to reason about the computation/communication ratio.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace grasp::workloads {
+
+/// One independent unit of farm work.
+struct TaskSpec {
+  TaskId id;
+  Mops work;     ///< compute cost on a unit-speed (1 Mops/s) dedicated node
+  Bytes input;   ///< farmer -> worker payload
+  Bytes output;  ///< worker -> farmer payload
+};
+
+/// An ordered batch of farm tasks.
+struct TaskSet {
+  std::string name;
+  std::vector<TaskSpec> tasks;
+
+  [[nodiscard]] std::size_t size() const { return tasks.size(); }
+  [[nodiscard]] Mops total_work() const {
+    Mops total = Mops::zero();
+    for (const auto& t : tasks) total += t.work;
+    return total;
+  }
+  [[nodiscard]] Bytes total_input() const {
+    Bytes total = Bytes::zero();
+    for (const auto& t : tasks) total += t.input;
+    return total;
+  }
+};
+
+/// One pipeline stage: every item passing through costs `work_per_item`
+/// and emits `output_bytes` to the next stage.
+struct StageSpec {
+  StageId id;
+  std::string name;
+  Mops work_per_item;
+  Bytes output_bytes;
+};
+
+/// A linear pipeline: stages in flow order plus the source payload size.
+struct PipelineSpec {
+  std::string name;
+  Bytes source_bytes;  ///< payload entering stage 0 per item
+  std::vector<StageSpec> stages;
+
+  [[nodiscard]] std::size_t depth() const { return stages.size(); }
+  [[nodiscard]] Mops work_per_item() const {
+    Mops total = Mops::zero();
+    for (const auto& s : stages) total += s.work_per_item;
+    return total;
+  }
+};
+
+}  // namespace grasp::workloads

@@ -1,0 +1,91 @@
+#include "core/backend_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsim/scenarios.hpp"
+
+namespace grasp::core {
+namespace {
+
+TEST(SimBackend, ComputeDurationMatchesModel) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  SimBackend backend(grid);
+  backend.submit_compute(1, NodeId{0}, Mops{250.0});
+  const auto c = backend.wait_next();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->token, 1u);
+  EXPECT_EQ(c->node, NodeId{0});
+  EXPECT_NEAR(c->duration().value, 2.5, 1e-9);
+  EXPECT_NEAR(backend.now().value, 2.5, 1e-9);
+}
+
+TEST(SimBackend, TransferDurationMatchesModel) {
+  gridsim::GridBuilder b;
+  const SiteId s0 = b.add_site("a", Seconds{0.001}, BytesPerSecond{1e6});
+  const NodeId n0 = b.add_node(s0, 100.0);
+  const NodeId n1 = b.add_node(s0, 100.0);
+  const gridsim::Grid grid = b.build();
+  SimBackend backend(grid);
+  backend.submit_transfer(7, n0, n1, Bytes{2e6});
+  const auto c = backend.wait_next();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->node, n1);
+  EXPECT_NEAR(c->duration().value, 2.001, 1e-9);
+}
+
+TEST(SimBackend, CompletionsArriveInTimeOrder) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(3, 100.0);
+  SimBackend backend(grid);
+  backend.submit_compute(1, NodeId{0}, Mops{300.0});  // 3 s
+  backend.submit_compute(2, NodeId{1}, Mops{100.0});  // 1 s
+  backend.submit_compute(3, NodeId{2}, Mops{200.0});  // 2 s
+  EXPECT_EQ(backend.in_flight(), 3u);
+  EXPECT_EQ(backend.wait_next()->token, 2u);
+  EXPECT_EQ(backend.wait_next()->token, 3u);
+  EXPECT_EQ(backend.wait_next()->token, 1u);
+  EXPECT_EQ(backend.in_flight(), 0u);
+}
+
+TEST(SimBackend, WaitOnEmptyReturnsNullopt) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  SimBackend backend(grid);
+  EXPECT_FALSE(backend.wait_next().has_value());
+}
+
+TEST(SimBackend, VirtualTimeAdvancesOnlyWithCompletions) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  SimBackend backend(grid);
+  EXPECT_DOUBLE_EQ(backend.now().value, 0.0);
+  backend.submit_compute(1, NodeId{0}, Mops{100.0});
+  EXPECT_DOUBLE_EQ(backend.now().value, 0.0);  // submission is instantaneous
+  (void)backend.wait_next();
+  EXPECT_DOUBLE_EQ(backend.now().value, 1.0);
+}
+
+TEST(SimBackend, DynamicLoadChangesComputeCost) {
+  gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  gridsim::inject_load_step_on(grid, NodeId{0}, Seconds{1.0}, 1.0);
+  SimBackend backend(grid);
+  // 200 Mops from t=0: 100 Mops in first second, then half speed -> 3 s.
+  backend.submit_compute(1, NodeId{0}, Mops{200.0});
+  EXPECT_NEAR(backend.wait_next()->duration().value, 3.0, 1e-6);
+}
+
+TEST(SimBackend, LoopbackTransferIsInstant) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  SimBackend backend(grid);
+  backend.submit_transfer(1, NodeId{0}, NodeId{0}, Bytes{1e9});
+  EXPECT_DOUBLE_EQ(backend.wait_next()->duration().value, 0.0);
+}
+
+TEST(SimBackend, BodiesAreIgnoredInSimulation) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  SimBackend backend(grid);
+  bool ran = false;
+  backend.submit_compute(1, NodeId{0}, Mops{1.0}, [&] { ran = true; });
+  (void)backend.wait_next();
+  EXPECT_FALSE(ran);  // the model is authoritative in virtual time
+}
+
+}  // namespace
+}  // namespace grasp::core

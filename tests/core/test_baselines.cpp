@@ -1,0 +1,124 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/backend_sim.hpp"
+#include "gridsim/scenarios.hpp"
+#include "workloads/generators.hpp"
+
+namespace grasp::core {
+namespace {
+
+workloads::TaskSet tasks(std::size_t n, double mops = 100.0) {
+  workloads::TaskSetParams p;
+  p.count = n;
+  p.mean_mops = mops;
+  p.cv = 0.8;
+  return workloads::make_task_set(p);
+}
+
+TEST(StaticBlockFarm, CompletesAllTasks) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(4, 100.0);
+  SimBackend backend(grid);
+  StaticBlockFarm farm;
+  const BaselineReport report =
+      farm.run(backend, grid.node_ids(), tasks(100));
+  EXPECT_EQ(report.tasks_completed, 100u);
+  EXPECT_GT(report.makespan.value, 0.0);
+}
+
+TEST(StaticBlockFarm, UniformGridRegularTasksIsNearIdeal) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(4, 100.0);
+  SimBackend backend(grid);
+  workloads::TaskSetParams p;
+  p.count = 400;
+  p.mean_mops = 100.0;
+  p.distribution = workloads::CostDistribution::Constant;
+  StaticBlockFarm farm;
+  const BaselineReport report =
+      farm.run(backend, grid.node_ids(), workloads::make_task_set(p));
+  // 400 * 100 Mops over 4 * 100 Mops/s = 100 s + transfer overhead.
+  EXPECT_NEAR(report.makespan.value, 100.0, 5.0);
+}
+
+TEST(StaticBlockFarm, SuffersOnHeterogeneousPool) {
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  b.add_node(s, 400.0);
+  b.add_node(s, 50.0);  // the block on this node dominates the makespan
+  const gridsim::Grid grid = b.build();
+  SimBackend backend(grid);
+  StaticBlockFarm farm;
+  workloads::TaskSetParams p;
+  p.count = 100;
+  p.mean_mops = 100.0;
+  p.distribution = workloads::CostDistribution::Constant;
+  const BaselineReport report =
+      farm.run(backend, grid.node_ids(), workloads::make_task_set(p));
+  // 50 tasks x 100 Mops on the 50-Mops node = 100 s; the fast node needed
+  // only 12.5 s.  Static pays the slow node's bill.
+  EXPECT_GT(report.makespan.value, 95.0);
+}
+
+TEST(StaticBlockFarm, EmptyPoolThrows) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  SimBackend backend(grid);
+  StaticBlockFarm farm;
+  EXPECT_THROW((void)farm.run(backend, {}, tasks(4)), std::invalid_argument);
+}
+
+TEST(OracleFarm, CompletesAllAndBeatsStaticOnHeterogeneousPool) {
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  b.add_node(s, 400.0);
+  b.add_node(s, 50.0);
+  const gridsim::Grid grid = b.build();
+  const workloads::TaskSet ts = tasks(100);
+
+  OracleFarm oracle;
+  const BaselineReport best = oracle.run(grid, grid.node_ids(), ts);
+  EXPECT_EQ(best.tasks_completed, 100u);
+
+  SimBackend backend(grid);
+  StaticBlockFarm farm;
+  const BaselineReport block = farm.run(backend, grid.node_ids(), ts);
+  EXPECT_LT(best.makespan.value, block.makespan.value);
+}
+
+TEST(OracleFarm, AnticipatesFutureLoad) {
+  // Node 0 is fast now but will be crushed at t=5; node 1 is steady.
+  // The oracle knows the future and shifts work accordingly; a myopic
+  // earliest-finish using only t=0 speeds would overload node 0.
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  b.add_node(s, 200.0);
+  b.add_node(s, 100.0);
+  gridsim::Grid grid = b.build();
+  gridsim::inject_load_step_on(grid, NodeId{0}, Seconds{5.0}, 19.0);
+
+  OracleFarm oracle;
+  workloads::TaskSetParams p;
+  p.count = 40;
+  p.mean_mops = 50.0;
+  p.distribution = workloads::CostDistribution::Constant;
+  const BaselineReport report =
+      oracle.run(grid, grid.node_ids(), workloads::make_task_set(p));
+  // Total work 2000 Mops.  If everything ran on node 1 alone: 20 s.  The
+  // oracle must do at least as well as that single-node plan.
+  EXPECT_LE(report.makespan.value, 20.5);
+}
+
+TEST(Baselines, ParamFactoriesHaveDocumentedShape) {
+  const FarmParams demand = make_demand_farm_params();
+  EXPECT_FALSE(demand.adaptation_enabled);
+  EXPECT_FALSE(demand.reissue_stragglers);
+  EXPECT_DOUBLE_EQ(demand.calibration.select_fraction, 1.0);
+
+  const FarmParams adaptive = make_adaptive_farm_params();
+  EXPECT_TRUE(adaptive.adaptation_enabled);
+  EXPECT_TRUE(adaptive.reissue_stragglers);
+  EXPECT_EQ(adaptive.threshold.kind, ThresholdPolicy::Kind::RelativeMin);
+}
+
+}  // namespace
+}  // namespace grasp::core

@@ -1,0 +1,187 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/backend_sim.hpp"
+#include "gridsim/scenarios.hpp"
+#include "workloads/applications.hpp"
+
+namespace grasp::core {
+namespace {
+
+PipelineParams defaults() {
+  PipelineParams p;
+  p.monitor.period = Seconds{1.0};
+  return p;
+}
+
+TEST(Pipeline, CompletesEveryItemInOrder) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(6, 100.0);
+  SimBackend backend(grid);
+  Pipeline pipe(defaults());
+  const auto spec = workloads::make_uniform_pipeline(4, 50.0, 1e4);
+  const PipelineReport report =
+      pipe.run(backend, grid, grid.node_ids(), spec, 100);
+  EXPECT_EQ(report.items_completed, 100u);
+  EXPECT_TRUE(report.output_in_order);
+  EXPECT_GT(report.makespan.value, 0.0);
+  EXPECT_EQ(report.stages.size(), 4u);
+}
+
+TEST(Pipeline, ThroughputBoundedByBottleneckStage) {
+  // Uniform nodes; one stage is 4x heavier, so steady-state throughput is
+  // ~ speed / bottleneck work.
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a", Seconds{1e-5}, BytesPerSecond{1e9});
+  for (int i = 0; i < 3; ++i) b.add_node(s, 100.0);
+  const gridsim::Grid grid = b.build();
+  workloads::PipelineSpec spec = workloads::make_uniform_pipeline(3, 25.0, 1e3);
+  spec.stages[1].work_per_item = Mops{100.0};  // bottleneck: 1 s per item
+  SimBackend backend(grid);
+  PipelineParams params = defaults();
+  params.adaptation_enabled = false;
+  Pipeline pipe(params);
+  const PipelineReport report =
+      pipe.run(backend, grid, grid.node_ids(), spec, 200);
+  // Ideal bottleneck-limited time ~= 200 items x 1 s + pipeline fill.
+  EXPECT_GT(report.makespan.value, 199.0);
+  EXPECT_LT(report.makespan.value, 240.0);
+  // The bottleneck stage should be near-saturated.
+  double max_busy = 0.0;
+  for (const auto& st : report.stages)
+    max_busy = std::max(max_busy, st.busy_fraction);
+  EXPECT_GT(max_busy, 0.85);
+}
+
+TEST(Pipeline, HeaviestStageGetsFastestNode) {
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  b.add_node(s, 50.0);
+  b.add_node(s, 300.0);
+  b.add_node(s, 100.0);
+  const gridsim::Grid grid = b.build();
+  const auto spec = workloads::make_image_pipeline({.frame_bytes = 1e4,
+                                                    .work_scale = 1.0,
+                                                    .stages = 3});
+  SimBackend backend(grid);
+  PipelineParams params = defaults();
+  params.adaptation_enabled = false;
+  Pipeline pipe(params);
+  const PipelineReport report =
+      pipe.run(backend, grid, grid.node_ids(), spec, 20);
+  // Stage 2 ("segment", 240 Mops) must sit on the 300-Mops node 1.
+  EXPECT_EQ(report.final_mapping[2], NodeId{1});
+}
+
+TEST(Pipeline, RemapsBottleneckStageAfterDegradation) {
+  // 4 equal nodes for 3 stages (one spare).  The node carrying the heavy
+  // stage degrades at t=30; the adaptive pipeline must remap to the spare.
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a", Seconds{1e-5}, BytesPerSecond{1e9});
+  for (int i = 0; i < 4; ++i) b.add_node(s, 100.0);
+  gridsim::Grid grid = b.build();
+  const auto spec = workloads::make_uniform_pipeline(3, 50.0, 1e3);
+
+  // First run without adaptation to learn the initial mapping of stage 1.
+  {
+    SimBackend probe_backend(grid);
+    PipelineParams params = defaults();
+    params.adaptation_enabled = false;
+    const auto probe = Pipeline(params).run(probe_backend, grid,
+                                            grid.node_ids(), spec, 5);
+    gridsim::inject_load_step_on(grid, probe.final_mapping[1],
+                                 Seconds{30.0}, 9.0);
+  }
+
+  SimBackend backend(grid);
+  PipelineParams params = defaults();
+  params.threshold.z = 2.0;
+  Pipeline pipe(params);
+  const PipelineReport report =
+      pipe.run(backend, grid, grid.node_ids(), spec, 300);
+  EXPECT_GE(report.remaps, 1u);
+  EXPECT_EQ(report.items_completed, 300u);
+  EXPECT_TRUE(report.output_in_order);
+}
+
+TEST(Pipeline, AdaptiveBeatsStaticUnderDegradation) {
+  auto build_and_degrade = [](std::vector<NodeId>* victim_out) {
+    gridsim::GridBuilder b;
+    const SiteId s = b.add_site("a", Seconds{1e-5}, BytesPerSecond{1e9});
+    for (int i = 0; i < 4; ++i) b.add_node(s, 100.0);
+    gridsim::Grid grid = b.build();
+    // Deterministic mapping on equal nodes: stage order by fitness tie ->
+    // node ids.  Degrade node 0 (carries a stage in both runs).
+    gridsim::inject_load_step_on(grid, NodeId{0}, Seconds{30.0}, 9.0);
+    if (victim_out) victim_out->push_back(NodeId{0});
+    return grid;
+  };
+  const auto spec = workloads::make_uniform_pipeline(3, 50.0, 1e3);
+
+  const gridsim::Grid grid_a = build_and_degrade(nullptr);
+  SimBackend backend_a(grid_a);
+  PipelineParams adaptive = defaults();
+  const PipelineReport a =
+      Pipeline(adaptive).run(backend_a, grid_a, grid_a.node_ids(), spec, 300);
+
+  const gridsim::Grid grid_b = build_and_degrade(nullptr);
+  SimBackend backend_b(grid_b);
+  PipelineParams frozen = defaults();
+  frozen.adaptation_enabled = false;
+  const PipelineReport b =
+      Pipeline(frozen).run(backend_b, grid_b, grid_b.node_ids(), spec, 300);
+
+  EXPECT_LT(a.makespan.value, b.makespan.value);
+}
+
+TEST(Pipeline, LatencyStatisticsPopulated) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(4, 100.0);
+  SimBackend backend(grid);
+  Pipeline pipe(defaults());
+  const auto spec = workloads::make_uniform_pipeline(3, 20.0, 1e3);
+  const PipelineReport report =
+      pipe.run(backend, grid, grid.node_ids(), spec, 50);
+  EXPECT_GT(report.mean_latency_s, 0.0);
+  EXPECT_GE(report.p95_latency_s, report.mean_latency_s);
+}
+
+TEST(Pipeline, ValidationErrors) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(2, 100.0);
+  SimBackend backend(grid);
+  Pipeline pipe(defaults());
+  const auto spec = workloads::make_uniform_pipeline(3, 20.0, 1e3);
+  // Pool smaller than depth.
+  EXPECT_THROW(
+      (void)pipe.run(backend, grid, grid.node_ids(), spec, 10),
+      std::invalid_argument);
+  // Zero items.
+  const gridsim::Grid grid4 = gridsim::make_uniform_grid(4, 100.0);
+  SimBackend backend4(grid4);
+  EXPECT_THROW((void)pipe.run(backend4, grid4, grid4.node_ids(), spec, 0),
+               std::invalid_argument);
+  // Bad params.
+  PipelineParams bad = defaults();
+  bad.source_window = 0;
+  EXPECT_THROW(Pipeline{bad}, std::invalid_argument);
+  PipelineParams bad2 = defaults();
+  bad2.remap_advantage = 0.5;
+  EXPECT_THROW(Pipeline{bad2}, std::invalid_argument);
+}
+
+TEST(Pipeline, DeterministicOnSimBackend) {
+  gridsim::ScenarioParams sp;
+  sp.node_count = 6;
+  sp.dynamics = gridsim::Dynamics::Walk;
+  sp.seed = 9;
+  const auto spec = workloads::make_image_pipeline({});
+  auto once = [&] {
+    const gridsim::Grid grid = gridsim::make_grid(sp);
+    SimBackend backend(grid);
+    Pipeline pipe(defaults());
+    return pipe.run(backend, grid, grid.node_ids(), spec, 60).makespan;
+  };
+  EXPECT_DOUBLE_EQ(once().value, once().value);
+}
+
+}  // namespace
+}  // namespace grasp::core

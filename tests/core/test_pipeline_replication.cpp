@@ -1,0 +1,163 @@
+// Stage replication: the farm-the-bottleneck-stage transformation of the
+// fully adaptive pipeline.
+#include <gtest/gtest.h>
+
+#include "core/backend_sim.hpp"
+#include "core/pipeline.hpp"
+#include "gridsim/scenarios.hpp"
+#include "workloads/applications.hpp"
+
+namespace grasp::core {
+namespace {
+
+PipelineParams defaults() {
+  PipelineParams p;
+  p.monitor.period = Seconds{1.0};
+  return p;
+}
+
+// A 3-stage pipeline whose middle stage is 4x heavier than the rest.
+workloads::PipelineSpec skewed_spec() {
+  workloads::PipelineSpec spec = workloads::make_uniform_pipeline(3, 25.0, 1e3);
+  spec.stages[1].work_per_item = Mops{100.0};
+  return spec;
+}
+
+TEST(Replication, StaticReplicasCompleteInOrder) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(6, 100.0);
+  SimBackend backend(grid);
+  PipelineParams params = defaults();
+  params.adaptation_enabled = false;
+  params.stage_replicas = {1, 3, 1};  // pre-farm the heavy stage
+  Pipeline pipe(params);
+  const PipelineReport report =
+      pipe.run(backend, grid, grid.node_ids(), skewed_spec(), 150);
+  EXPECT_EQ(report.items_completed, 150u);
+  EXPECT_TRUE(report.output_in_order);
+  EXPECT_EQ(report.stages[1].replicas, 3u);
+  EXPECT_EQ(report.stages[0].replicas, 1u);
+}
+
+TEST(Replication, StaticReplicasRaiseThroughput) {
+  const auto spec = skewed_spec();
+  auto run_with = [&](std::vector<std::size_t> replicas) {
+    const gridsim::Grid grid = gridsim::make_uniform_grid(6, 100.0);
+    SimBackend backend(grid);
+    PipelineParams params = defaults();
+    params.adaptation_enabled = false;
+    params.stage_replicas = std::move(replicas);
+    return Pipeline(params)
+        .run(backend, grid, grid.node_ids(), spec, 200)
+        .makespan.value;
+  };
+  const double one = run_with({});
+  const double two = run_with({1, 2, 1});
+  const double three = run_with({1, 3, 1});
+  // Bottleneck service is 1 s/item; doubling replicas should roughly halve
+  // the bottleneck-limited makespan, with diminishing returns after the
+  // stage stops being the bottleneck.
+  EXPECT_LT(two, one * 0.65);
+  EXPECT_LT(three, two);
+}
+
+TEST(Replication, StageReplicasSizeMismatchThrows) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(6, 100.0);
+  SimBackend backend(grid);
+  PipelineParams params = defaults();
+  params.stage_replicas = {1, 2};  // spec has 3 stages
+  Pipeline pipe(params);
+  EXPECT_THROW(
+      (void)pipe.run(backend, grid, grid.node_ids(), skewed_spec(), 10),
+      std::invalid_argument);
+}
+
+TEST(Replication, PoolMustCoverAllReplicas) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(4, 100.0);
+  SimBackend backend(grid);
+  PipelineParams params = defaults();
+  params.stage_replicas = {1, 3, 1};  // needs 5 nodes, pool has 4
+  Pipeline pipe(params);
+  EXPECT_THROW(
+      (void)pipe.run(backend, grid, grid.node_ids(), skewed_spec(), 10),
+      std::invalid_argument);
+}
+
+TEST(Replication, AdaptiveReplicationFiresOnStructuralImbalance) {
+  // No node degrades; the middle stage is simply 4x heavier.  The remap
+  // path must NOT fire (no node is unusually slow); the imbalance detector
+  // must grow the stage instead.
+  const gridsim::Grid grid = gridsim::make_uniform_grid(6, 100.0);
+  SimBackend backend(grid);
+  PipelineParams params = defaults();
+  params.replicate_imbalance_factor = 2.0;
+  params.replication_cooldown_items = 10;
+  Pipeline pipe(params);
+  const PipelineReport report =
+      pipe.run(backend, grid, grid.node_ids(), skewed_spec(), 300);
+  EXPECT_GE(report.replications, 1u);
+  EXPECT_EQ(report.remaps, 0u);
+  EXPECT_GT(report.stages[1].replicas, 1u);
+  EXPECT_EQ(report.items_completed, 300u);
+  EXPECT_TRUE(report.output_in_order);
+}
+
+TEST(Replication, AdaptiveReplicationImprovesMakespan) {
+  const auto spec = skewed_spec();
+  auto run_with = [&](double factor) {
+    const gridsim::Grid grid = gridsim::make_uniform_grid(6, 100.0);
+    SimBackend backend(grid);
+    PipelineParams params = defaults();
+    params.replicate_imbalance_factor = factor;
+    params.replication_cooldown_items = 10;
+    return Pipeline(params)
+        .run(backend, grid, grid.node_ids(), spec, 300)
+        .makespan.value;
+  };
+  const double without = run_with(0.0);
+  const double with = run_with(2.0);
+  EXPECT_LT(with, without * 0.75);
+}
+
+TEST(Replication, RespectsMaxReplications) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(8, 100.0);
+  SimBackend backend(grid);
+  PipelineParams params = defaults();
+  params.replicate_imbalance_factor = 1.2;  // eager
+  params.replication_cooldown_items = 1;
+  params.max_replications = 1;
+  Pipeline pipe(params);
+  const PipelineReport report =
+      pipe.run(backend, grid, grid.node_ids(), skewed_spec(), 200);
+  EXPECT_LE(report.replications, 1u);
+}
+
+TEST(Replication, NegativeImbalanceFactorRejected) {
+  PipelineParams params = defaults();
+  params.replicate_imbalance_factor = -1.0;
+  EXPECT_THROW(Pipeline{params}, std::invalid_argument);
+}
+
+TEST(Replication, ReplicationAndRemapCompose) {
+  // Structural imbalance AND a degradation: the engine should both grow
+  // the heavy stage and remap the degraded replica, and still deliver
+  // every item in order.
+  gridsim::Grid grid = gridsim::make_uniform_grid(8, 100.0);
+  const auto spec = skewed_spec();
+  // Degrade whichever node hosts the heavy stage initially (equal nodes:
+  // calibration ties break by id, heaviest stage gets node 0).
+  gridsim::inject_load_step_on(grid, NodeId{0}, Seconds{80.0}, 9.0);
+  SimBackend backend(grid);
+  PipelineParams params = defaults();
+  params.replicate_imbalance_factor = 2.0;
+  params.replication_cooldown_items = 10;
+  params.threshold.z = 2.0;
+  Pipeline pipe(params);
+  const PipelineReport report =
+      pipe.run(backend, grid, grid.node_ids(), spec, 300);
+  EXPECT_EQ(report.items_completed, 300u);
+  EXPECT_TRUE(report.output_in_order);
+  EXPECT_GE(report.replications + report.remaps, 2u);
+}
+
+}  // namespace
+}  // namespace grasp::core

@@ -1,0 +1,254 @@
+#include "core/task_farm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/backend_sim.hpp"
+#include "core/backend_thread.hpp"
+#include "core/baselines.hpp"
+#include "gridsim/scenarios.hpp"
+#include "workloads/generators.hpp"
+
+namespace grasp::core {
+namespace {
+
+workloads::TaskSet tasks(std::size_t n, double mops = 100.0,
+                         std::uint64_t seed = 42) {
+  workloads::TaskSetParams p;
+  p.count = n;
+  p.mean_mops = mops;
+  p.cv = 0.8;
+  p.seed = seed;
+  return workloads::make_task_set(p);
+}
+
+TEST(TaskFarm, CompletesEveryTaskExactlyOnce) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(4, 100.0);
+  SimBackend backend(grid);
+  TaskFarm farm(make_adaptive_farm_params());
+  const FarmReport report =
+      farm.run(backend, grid, grid.node_ids(), tasks(200));
+  EXPECT_EQ(report.tasks_completed + report.calibration_tasks, 200u);
+  EXPECT_GT(report.makespan.value, 0.0);
+  EXPECT_EQ(report.trace.count(gridsim::TraceEventKind::TaskCompleted),
+            200u);
+}
+
+TEST(TaskFarm, MakespanNearIdealOnUniformDedicatedGrid) {
+  // 4 equal dedicated 100-Mops nodes, 400 tasks x 100 Mops = 40000 Mops
+  // => lower bound 100 s.  Demand-driven should be within ~25%.
+  const gridsim::Grid grid = gridsim::make_uniform_grid(4, 100.0);
+  SimBackend backend(grid);
+  FarmParams params = make_demand_farm_params();
+  TaskFarm farm(params);
+  const FarmReport report = farm.run(
+      backend, grid, grid.node_ids(),
+      tasks(400, 100.0));
+  EXPECT_GT(report.makespan.value, 99.0);
+  EXPECT_LT(report.makespan.value, 130.0);
+}
+
+TEST(TaskFarm, DeterministicOnSimBackend) {
+  gridsim::ScenarioParams sp;
+  sp.node_count = 8;
+  sp.dynamics = gridsim::Dynamics::Mixed;
+  sp.seed = 3;
+  auto once = [&] {
+    const gridsim::Grid grid = gridsim::make_grid(sp);
+    SimBackend backend(grid);
+    TaskFarm farm(make_adaptive_farm_params());
+    return farm.run(backend, grid, grid.node_ids(), tasks(300)).makespan;
+  };
+  EXPECT_DOUBLE_EQ(once().value, once().value);
+}
+
+TEST(TaskFarm, FasterNodesDoMoreWork) {
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  b.add_node(s, 400.0);
+  b.add_node(s, 50.0);
+  const gridsim::Grid grid = b.build();
+  SimBackend backend(grid);
+  FarmParams params = make_demand_farm_params();
+  TaskFarm farm(params);
+  const FarmReport report =
+      farm.run(backend, grid, grid.node_ids(), tasks(200));
+  std::size_t fast = 0, slow = 0;
+  for (const auto& e : report.trace.events()) {
+    if (e.kind != gridsim::TraceEventKind::TaskCompleted) continue;
+    (e.node == NodeId{0} ? fast : slow) += 1;
+  }
+  EXPECT_GT(fast, 4 * slow);
+}
+
+TEST(TaskFarm, RecalibratesAfterLoadStepOnChosenNodes) {
+  // Dedicated planted grid: calibration picks the 3 fast nodes.  At t=40 the
+  // fast nodes all degrade badly; Algorithm 2's min-trigger must fire.
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  for (int i = 0; i < 3; ++i) b.add_node(s, 300.0);
+  for (int i = 0; i < 3; ++i) b.add_node(s, 150.0);
+  gridsim::Grid grid = b.build();
+  for (std::uint64_t i = 0; i < 3; ++i)
+    gridsim::inject_load_step_on(grid, NodeId{i}, Seconds{40.0}, 9.0);
+
+  SimBackend backend(grid);
+  FarmParams params = make_adaptive_farm_params();
+  params.calibration.select_count = 3;
+  params.threshold.z = 2.0;
+  TaskFarm farm(params);
+  const FarmReport report =
+      farm.run(backend, grid, grid.node_ids(), tasks(600, 200.0));
+  EXPECT_GE(report.recalibrations, 1u);
+  // After recalibration the chosen set must contain undegraded nodes.
+  bool has_clean_node = false;
+  for (const NodeId n : report.final_chosen)
+    if (n.value >= 3) has_clean_node = true;
+  EXPECT_TRUE(has_clean_node);
+}
+
+TEST(TaskFarm, AdaptiveBeatsNonAdaptiveUnderDegradation) {
+  auto build = [] {
+    gridsim::GridBuilder b;
+    const SiteId s = b.add_site("a");
+    for (int i = 0; i < 3; ++i) b.add_node(s, 300.0);
+    for (int i = 0; i < 3; ++i) b.add_node(s, 150.0);
+    gridsim::Grid grid = b.build();
+    for (std::uint64_t i = 0; i < 3; ++i)
+      gridsim::inject_load_step_on(grid, NodeId{i}, Seconds{40.0}, 9.0);
+    return grid;
+  };
+  const workloads::TaskSet ts = tasks(600, 200.0);
+
+  const gridsim::Grid grid_a = build();
+  SimBackend backend_a(grid_a);
+  FarmParams adaptive = make_adaptive_farm_params();
+  adaptive.calibration.select_count = 3;
+  const FarmReport a =
+      TaskFarm(adaptive).run(backend_a, grid_a, grid_a.node_ids(), ts);
+
+  const gridsim::Grid grid_b = build();
+  SimBackend backend_b(grid_b);
+  FarmParams frozen = make_adaptive_farm_params();
+  frozen.calibration.select_count = 3;
+  frozen.adaptation_enabled = false;
+  frozen.reissue_stragglers = false;
+  const FarmReport b =
+      TaskFarm(frozen).run(backend_b, grid_b, grid_b.node_ids(), ts);
+
+  EXPECT_LT(a.makespan.value, b.makespan.value);
+}
+
+TEST(TaskFarm, ChunkingReducesDispatches) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(4, 100.0);
+  FarmParams params = make_demand_farm_params();
+  params.chunk_size = 10;
+  SimBackend backend(grid);
+  const FarmReport report =
+      TaskFarm(params).run(backend, grid, grid.node_ids(), tasks(200));
+  EXPECT_EQ(report.tasks_completed + report.calibration_tasks, 200u);
+}
+
+TEST(TaskFarm, AdaptiveChunkingResizesPerNodeOnHeterogeneousPool) {
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  b.add_node(s, 500.0);
+  b.add_node(s, 50.0);
+  const gridsim::Grid grid = b.build();
+  FarmParams params = make_demand_farm_params();
+  params.adaptive_chunking = true;
+  params.target_chunk_seconds = 10.0;
+  SimBackend backend(grid);
+  const FarmReport report =
+      TaskFarm(params).run(backend, grid, grid.node_ids(), tasks(400, 50.0));
+  EXPECT_GT(report.chunk_resizes, 0u);
+  EXPECT_EQ(report.tasks_completed + report.calibration_tasks, 400u);
+}
+
+TEST(TaskFarm, StragglerReissueRescuesStuckTask) {
+  // Node 1 goes down (effectively forever) right after dispatch; its task
+  // must be duplicated onto another node so the farm still finishes.
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  b.add_node(s, 100.0);
+  b.add_node(s, 100.0);
+  gridsim::Grid grid = b.build();
+  grid.node(NodeId{1}).add_downtime({Seconds{2.0}, Seconds{1e7}});
+
+  FarmParams params = make_demand_farm_params();
+  params.reissue_stragglers = true;
+  params.straggler_factor = 3.0;
+  params.adaptation_enabled = false;
+  SimBackend backend(grid);
+  const FarmReport report =
+      TaskFarm(params).run(backend, grid, grid.node_ids(), tasks(20, 100.0));
+  EXPECT_EQ(report.tasks_completed + report.calibration_tasks, 20u);
+  EXPECT_GE(report.reissues, 1u);
+  // Makespan must be far below the downtime horizon.
+  EXPECT_LT(report.makespan.value, 1e6);
+}
+
+TEST(TaskFarm, ValidationErrors) {
+  FarmParams bad_chunk;
+  bad_chunk.chunk_size = 0;
+  EXPECT_THROW(TaskFarm{bad_chunk}, std::invalid_argument);
+  FarmParams bad_straggler;
+  bad_straggler.straggler_factor = 1.0;
+  EXPECT_THROW(TaskFarm{bad_straggler}, std::invalid_argument);
+
+  const gridsim::Grid grid = gridsim::make_uniform_grid(2, 100.0);
+  SimBackend backend(grid);
+  TaskFarm farm(make_adaptive_farm_params());
+  EXPECT_THROW((void)farm.run(backend, grid, {}, tasks(4)),
+               std::invalid_argument);
+}
+
+TEST(TaskFarm, TaskBodyRunsExactlyOncePerTaskOnThreadBackend) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(3, 1000.0);
+  std::atomic<int> executions{0};
+  std::vector<std::atomic<int>> per_task(30);
+  FarmParams params = make_demand_farm_params();
+  params.monitor.period = Seconds{5.0};
+  params.calibration.task_body = [&](const workloads::TaskSpec& t) {
+    ++executions;
+    ++per_task[t.id.value];
+  };
+  ThreadBackend::Params bp;
+  bp.time_scale = 1e-4;
+  ThreadBackend backend(grid, bp);
+  const FarmReport report = TaskFarm(params).run(
+      backend, grid, grid.node_ids(), tasks(30, 10.0));
+  EXPECT_EQ(report.tasks_completed + report.calibration_tasks, 30u);
+  EXPECT_EQ(executions.load(), 30);
+  for (auto& count : per_task) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(TaskFarm, TaskBodyIgnoredOnSimBackend) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(2, 100.0);
+  std::atomic<int> executions{0};
+  FarmParams params = make_demand_farm_params();
+  params.calibration.task_body =
+      [&](const workloads::TaskSpec&) { ++executions; };
+  SimBackend backend(grid);
+  const FarmReport report =
+      TaskFarm(params).run(backend, grid, grid.node_ids(), tasks(20));
+  EXPECT_EQ(report.tasks_completed + report.calibration_tasks, 20u);
+  EXPECT_EQ(executions.load(), 0);  // the model is authoritative
+}
+
+TEST(TaskFarm, ReportAggregatesAreConsistent) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(4, 100.0);
+  SimBackend backend(grid);
+  TaskFarm farm(make_adaptive_farm_params());
+  const FarmReport report =
+      farm.run(backend, grid, grid.node_ids(), tasks(100));
+  EXPECT_GT(report.throughput(), 0.0);
+  EXPECT_FALSE(report.final_chosen.empty());
+  EXPECT_GT(report.monitor_samples, 0u);
+  EXPECT_EQ(report.trace.count(gridsim::TraceEventKind::CalibrationStarted),
+            1 + report.recalibrations);
+}
+
+}  // namespace
+}  // namespace grasp::core

@@ -1,0 +1,59 @@
+#include "core/task_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/generators.hpp"
+
+namespace grasp::core {
+namespace {
+
+workloads::TaskSet small_set(std::size_t n) {
+  workloads::TaskSetParams p;
+  p.count = n;
+  p.distribution = workloads::CostDistribution::Constant;
+  return workloads::make_task_set(p);
+}
+
+TEST(TaskSource, PopsInOrder) {
+  TaskSource src(small_set(3));
+  EXPECT_EQ(src.total(), 3u);
+  EXPECT_EQ(src.pop().id, TaskId{0});
+  EXPECT_EQ(src.pop().id, TaskId{1});
+  EXPECT_EQ(src.remaining(), 1u);
+}
+
+TEST(TaskSource, PushFrontReinsertsAtHead) {
+  TaskSource src(small_set(3));
+  const auto t0 = src.pop();
+  (void)src.pop();
+  src.push_front(t0);
+  EXPECT_EQ(src.pop().id, TaskId{0});
+  EXPECT_EQ(src.pop().id, TaskId{2});
+}
+
+TEST(TaskSource, CompletionTrackingAndDuplicates) {
+  TaskSource src(small_set(2));
+  EXPECT_TRUE(src.mark_completed(TaskId{0}));
+  EXPECT_FALSE(src.mark_completed(TaskId{0}));  // duplicate ignored
+  EXPECT_TRUE(src.is_completed(TaskId{0}));
+  EXPECT_FALSE(src.is_completed(TaskId{1}));
+  EXPECT_FALSE(src.all_done());
+  EXPECT_TRUE(src.mark_completed(TaskId{1}));
+  EXPECT_TRUE(src.all_done());
+  EXPECT_EQ(src.completed(), 2u);
+}
+
+TEST(TaskSource, PopOnEmptyThrows) {
+  TaskSource src(small_set(1));
+  (void)src.pop();
+  EXPECT_TRUE(src.empty());
+  EXPECT_THROW((void)src.pop(), std::logic_error);
+}
+
+TEST(TaskSource, EmptySetRejected) {
+  workloads::TaskSet empty;
+  EXPECT_THROW(TaskSource{empty}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grasp::core

@@ -1,0 +1,92 @@
+#include "gridsim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace grasp::gridsim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(Seconds{3.0}, [&] { order.push_back(3); });
+  q.schedule_at(Seconds{1.0}, [&] { order.push_back(1); });
+  q.schedule_at(Seconds{2.0}, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now().value, 3.0);
+}
+
+TEST(EventQueue, TiesAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    q.schedule_at(Seconds{1.0}, [&order, i] { order.push_back(i); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(Seconds{2.0}, [&] {
+    q.schedule_after(Seconds{0.5}, [&] { fired_at = q.now().value; });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(EventQueue, RejectsPastAndNegative) {
+  EventQueue q;
+  q.schedule_at(Seconds{5.0}, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule_at(Seconds{4.0}, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_after(Seconds{-1.0}, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(Seconds{1.0}, [&] { fired.push_back(1); });
+  q.schedule_at(Seconds{2.0}, [&] { fired.push_back(2); });
+  q.schedule_at(Seconds{3.0}, [&] { fired.push_back(3); });
+  EXPECT_EQ(q.run_until(Seconds{2.0}), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(q.now().value, 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.run_until(Seconds{10.0}), 0u);
+  EXPECT_DOUBLE_EQ(q.now().value, 10.0);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) q.schedule_after(Seconds{1.0}, recurse);
+  };
+  q.schedule_at(Seconds{0.0}, recurse);
+  EXPECT_EQ(q.run_all(), 10u);
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(q.now().value, 9.0);
+}
+
+TEST(SimClock, NeverMovesBackwards) {
+  SimClock c;
+  c.advance_to(Seconds{5.0});
+  c.advance_to(Seconds{3.0});
+  EXPECT_DOUBLE_EQ(c.now().value, 5.0);
+}
+
+}  // namespace
+}  // namespace grasp::gridsim

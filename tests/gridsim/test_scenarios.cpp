@@ -1,0 +1,173 @@
+#include "gridsim/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grasp::gridsim {
+namespace {
+
+TEST(Scenarios, UniformGridIsHomogeneousAndDedicated) {
+  const Grid grid = make_uniform_grid(8, 150.0);
+  EXPECT_EQ(grid.node_count(), 8u);
+  for (const auto& n : grid.nodes()) {
+    EXPECT_DOUBLE_EQ(n.base_speed_mops(), 150.0);
+    EXPECT_DOUBLE_EQ(n.load_at(Seconds{10.0}), 0.0);
+  }
+}
+
+TEST(Scenarios, MakeGridRespectsShapeParams) {
+  ScenarioParams p;
+  p.node_count = 24;
+  p.sites = 3;
+  p.min_speed_mops = 50.0;
+  p.max_speed_mops = 400.0;
+  p.dynamics = Dynamics::Stable;
+  const Grid grid = make_grid(p);
+  EXPECT_EQ(grid.node_count(), 24u);
+  EXPECT_EQ(grid.topology().sites().size(), 3u);
+  for (const auto& n : grid.nodes()) {
+    EXPECT_GE(n.base_speed_mops(), 50.0);
+    EXPECT_LE(n.base_speed_mops(), 400.0);
+  }
+}
+
+TEST(Scenarios, SameSeedSameGrid) {
+  ScenarioParams p;
+  p.seed = 77;
+  p.dynamics = Dynamics::Mixed;
+  const Grid a = make_grid(p);
+  const Grid b = make_grid(p);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    const NodeId id{i};
+    EXPECT_DOUBLE_EQ(a.node(id).base_speed_mops(),
+                     b.node(id).base_speed_mops());
+    for (int k = 0; k < 10; ++k) {
+      const Seconds t{static_cast<double>(k * 3)};
+      EXPECT_DOUBLE_EQ(a.node(id).load_at(t), b.node(id).load_at(t));
+    }
+  }
+}
+
+TEST(Scenarios, DifferentSeedsDifferentSpeeds) {
+  ScenarioParams p;
+  p.seed = 1;
+  const Grid a = make_grid(p);
+  p.seed = 2;
+  const Grid b = make_grid(p);
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.node_count(); ++i)
+    if (a.node(NodeId{i}).base_speed_mops() !=
+        b.node(NodeId{i}).base_speed_mops())
+      any_differ = true;
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Scenarios, RejectsBadParams) {
+  ScenarioParams p;
+  p.node_count = 0;
+  EXPECT_THROW((void)make_grid(p), std::invalid_argument);
+  p.node_count = 4;
+  p.sites = 0;
+  EXPECT_THROW((void)make_grid(p), std::invalid_argument);
+  p.sites = 1;
+  p.min_speed_mops = 500.0;
+  p.max_speed_mops = 100.0;
+  EXPECT_THROW((void)make_grid(p), std::invalid_argument);
+}
+
+TEST(Scenarios, InjectLoadStepOnRaisesLoadAfterT) {
+  Grid grid = make_uniform_grid(2, 100.0);
+  inject_load_step_on(grid, NodeId{0}, Seconds{50.0}, 4.0);
+  EXPECT_DOUBLE_EQ(grid.node(NodeId{0}).load_at(Seconds{10.0}), 0.0);
+  EXPECT_DOUBLE_EQ(grid.node(NodeId{0}).load_at(Seconds{60.0}), 4.0);
+  // Untouched node keeps zero load.
+  EXPECT_DOUBLE_EQ(grid.node(NodeId{1}).load_at(Seconds{60.0}), 0.0);
+}
+
+TEST(Scenarios, InjectLoadStepPreservesExistingLoad) {
+  ScenarioParams p;
+  p.dynamics = Dynamics::Stable;
+  p.seed = 5;
+  Grid grid = make_grid(p);
+  const NodeId victim{0};
+  const double before = grid.node(victim).load_at(Seconds{10.0});
+  inject_load_step_on(grid, victim, Seconds{50.0}, 3.0);
+  EXPECT_DOUBLE_EQ(grid.node(victim).load_at(Seconds{10.0}), before);
+  EXPECT_DOUBLE_EQ(grid.node(victim).load_at(Seconds{60.0}), before + 3.0);
+}
+
+TEST(Scenarios, InjectLoadStepHitsSlowestFraction) {
+  ScenarioParams p;
+  p.node_count = 8;
+  p.dynamics = Dynamics::None;
+  p.seed = 11;
+  Grid grid = make_grid(p);
+  // Identify the slowest two nodes up front.
+  std::vector<NodeId> ids = grid.node_ids();
+  std::sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+    return grid.node(a).base_speed_mops() < grid.node(b).base_speed_mops();
+  });
+  inject_load_step(grid, 0.25, Seconds{10.0}, 5.0);
+  EXPECT_DOUBLE_EQ(grid.node(ids[0]).load_at(Seconds{20.0}), 5.0);
+  EXPECT_DOUBLE_EQ(grid.node(ids[1]).load_at(Seconds{20.0}), 5.0);
+  EXPECT_DOUBLE_EQ(grid.node(ids[7]).load_at(Seconds{20.0}), 0.0);
+}
+
+TEST(Scenarios, SwampedFractionProducesBuriedNodes) {
+  ScenarioParams p;
+  p.node_count = 20;
+  p.dynamics = Dynamics::None;
+  p.swamped_fraction = 0.25;
+  p.seed = 3;
+  const Grid grid = make_grid(p);
+  std::size_t swamped = 0;
+  for (const auto& n : grid.nodes())
+    if (n.load_at(Seconds{100.0}) >= 15.0) ++swamped;
+  EXPECT_EQ(swamped, 5u);
+}
+
+TEST(Scenarios, ZeroSwampedFractionLeavesPoolClean) {
+  ScenarioParams p;
+  p.node_count = 12;
+  p.dynamics = Dynamics::None;
+  p.swamped_fraction = 0.0;
+  const Grid grid = make_grid(p);
+  for (const auto& n : grid.nodes())
+    EXPECT_LT(n.load_at(Seconds{50.0}), 15.0);
+}
+
+TEST(Scenarios, DynamicsRoundTripNames) {
+  for (const Dynamics d :
+       {Dynamics::None, Dynamics::Stable, Dynamics::Walk, Dynamics::Bursty,
+        Dynamics::Diurnal, Dynamics::Mixed}) {
+    EXPECT_EQ(dynamics_from_string(to_string(d)), d);
+  }
+  EXPECT_THROW((void)dynamics_from_string("bogus"), std::invalid_argument);
+}
+
+// Property sweep: every dynamics kind yields non-negative, finite loads.
+class DynamicsSweep : public ::testing::TestWithParam<Dynamics> {};
+
+TEST_P(DynamicsSweep, LoadsAreSaneOverTime) {
+  ScenarioParams p;
+  p.node_count = 6;
+  p.dynamics = GetParam();
+  p.seed = 33;
+  const Grid grid = make_grid(p);
+  for (const auto& n : grid.nodes()) {
+    for (int k = 0; k < 100; ++k) {
+      const double load = n.load_at(Seconds{static_cast<double>(k * 7)});
+      EXPECT_GE(load, 0.0);
+      EXPECT_LT(load, 100.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDynamics, DynamicsSweep,
+    ::testing::Values(Dynamics::None, Dynamics::Stable, Dynamics::Walk,
+                      Dynamics::Bursty, Dynamics::Diurnal, Dynamics::Mixed),
+    [](const auto& info) { return to_string(info.param); });
+
+}  // namespace
+}  // namespace grasp::gridsim

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "gridsim/grid.hpp"
+#include "gridsim/topology.hpp"
+
+namespace grasp::gridsim {
+namespace {
+
+TEST(Topology, IntraAndInterSiteLinks) {
+  GridBuilder b;
+  const SiteId s0 = b.add_site("a", Seconds{1e-4}, BytesPerSecond{1e9});
+  const SiteId s1 = b.add_site("b", Seconds{2e-4}, BytesPerSecond{5e8});
+  b.set_inter_site_link(s0, s1, Seconds{0.05}, BytesPerSecond{1e7});
+  b.add_node(s0, 100.0);
+  b.add_node(s1, 100.0);
+  const Grid grid = b.build();
+
+  const Topology& topo = grid.topology();
+  EXPECT_DOUBLE_EQ(topo.link(s0, s0).latency().value, 1e-4);
+  EXPECT_DOUBLE_EQ(topo.link(s1, s1).latency().value, 2e-4);
+  EXPECT_DOUBLE_EQ(topo.link(s0, s1).latency().value, 0.05);
+  // Order-insensitive.
+  EXPECT_DOUBLE_EQ(topo.link(s1, s0).latency().value, 0.05);
+}
+
+TEST(Topology, DefaultInterSiteLinkWhenUnset) {
+  GridBuilder b;
+  const SiteId s0 = b.add_site("a");
+  const SiteId s1 = b.add_site("b");
+  b.add_node(s0, 100.0);
+  b.add_node(s1, 100.0);
+  const Grid grid = b.build();
+  // The built-in WAN default (10 ms) applies.
+  EXPECT_GT(grid.topology().link(s0, s1).latency().value, 1e-3);
+}
+
+TEST(Topology, UnknownSiteThrows) {
+  GridBuilder b;
+  const SiteId s0 = b.add_site("a");
+  b.add_node(s0, 100.0);
+  const Grid grid = b.build();
+  EXPECT_THROW((void)grid.topology().link(s0, SiteId{5}), std::out_of_range);
+  EXPECT_THROW((void)grid.topology().site(SiteId{5}), std::out_of_range);
+}
+
+TEST(Grid, LoopbackTransferIsFree) {
+  GridBuilder b;
+  const SiteId s0 = b.add_site("a");
+  const NodeId n0 = b.add_node(s0, 100.0);
+  const Grid grid = b.build();
+  EXPECT_DOUBLE_EQ(
+      grid.transfer_time(n0, n0, Bytes{1e9}, Seconds{0.0}).value, 0.0);
+}
+
+TEST(Grid, IntraSiteFasterThanInterSite) {
+  GridBuilder b;
+  const SiteId s0 = b.add_site("a", Seconds{1e-4}, BytesPerSecond{1e9});
+  const SiteId s1 = b.add_site("b", Seconds{1e-4}, BytesPerSecond{1e9});
+  b.set_inter_site_link(s0, s1, Seconds{0.02}, BytesPerSecond{1e7});
+  const NodeId a0 = b.add_node(s0, 100.0);
+  const NodeId a1 = b.add_node(s0, 100.0);
+  const NodeId b0 = b.add_node(s1, 100.0);
+  const Grid grid = b.build();
+  const double local =
+      grid.transfer_time(a0, a1, Bytes{1e6}, Seconds{0.0}).value;
+  const double wan = grid.transfer_time(a0, b0, Bytes{1e6}, Seconds{0.0}).value;
+  EXPECT_LT(local, wan);
+}
+
+TEST(Grid, NodeLookupAndIds) {
+  GridBuilder b;
+  const SiteId s0 = b.add_site("a");
+  const NodeId n0 = b.add_node(s0, 120.0, nullptr, 1.0, "alpha");
+  const NodeId n1 = b.add_node(s0, 80.0);
+  const Grid grid = b.build();
+  EXPECT_EQ(grid.node_count(), 2u);
+  EXPECT_EQ(grid.node(n0).name(), "alpha");
+  EXPECT_DOUBLE_EQ(grid.node(n1).base_speed_mops(), 80.0);
+  EXPECT_EQ(grid.node_ids(), (std::vector<NodeId>{n0, n1}));
+  EXPECT_THROW((void)grid.node(NodeId{9}), std::out_of_range);
+}
+
+TEST(GridBuilder, AutoNamesIncludeSite) {
+  GridBuilder b;
+  const SiteId s0 = b.add_site("edinburgh");
+  const NodeId n0 = b.add_node(s0, 100.0);
+  const Grid grid = b.build();
+  EXPECT_NE(grid.node(n0).name().find("edinburgh"), std::string::npos);
+}
+
+TEST(GridBuilder, EmptyBuildThrows) {
+  GridBuilder b;
+  b.add_site("a");
+  EXPECT_THROW((void)b.build(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace grasp::gridsim

@@ -1,0 +1,85 @@
+#include "gridsim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grasp::gridsim {
+namespace {
+
+TraceEvent ev(double at, TraceEventKind kind, std::uint64_t node = 0,
+              std::uint64_t task = 0) {
+  return TraceEvent{Seconds{at}, kind, NodeId{node}, TaskId{task}, 0.0, ""};
+}
+
+TEST(Trace, CountsByKind) {
+  TraceRecorder tr;
+  tr.record(ev(0.0, TraceEventKind::TaskDispatched));
+  tr.record(ev(1.0, TraceEventKind::TaskCompleted));
+  tr.record(ev(2.0, TraceEventKind::TaskCompleted));
+  EXPECT_EQ(tr.count(TraceEventKind::TaskCompleted), 2u);
+  EXPECT_EQ(tr.count(TraceEventKind::TaskDispatched), 1u);
+  EXPECT_EQ(tr.count(TraceEventKind::NodeSwapped), 0u);
+  EXPECT_EQ(tr.events().size(), 3u);
+}
+
+TEST(Trace, ThroughputSeriesBucketsCompletions) {
+  TraceRecorder tr;
+  tr.record(ev(0.5, TraceEventKind::TaskCompleted, 0, 1));
+  tr.record(ev(1.5, TraceEventKind::TaskCompleted, 0, 2));
+  tr.record(ev(1.7, TraceEventKind::ItemCompleted, 0, 3));
+  tr.record(ev(9.0, TraceEventKind::TaskDispatched, 0, 4));  // not counted
+  const auto series = tr.throughput_series(Seconds{1.0}, Seconds{3.0});
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+  EXPECT_DOUBLE_EQ(series[1], 2.0);
+  EXPECT_DOUBLE_EQ(series[2], 0.0);
+}
+
+TEST(Trace, ThroughputClampsLateEventsIntoLastBucket) {
+  TraceRecorder tr;
+  tr.record(ev(99.0, TraceEventKind::TaskCompleted, 0, 1));
+  const auto series = tr.throughput_series(Seconds{1.0}, Seconds{2.0});
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[1], 1.0);
+}
+
+TEST(Trace, NodeBusyFractionPairsDispatchAndComplete) {
+  TraceRecorder tr;
+  tr.record(ev(0.0, TraceEventKind::TaskDispatched, 0, 1));
+  tr.record(ev(4.0, TraceEventKind::TaskCompleted, 0, 1));
+  tr.record(ev(2.0, TraceEventKind::TaskDispatched, 1, 2));
+  tr.record(ev(3.0, TraceEventKind::TaskCompleted, 1, 2));
+  const auto busy = tr.node_busy_fraction(2, Seconds{10.0});
+  ASSERT_EQ(busy.size(), 2u);
+  EXPECT_DOUBLE_EQ(busy[0], 0.4);
+  EXPECT_DOUBLE_EQ(busy[1], 0.1);
+}
+
+TEST(Trace, AdaptationTimesCollectsActionEvents) {
+  TraceRecorder tr;
+  tr.record(ev(1.0, TraceEventKind::RecalibrationTriggered));
+  tr.record(ev(2.0, TraceEventKind::TaskCompleted));
+  tr.record(ev(3.0, TraceEventKind::NodeSwapped));
+  tr.record(ev(4.0, TraceEventKind::StageRemapped));
+  tr.record(ev(5.0, TraceEventKind::ChunkResized));
+  const auto times = tr.adaptation_times();
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(times[3].value, 5.0);
+}
+
+TEST(Trace, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(TraceEventKind::TaskCompleted), "task_completed");
+  EXPECT_STREQ(to_string(TraceEventKind::RecalibrationTriggered),
+               "recalibration_triggered");
+  EXPECT_STREQ(to_string(TraceEventKind::ItemCompleted), "item_completed");
+}
+
+TEST(Trace, ClearEmpties) {
+  TraceRecorder tr;
+  tr.record(ev(0.0, TraceEventKind::TaskCompleted));
+  tr.clear();
+  EXPECT_TRUE(tr.events().empty());
+}
+
+}  // namespace
+}  // namespace grasp::gridsim

@@ -1,0 +1,236 @@
+// Integration tests across modules: full GRASP runs on scripted grids,
+// adaptive-vs-static orderings, and sim/thread backend agreement.
+#include <gtest/gtest.h>
+
+#include "core/backend_sim.hpp"
+#include "core/backend_thread.hpp"
+#include "core/baselines.hpp"
+#include "core/grasp.hpp"
+#include "core/pipeline.hpp"
+#include "core/task_farm.hpp"
+#include "gridsim/scenarios.hpp"
+#include "workloads/applications.hpp"
+#include "workloads/generators.hpp"
+
+namespace grasp::core {
+namespace {
+
+workloads::TaskSet irregular_tasks(std::size_t n, std::uint64_t seed) {
+  workloads::TaskSetParams p;
+  p.count = n;
+  p.mean_mops = 120.0;
+  p.cv = 1.0;
+  p.seed = seed;
+  return workloads::make_task_set(p);
+}
+
+// Sweep: on every dynamics kind, the adaptive farm completes all tasks and
+// is never dramatically worse than the frozen farm (it may pay small
+// calibration overhead), while under injected degradation it wins.
+class DynamicsEndToEnd
+    : public ::testing::TestWithParam<gridsim::Dynamics> {};
+
+TEST_P(DynamicsEndToEnd, AdaptiveFarmCompletesAndStaysCompetitive) {
+  gridsim::ScenarioParams sp;
+  sp.node_count = 12;
+  sp.dynamics = GetParam();
+  sp.seed = 21;
+  const workloads::TaskSet ts = irregular_tasks(400, 5);
+
+  const gridsim::Grid grid_a = gridsim::make_grid(sp);
+  SimBackend backend_a(grid_a);
+  const FarmReport adaptive = TaskFarm(make_adaptive_farm_params())
+                                  .run(backend_a, grid_a,
+                                       grid_a.node_ids(), ts);
+  EXPECT_EQ(adaptive.tasks_completed + adaptive.calibration_tasks, 400u);
+
+  const gridsim::Grid grid_b = gridsim::make_grid(sp);
+  SimBackend backend_b(grid_b);
+  const BaselineReport block =
+      StaticBlockFarm().run(backend_b, grid_b.node_ids(), ts);
+
+  // The adaptive farm must beat static block distribution on every
+  // heterogeneous scenario (block ignores speed differences entirely).
+  EXPECT_LT(adaptive.makespan.value, block.makespan.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDynamics, DynamicsEndToEnd,
+    ::testing::Values(gridsim::Dynamics::None, gridsim::Dynamics::Stable,
+                      gridsim::Dynamics::Walk, gridsim::Dynamics::Bursty,
+                      gridsim::Dynamics::Diurnal, gridsim::Dynamics::Mixed),
+    [](const auto& info) { return gridsim::to_string(info.param); });
+
+TEST(EndToEnd, OrderingOracleFastestThenAdaptiveThenStatic) {
+  gridsim::ScenarioParams sp;
+  sp.node_count = 16;
+  sp.dynamics = gridsim::Dynamics::Stable;
+  sp.seed = 8;
+  const workloads::TaskSet ts = irregular_tasks(600, 11);
+
+  const gridsim::Grid g1 = gridsim::make_grid(sp);
+  const BaselineReport oracle = OracleFarm().run(g1, g1.node_ids(), ts);
+
+  const gridsim::Grid g2 = gridsim::make_grid(sp);
+  SimBackend b2(g2);
+  const FarmReport adaptive =
+      TaskFarm(make_adaptive_farm_params()).run(b2, g2, g2.node_ids(), ts);
+
+  const gridsim::Grid g3 = gridsim::make_grid(sp);
+  SimBackend b3(g3);
+  const BaselineReport block =
+      StaticBlockFarm().run(b3, g3.node_ids(), ts);
+
+  EXPECT_LE(oracle.makespan.value, adaptive.makespan.value * 1.05);
+  EXPECT_LT(adaptive.makespan.value, block.makespan.value);
+}
+
+TEST(EndToEnd, MandelbrotSweepThroughGraspDriver) {
+  gridsim::ScenarioParams sp;
+  sp.node_count = 8;
+  sp.dynamics = gridsim::Dynamics::Walk;
+  sp.seed = 4;
+  const gridsim::Grid grid = gridsim::make_grid(sp);
+  workloads::MandelbrotSweepParams mp;
+  mp.tiles_x = 12;
+  mp.tiles_y = 12;
+  GraspProgram program("mandelbrot");
+  program.use_task_farm(make_adaptive_farm_params())
+      .with_tasks(workloads::make_mandelbrot_sweep(mp));
+  const RunSummary summary = program.compile(grid).execute();
+  ASSERT_TRUE(summary.farm.has_value());
+  EXPECT_EQ(summary.farm->tasks_completed + summary.farm->calibration_tasks,
+            144u);
+}
+
+TEST(EndToEnd, ImagePipelineDegradationRecovery) {
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a", Seconds{1e-4}, BytesPerSecond{1e9});
+  for (int i = 0; i < 7; ++i) b.add_node(s, 120.0);
+  gridsim::Grid grid = b.build();
+  const auto spec = workloads::make_image_pipeline({.frame_bytes = 1e5,
+                                                    .work_scale = 1.0,
+                                                    .stages = 5});
+  // Degrade whichever node hosts the heavy segment stage.
+  {
+    SimBackend probe(grid);
+    PipelineParams params;
+    params.adaptation_enabled = false;
+    const auto mapping =
+        Pipeline(params).run(probe, grid, grid.node_ids(), spec, 3)
+            .final_mapping;
+    gridsim::inject_load_step_on(grid, mapping[2], Seconds{50.0}, 9.0);
+  }
+  SimBackend backend(grid);
+  PipelineParams params;
+  params.threshold.z = 2.0;
+  const PipelineReport report =
+      Pipeline(params).run(backend, grid, grid.node_ids(), spec, 400);
+  EXPECT_EQ(report.items_completed, 400u);
+  EXPECT_GE(report.remaps, 1u);
+  EXPECT_TRUE(report.output_in_order);
+}
+
+TEST(EndToEnd, SimAndThreadBackendsAgreeOnSmallCase) {
+  // Identical tiny farm on both backends: same task counts, and makespans
+  // within a loose factor (thread backend pays real scheduling noise).
+  const gridsim::Grid grid = gridsim::make_uniform_grid(3, 100.0);
+  workloads::TaskSetParams tp;
+  tp.count = 30;
+  tp.mean_mops = 20.0;
+  tp.distribution = workloads::CostDistribution::Constant;
+  const workloads::TaskSet ts = workloads::make_task_set(tp);
+  FarmParams params = make_demand_farm_params();
+  params.monitor.period = Seconds{5.0};
+
+  SimBackend sim(grid);
+  const FarmReport sim_report =
+      TaskFarm(params).run(sim, grid, grid.node_ids(), ts);
+
+  ThreadBackend::Params bp;
+  bp.time_scale = 5e-4;
+  ThreadBackend threads(grid, bp);
+  const FarmReport thread_report =
+      TaskFarm(params).run(threads, grid, grid.node_ids(), ts);
+
+  EXPECT_EQ(sim_report.tasks_completed + sim_report.calibration_tasks, 30u);
+  EXPECT_EQ(thread_report.tasks_completed + thread_report.calibration_tasks,
+            30u);
+  EXPECT_GT(thread_report.makespan.value, sim_report.makespan.value * 0.3);
+  EXPECT_LT(thread_report.makespan.value, sim_report.makespan.value * 5.0);
+}
+
+TEST(EndToEnd, ReplicatedPipelineThroughGraspDriver) {
+  // The driver composes with the replication extension: a structurally
+  // skewed pipeline self-farms its heavy stage during a driven run.
+  const gridsim::Grid grid = gridsim::make_uniform_grid(8, 100.0);
+  workloads::PipelineSpec spec = workloads::make_uniform_pipeline(3, 25.0, 1e3);
+  spec.stages[1].work_per_item = Mops{100.0};
+  PipelineParams params;
+  params.monitor.period = Seconds{1.0};
+  params.replicate_imbalance_factor = 2.0;
+  params.replication_cooldown_items = 10;
+  GraspProgram program("skewed-stream");
+  program.use_pipeline(params, spec, 250);
+  const RunSummary summary = program.compile(grid).execute();
+  ASSERT_TRUE(summary.pipeline.has_value());
+  EXPECT_EQ(summary.pipeline->items_completed, 250u);
+  EXPECT_GE(summary.pipeline->replications, 1u);
+  EXPECT_TRUE(summary.pipeline->output_in_order);
+}
+
+TEST(EndToEnd, SwampedPoolFavoursSelectiveFarm) {
+  // The E4 structural claim as a pinned test: with swamped pool members
+  // and chunked dispatch, the selective adaptive farm beats the
+  // non-selective demand farm.
+  gridsim::ScenarioParams sp;
+  sp.node_count = 16;
+  sp.dynamics = gridsim::Dynamics::Stable;
+  sp.swamped_fraction = 0.25;
+  sp.seed = 12;
+  const workloads::TaskSet ts = irregular_tasks(800, 9);
+
+  FarmParams demand = make_demand_farm_params();
+  demand.chunk_size = 4;
+  FarmParams adaptive = make_adaptive_farm_params();
+  adaptive.chunk_size = 4;
+
+  const gridsim::Grid g1 = gridsim::make_grid(sp);
+  SimBackend b1(g1);
+  const double demand_s =
+      TaskFarm(demand).run(b1, g1, g1.node_ids(), ts).makespan.value;
+  const gridsim::Grid g2 = gridsim::make_grid(sp);
+  SimBackend b2(g2);
+  const FarmReport adaptive_report =
+      TaskFarm(adaptive).run(b2, g2, g2.node_ids(), ts);
+
+  EXPECT_LT(adaptive_report.makespan.value, demand_s);
+  // Exclusion is by measured harm, not by label: almost all swamped nodes
+  // must be dropped (a swamped-but-very-fast node may legitimately stay —
+  // its effective speed can rival a clean slow node's).
+  std::size_t swamped_chosen = 0;
+  for (const NodeId n : adaptive_report.final_chosen)
+    if (g2.node(n).load_at(Seconds{0.0}) >= 15.0) ++swamped_chosen;
+  EXPECT_LE(swamped_chosen, 1u);
+  EXPECT_LT(adaptive_report.final_chosen.size(), 16u);
+}
+
+TEST(EndToEnd, CalibrationWorkCountsTowardJob) {
+  // Paper: "the processing performed during the calibration contributes to
+  // the overall job."  Total completions must equal the task count with no
+  // double counting across calibration and execution.
+  gridsim::ScenarioParams sp;
+  sp.node_count = 10;
+  sp.seed = 31;
+  const gridsim::Grid grid = gridsim::make_grid(sp);
+  SimBackend backend(grid);
+  FarmParams params = make_adaptive_farm_params();
+  params.calibration.samples_per_node = 2;
+  const FarmReport report = TaskFarm(params).run(
+      backend, grid, grid.node_ids(), irregular_tasks(100, 13));
+  EXPECT_EQ(report.tasks_completed + report.calibration_tasks, 100u);
+  EXPECT_GE(report.calibration_tasks, 10u);  // 10 nodes x 2 samples capped
+}
+
+}  // namespace
+}  // namespace grasp::core

@@ -1,0 +1,191 @@
+#include "mp/communicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace grasp::mp {
+namespace {
+
+TEST(World, RejectsBadSizesAndRanks) {
+  EXPECT_THROW(World(0), std::invalid_argument);
+  World w(2);
+  EXPECT_THROW((void)w.comm(2), std::out_of_range);
+  EXPECT_THROW((void)w.mailbox(-1), std::out_of_range);
+}
+
+TEST(Comm, PointToPointAcrossThreads) {
+  World world(2);
+  double received = 0.0;
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 7, 3.5);
+    } else {
+      received = comm.recv_value<double>(0, 7);
+    }
+  });
+  EXPECT_DOUBLE_EQ(received, 3.5);
+}
+
+TEST(Comm, VectorTransfer) {
+  World world(2);
+  std::vector<int> got;
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_vector(1, 1, std::vector<int>{5, 6, 7});
+    } else {
+      got = comm.recv(0, 1).unpack_vector<int>();
+    }
+  });
+  EXPECT_EQ(got, (std::vector<int>{5, 6, 7}));
+}
+
+TEST(Comm, BarrierSynchronisesAllRanks) {
+  const int n = 4;
+  World world(n);
+  std::atomic<int> before{0}, after{0};
+  world.run([&](Comm& comm) {
+    ++before;
+    comm.barrier();
+    // Everyone must have incremented `before` by now.
+    EXPECT_EQ(before.load(), n);
+    ++after;
+  });
+  EXPECT_EQ(after.load(), n);
+}
+
+TEST(Comm, BroadcastDistributesRootValue) {
+  World world(4);
+  std::vector<double> got(4, -1.0);
+  world.run([&](Comm& comm) {
+    const double v = comm.broadcast(comm.rank() == 0 ? 9.25 : 0.0, 0);
+    got[static_cast<std::size_t>(comm.rank())] = v;
+  });
+  for (const double v : got) EXPECT_DOUBLE_EQ(v, 9.25);
+}
+
+TEST(Comm, GatherCollectsByRank) {
+  World world(4);
+  std::vector<double> gathered;
+  world.run([&](Comm& comm) {
+    auto all = comm.gather(static_cast<double>(comm.rank() * 10), 0);
+    if (comm.rank() == 0) gathered = std::move(all);
+    else EXPECT_TRUE(all.empty());
+  });
+  EXPECT_EQ(gathered, (std::vector<double>{0.0, 10.0, 20.0, 30.0}));
+}
+
+TEST(Comm, ScatterDealsOnePerRank) {
+  World world(3);
+  std::vector<double> got(3, -1.0);
+  world.run([&](Comm& comm) {
+    const std::vector<double> parts{1.0, 2.0, 3.0};
+    const double mine =
+        comm.scatter(comm.rank() == 0 ? parts : std::vector<double>{}, 0);
+    got[static_cast<std::size_t>(comm.rank())] = mine;
+  });
+  EXPECT_EQ(got, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Comm, ReduceSumOnRoot) {
+  World world(5);
+  double total = 0.0;
+  world.run([&](Comm& comm) {
+    const double r = comm.reduce(static_cast<double>(comm.rank() + 1),
+                                 [](double a, double b) { return a + b; }, 0);
+    if (comm.rank() == 0) total = r;
+  });
+  EXPECT_DOUBLE_EQ(total, 15.0);
+}
+
+TEST(Comm, AllreduceMaxEverywhere) {
+  World world(4);
+  std::vector<double> got(4, -1.0);
+  world.run([&](Comm& comm) {
+    const double m = comm.allreduce(
+        static_cast<double>(comm.rank()),
+        [](double a, double b) { return a > b ? a : b; });
+    got[static_cast<std::size_t>(comm.rank())] = m;
+  });
+  for (const double v : got) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(Comm, ConsecutiveCollectivesDoNotCrossTalk) {
+  World world(3);
+  world.run([&](Comm& comm) {
+    const double a = comm.broadcast(comm.rank() == 0 ? 1.0 : 0.0, 0);
+    comm.barrier();
+    const double b = comm.broadcast(comm.rank() == 0 ? 2.0 : 0.0, 0);
+    const double sum = comm.allreduce(
+        a + b, [](double x, double y) { return x + y; });
+    EXPECT_DOUBLE_EQ(sum, 9.0);
+  });
+}
+
+TEST(Comm, SendHookObservesTraffic) {
+  World world(2);
+  std::atomic<std::size_t> bytes{0};
+  world.set_send_hook([&](int, int, std::size_t n) { bytes += n; });
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) comm.send_value(1, 1, 1.0);
+    else (void)comm.recv(0, 1);
+  });
+  EXPECT_EQ(bytes.load(), sizeof(double));
+}
+
+TEST(Comm, WorkerExceptionPropagates) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Comm& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+}
+
+TEST(Comm, ManyMessagesPreserveFifoPerSender) {
+  World world(3);
+  std::vector<int> from1, from2;
+  world.run([&](Comm& comm) {
+    constexpr int kCount = 200;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 2 * kCount; ++i) {
+        // Receivers match per source; order within a source must hold.
+        const Message m = comm.recv(kAnySource, 4);
+        (m.source == 1 ? from1 : from2).push_back(m.unpack<int>());
+      }
+    } else {
+      for (int i = 0; i < kCount; ++i) comm.send_value(0, 4, i);
+    }
+  });
+  ASSERT_EQ(from1.size(), 200u);
+  ASSERT_EQ(from2.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(from1.begin(), from1.end()));
+  EXPECT_TRUE(std::is_sorted(from2.begin(), from2.end()));
+}
+
+TEST(Comm, CollectivesComposeOnWiderWorld) {
+  const int n = 8;
+  World world(n);
+  std::vector<double> results(n, 0.0);
+  world.run([&](Comm& comm) {
+    // sum(0..7) = 28 broadcast back, then everyone contributes rank*mean.
+    const double sum = comm.allreduce(
+        static_cast<double>(comm.rank()),
+        [](double a, double b) { return a + b; });
+    comm.barrier();
+    const auto all = comm.gather(sum / n * comm.rank(), 0);
+    if (comm.rank() == 0)
+      for (int r = 0; r < n; ++r) results[r] = all[r];
+  });
+  for (int r = 0; r < n; ++r) EXPECT_DOUBLE_EQ(results[r], 3.5 * r);
+}
+
+TEST(Comm, SendValidatesArguments) {
+  World world(2);
+  Comm comm = world.comm(0);
+  EXPECT_THROW(comm.send(5, 0, {}), std::out_of_range);
+  EXPECT_THROW(comm.send(1, -3, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grasp::mp

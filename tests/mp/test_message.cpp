@@ -1,0 +1,102 @@
+#include "mp/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace grasp::mp {
+namespace {
+
+TEST(Message, PackUnpackRoundTrip) {
+  const double value = 3.25;
+  Message msg;
+  msg.payload = Message::pack(value);
+  EXPECT_DOUBLE_EQ(msg.unpack<double>(), 3.25);
+
+  struct Pod {
+    int a;
+    double b;
+  };
+  Message msg2;
+  msg2.payload = Message::pack(Pod{7, 1.5});
+  const Pod out = msg2.unpack<Pod>();
+  EXPECT_EQ(out.a, 7);
+  EXPECT_DOUBLE_EQ(out.b, 1.5);
+}
+
+TEST(Message, UnpackSizeMismatchThrows) {
+  Message msg;
+  msg.payload = Message::pack(1.0f);
+  EXPECT_THROW((void)msg.unpack<double>(), std::runtime_error);
+}
+
+TEST(Message, VectorRoundTrip) {
+  const std::vector<int> xs{1, 2, 3, 4};
+  Message msg;
+  msg.payload = Message::pack_vector(xs);
+  EXPECT_EQ(msg.unpack_vector<int>(), xs);
+
+  Message empty;
+  empty.payload = Message::pack_vector(std::vector<int>{});
+  EXPECT_TRUE(empty.unpack_vector<int>().empty());
+}
+
+TEST(Mailbox, FifoWithinMatches) {
+  Mailbox box;
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.source = 0;
+    m.tag = 5;
+    m.payload = Message::pack(i);
+    box.deliver(std::move(m));
+  }
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(box.receive(0, 5).unpack<int>(), i);
+}
+
+TEST(Mailbox, TagAndSourceMatching) {
+  Mailbox box;
+  Message a;
+  a.source = 1;
+  a.tag = 10;
+  a.payload = Message::pack(1);
+  Message b;
+  b.source = 2;
+  b.tag = 20;
+  b.payload = Message::pack(2);
+  box.deliver(std::move(a));
+  box.deliver(std::move(b));
+  // Matching skips non-matching earlier messages.
+  EXPECT_EQ(box.receive(2, 20).unpack<int>(), 2);
+  EXPECT_EQ(box.receive(kAnySource, kAnyTag).unpack<int>(), 1);
+}
+
+TEST(Mailbox, TryReceiveNonBlocking) {
+  Mailbox box;
+  EXPECT_FALSE(box.try_receive().has_value());
+  Message m;
+  m.source = 0;
+  m.tag = 1;
+  box.deliver(std::move(m));
+  EXPECT_FALSE(box.try_receive(0, 2).has_value());  // wrong tag
+  EXPECT_TRUE(box.try_receive(0, 1).has_value());
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Mailbox, BlockingReceiveWakesOnDelivery) {
+  Mailbox box;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Message m;
+    m.source = 3;
+    m.tag = 9;
+    m.payload = Message::pack(42);
+    box.deliver(std::move(m));
+  });
+  const Message got = box.receive(3, 9);
+  producer.join();
+  EXPECT_EQ(got.unpack<int>(), 42);
+}
+
+}  // namespace
+}  // namespace grasp::mp

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perfmon/forecaster.hpp"
+#include "support/rng.hpp"
+
+namespace grasp::perfmon {
+namespace {
+
+Sample at(double t, double v) { return Sample{Seconds{t}, v}; }
+
+TEST(MetaForecaster, FactoryBuildsIt) {
+  const auto f = make_forecaster("meta");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->name(), "meta");
+}
+
+TEST(MetaForecaster, ConstantSeriesIsFixedPoint) {
+  MetaForecaster f;
+  for (int k = 0; k < 50; ++k) f.observe(at(k, 2.5));
+  EXPECT_NEAR(f.forecast(), 2.5, 1e-9);
+}
+
+TEST(MetaForecaster, TracksStepChangeLikeBestMember) {
+  // A hard step: last_value recovers immediately, running_mean lags badly.
+  // The meta forecaster must converge to a member that tracks the step.
+  MetaForecaster f;
+  for (int k = 0; k < 50; ++k) f.observe(at(k, 1.0));
+  for (int k = 50; k < 100; ++k) f.observe(at(k, 5.0));
+  EXPECT_NEAR(f.forecast(), 5.0, 0.5);
+}
+
+TEST(MetaForecaster, PrefersMedianUnderSpikyNoise) {
+  // Rare large spikes on a flat baseline: the sliding median has the lowest
+  // one-step error; the meta forecast must be close to the baseline, not
+  // dragged by spikes.
+  MetaForecaster f;
+  Rng rng(5);
+  for (int k = 0; k < 200; ++k) {
+    const double v = rng.bernoulli(0.05) ? 50.0 : 1.0;
+    f.observe(at(k, v));
+  }
+  EXPECT_LT(std::abs(f.forecast() - 1.0), 1.0);
+}
+
+TEST(MetaForecaster, CurrentBestIsAKnownMember) {
+  MetaForecaster f;
+  Rng rng(7);
+  for (int k = 0; k < 60; ++k) f.observe(at(k, rng.uniform(0.0, 3.0)));
+  const std::string best = f.current_best();
+  EXPECT_TRUE(best == "last_value" || best == "running_mean" ||
+              best == "sliding_median" || best == "ewma" || best == "ar1")
+      << best;
+}
+
+TEST(MetaForecaster, CloneIsIndependentDeepCopy) {
+  MetaForecaster f;
+  Rng rng(9);
+  for (int k = 0; k < 40; ++k) f.observe(at(k, rng.uniform(1.0, 4.0)));
+  const auto clone = f.clone();
+  EXPECT_DOUBLE_EQ(f.forecast(), clone->forecast());
+  f.observe(at(100, 1000.0));
+  f.observe(at(101, 1000.0));
+  EXPECT_NE(f.forecast(), clone->forecast());
+}
+
+TEST(MetaForecaster, BeatsWorstMemberOnMixedRegimes) {
+  // Two regimes back to back; compute each member's total error and the
+  // meta forecaster's.  Meta must be no worse than the *worst* member by a
+  // clear margin (it cannot always match the best, but it must avoid
+  // catastrophic choices).
+  const char* names[] = {"last_value", "running_mean", "sliding_median",
+                         "ewma", "ar1"};
+  Rng rng(11);
+  std::vector<double> series;
+  double x = 1.0;
+  for (int k = 0; k < 150; ++k) {
+    x = 0.9 * x + rng.normal(0.1, 0.05);
+    series.push_back(std::max(0.0, x));
+  }
+  for (int k = 0; k < 150; ++k)
+    series.push_back(rng.bernoulli(0.1) ? 8.0 : 0.5);
+
+  auto total_error = [&](Forecaster& f) {
+    double err = 0.0;
+    for (std::size_t k = 0; k < series.size(); ++k) {
+      if (k > 0) err += std::abs(f.forecast() - series[k]);
+      f.observe(at(static_cast<double>(k), series[k]));
+    }
+    return err;
+  };
+  double worst = 0.0;
+  for (const char* n : names) {
+    const auto f = make_forecaster(n);
+    worst = std::max(worst, total_error(*f));
+  }
+  MetaForecaster meta;
+  EXPECT_LT(total_error(meta), worst * 0.9);
+}
+
+}  // namespace
+}  // namespace grasp::perfmon

@@ -1,0 +1,109 @@
+#include "perfmon/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsim/scenarios.hpp"
+
+namespace grasp::perfmon {
+namespace {
+
+MonitorDaemon::Params params(double period = 1.0) {
+  MonitorDaemon::Params p;
+  p.period = Seconds{period};
+  p.forecaster = "last_value";
+  return p;
+}
+
+TEST(MonitorDaemon, SamplesOnPeriodGrid) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(2, 100.0);
+  MonitorDaemon daemon(grid, grid.node_ids(), params(1.0));
+  EXPECT_EQ(daemon.samples_taken(), 0u);
+  daemon.advance_to(Seconds{0.5});
+  EXPECT_EQ(daemon.samples_taken(), 0u);  // first sample due at t=1
+  daemon.advance_to(Seconds{3.7});
+  EXPECT_EQ(daemon.samples_taken(), 3u);  // t=1,2,3
+  daemon.advance_to(Seconds{3.9});
+  EXPECT_EQ(daemon.samples_taken(), 3u);
+}
+
+TEST(MonitorDaemon, StaleAdvanceIsIgnored) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  MonitorDaemon daemon(grid, grid.node_ids(), params(1.0));
+  daemon.advance_to(Seconds{5.0});
+  const std::size_t count = daemon.samples_taken();
+  daemon.advance_to(Seconds{2.0});  // time never goes backwards
+  EXPECT_EQ(daemon.samples_taken(), count);
+}
+
+TEST(MonitorDaemon, ObservesInjectedLoadStep) {
+  gridsim::Grid grid = gridsim::make_uniform_grid(2, 100.0);
+  gridsim::inject_load_step_on(grid, NodeId{1}, Seconds{5.0}, 3.0);
+  MonitorDaemon daemon(grid, grid.node_ids(), params(1.0));
+  daemon.advance_to(Seconds{4.0});
+  EXPECT_DOUBLE_EQ(daemon.last_load(NodeId{1}), 0.0);
+  daemon.advance_to(Seconds{6.0});
+  EXPECT_DOUBLE_EQ(daemon.last_load(NodeId{1}), 3.0);
+  EXPECT_DOUBLE_EQ(daemon.forecast_load(NodeId{1}), 3.0);  // last_value
+  EXPECT_DOUBLE_EQ(daemon.last_load(NodeId{0}), 0.0);
+}
+
+TEST(MonitorDaemon, HistoryIsOldestFirstAndBounded) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  MonitorDaemon::Params p = params(1.0);
+  p.history = 4;
+  MonitorDaemon daemon(grid, grid.node_ids(), p);
+  daemon.advance_to(Seconds{10.0});
+  const auto history = daemon.load_history(NodeId{0});
+  EXPECT_EQ(history.size(), 4u);
+}
+
+TEST(MonitorDaemon, BandwidthTracked) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(2, 100.0);
+  MonitorDaemon daemon(grid, grid.node_ids(), params(1.0));
+  daemon.advance_to(Seconds{2.0});
+  // Same-site 1 GB/s default intra link.
+  EXPECT_DOUBLE_EQ(daemon.last_bandwidth(NodeId{1}), 1e9);
+  EXPECT_GT(daemon.last_bandwidth(NodeId{0}), 1e11);  // loopback vs root
+}
+
+TEST(MonitorDaemon, UnwatchedNodeThrows) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(2, 100.0);
+  MonitorDaemon daemon(grid, {NodeId{0}}, params());
+  EXPECT_THROW((void)daemon.last_load(NodeId{1}), std::out_of_range);
+}
+
+TEST(MonitorDaemon, RewatchPreservesExistingHistories) {
+  gridsim::Grid grid = gridsim::make_uniform_grid(3, 100.0);
+  gridsim::inject_load_step_on(grid, NodeId{0}, Seconds{0.0}, 2.0);
+  MonitorDaemon daemon(grid, {NodeId{0}, NodeId{1}}, params(1.0));
+  daemon.advance_to(Seconds{3.0});
+  daemon.rewatch({NodeId{0}, NodeId{2}});
+  // Node 0 history survived the rewatch.
+  EXPECT_DOUBLE_EQ(daemon.last_load(NodeId{0}), 2.0);
+  // Node 2 is fresh.
+  EXPECT_DOUBLE_EQ(daemon.last_load(NodeId{2}), 0.0);
+  // Node 1 dropped.
+  EXPECT_THROW((void)daemon.last_load(NodeId{1}), std::out_of_range);
+  daemon.advance_to(Seconds{5.0});
+  EXPECT_EQ(daemon.watched().size(), 2u);
+}
+
+TEST(MonitorDaemon, RejectsNonPositivePeriod) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  MonitorDaemon::Params p = params(0.0);
+  EXPECT_THROW(MonitorDaemon(grid, grid.node_ids(), p),
+               std::invalid_argument);
+}
+
+TEST(MonitorDaemon, NoisySamplesStayNonNegative) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  MonitorDaemon::Params p = params(1.0);
+  p.noise_relative = 0.3;
+  p.noise_absolute = 0.2;
+  MonitorDaemon daemon(grid, grid.node_ids(), p);
+  daemon.advance_to(Seconds{50.0});
+  for (const double v : daemon.load_history(NodeId{0})) EXPECT_GE(v, 0.0);
+}
+
+}  // namespace
+}  // namespace grasp::perfmon

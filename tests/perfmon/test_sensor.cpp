@@ -1,0 +1,75 @@
+#include "perfmon/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsim/scenarios.hpp"
+
+namespace grasp::perfmon {
+namespace {
+
+TEST(NoiseModel, NoneIsIdentity) {
+  NoiseModel noise = NoiseModel::none();
+  EXPECT_DOUBLE_EQ(noise.perturb(3.7), 3.7);
+  EXPECT_DOUBLE_EQ(noise.perturb(0.0), 0.0);
+}
+
+TEST(NoiseModel, NeverNegative) {
+  NoiseModel noise(0.5, 0.5, 1);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(noise.perturb(0.1), 0.0);
+}
+
+TEST(NoiseModel, DeterministicPerSeed) {
+  NoiseModel a(0.2, 0.1, 9), b(0.2, 0.1, 9);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_DOUBLE_EQ(a.perturb(1.0), b.perturb(1.0));
+}
+
+TEST(NoiseModel, RejectsNegativeStddev) {
+  EXPECT_THROW(NoiseModel(-0.1, 0.0, 0), std::invalid_argument);
+}
+
+TEST(CpuLoadSensor, PerfectSensorReadsTruth) {
+  gridsim::Grid grid = gridsim::make_uniform_grid(2, 100.0);
+  gridsim::inject_load_step_on(grid, NodeId{1}, Seconds{10.0}, 2.5);
+  CpuLoadSensor sensor(grid, NoiseModel::none());
+  EXPECT_DOUBLE_EQ(sensor.sample(NodeId{0}, Seconds{20.0}).value, 0.0);
+  EXPECT_DOUBLE_EQ(sensor.sample(NodeId{1}, Seconds{20.0}).value, 2.5);
+  EXPECT_DOUBLE_EQ(sensor.sample(NodeId{1}, Seconds{5.0}).value, 0.0);
+}
+
+TEST(CpuLoadSensor, NoisySensorStaysClose) {
+  gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  gridsim::inject_load_step_on(grid, NodeId{0}, Seconds{0.0}, 4.0);
+  CpuLoadSensor sensor(grid, NoiseModel(0.05, 0.0, 3));
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i)
+    sum += sensor.sample(NodeId{0}, Seconds{1.0}).value;
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(BandwidthSensor, LoopbackIsHuge) {
+  gridsim::Grid grid = gridsim::make_uniform_grid(2, 100.0);
+  BandwidthSensor sensor(grid, NoiseModel::none());
+  EXPECT_GT(sensor.sample(NodeId{0}, NodeId{0}, Seconds{0.0}).value, 1e11);
+}
+
+TEST(BandwidthSensor, ReadsEffectiveLinkBandwidth) {
+  gridsim::GridBuilder b;
+  const SiteId s0 = b.add_site("a", Seconds{1e-4}, BytesPerSecond{1e9});
+  const SiteId s1 = b.add_site("b");
+  b.set_inter_site_link(s0, s1, Seconds{0.01}, BytesPerSecond{4e6},
+                        std::make_unique<gridsim::ConstantLoad>(1.0));
+  const NodeId n0 = b.add_node(s0, 100.0);
+  b.add_node(s0, 100.0);
+  const NodeId n2 = b.add_node(s1, 100.0);
+  const gridsim::Grid grid = b.build();
+  BandwidthSensor sensor(grid, NoiseModel::none());
+  // Intra-site: full 1 GB/s.
+  EXPECT_DOUBLE_EQ(sensor.sample(n0, NodeId{1}, Seconds{0.0}).value, 1e9);
+  // Inter-site: 4 MB/s shared with one competitor -> 2 MB/s.
+  EXPECT_DOUBLE_EQ(sensor.sample(n0, n2, Seconds{0.0}).value, 2e6);
+}
+
+}  // namespace
+}  // namespace grasp::perfmon

@@ -1,0 +1,148 @@
+#include "support/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace grasp {
+namespace {
+
+TEST(Univariate, RecoversPlantedLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const UnivariateFit fit = fit_univariate(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-10);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(100.0), 203.0, 1e-8);
+}
+
+TEST(Univariate, NoisyLineStillClose) {
+  Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(1.5 - 0.7 * x + rng.normal(0.0, 0.1));
+  }
+  const UnivariateFit fit = fit_univariate(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.5, 0.05);
+  EXPECT_NEAR(fit.slope, -0.7, 0.02);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(Univariate, DegenerateInputs) {
+  const std::vector<double> one_x{1.0}, one_y{5.0};
+  const UnivariateFit single = fit_univariate(one_x, one_y);
+  EXPECT_DOUBLE_EQ(single.slope, 0.0);
+  EXPECT_DOUBLE_EQ(single.intercept, 5.0);
+
+  const std::vector<double> const_x{2.0, 2.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  const UnivariateFit flat = fit_univariate(const_x, ys);
+  EXPECT_DOUBLE_EQ(flat.slope, 0.0);
+  EXPECT_DOUBLE_EQ(flat.intercept, 2.0);
+}
+
+TEST(Univariate, SizeMismatchThrows) {
+  const std::vector<double> xs{1.0, 2.0}, ys{1.0};
+  EXPECT_THROW((void)fit_univariate(xs, ys), std::invalid_argument);
+}
+
+TEST(Multivariate, RecoversPlantedPlane) {
+  Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(0.0, 5.0);
+    const double b = rng.uniform(-2.0, 2.0);
+    rows.push_back({a, b});
+    ys.push_back(4.0 + 1.5 * a - 2.5 * b);
+  }
+  const MultivariateFit fit = fit_multivariate(rows, ys);
+  ASSERT_TRUE(fit.ok);
+  ASSERT_EQ(fit.coefficients.size(), 3u);
+  EXPECT_NEAR(fit.coefficients[0], 4.0, 1e-8);
+  EXPECT_NEAR(fit.coefficients[1], 1.5, 1e-8);
+  EXPECT_NEAR(fit.coefficients[2], -2.5, 1e-8);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-10);
+  const std::vector<double> probe{2.0, 1.0};
+  EXPECT_NEAR(fit.predict(probe), 4.0 + 3.0 - 2.5, 1e-8);
+}
+
+TEST(Multivariate, CollinearPredictorsNotOk) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> ys;
+  for (int i = 0; i < 30; ++i) {
+    const double a = i;
+    rows.push_back({a, 2.0 * a});  // exactly collinear
+    ys.push_back(a);
+  }
+  const MultivariateFit fit = fit_multivariate(rows, ys);
+  EXPECT_FALSE(fit.ok);
+}
+
+TEST(Multivariate, UnderdeterminedNotOk) {
+  const std::vector<std::vector<double>> rows{{1.0, 2.0}, {2.0, 1.0}};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_FALSE(fit_multivariate(rows, ys).ok);  // n=2 < p=3
+}
+
+TEST(Multivariate, RaggedRowsThrow) {
+  const std::vector<std::vector<double>> rows{{1.0, 2.0}, {2.0}};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW((void)fit_multivariate(rows, ys), std::invalid_argument);
+}
+
+TEST(SolveLinearSystem, SolvesWellConditioned) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+  std::vector<double> a{2, 1, 1, 3};
+  std::vector<double> b{5, 10};
+  ASSERT_TRUE(solve_linear_system(a, b, 2));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Zero on the initial diagonal; succeeds only with row exchanges.
+  std::vector<double> a{0, 1, 1, 0};
+  std::vector<double> b{2, 3};
+  ASSERT_TRUE(solve_linear_system(a, b, 2));
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularReturnsFalse) {
+  std::vector<double> a{1, 2, 2, 4};
+  std::vector<double> b{1, 2};
+  EXPECT_FALSE(solve_linear_system(a, b, 2));
+}
+
+// Property sweep: random well-conditioned systems round-trip A*x == b.
+class SolveRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolveRoundTrip, AxEqualsB) {
+  Rng rng(GetParam());
+  const std::size_t n = 1 + rng.uniform_index(6);
+  std::vector<double> a(n * n), x_true(n);
+  for (auto& v : a) v = rng.uniform(-5.0, 5.0);
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] += 10.0;  // diag dominant
+  for (auto& v : x_true) v = rng.uniform(-3.0, 3.0);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) b[r] += a[r * n + c] * x_true[c];
+  std::vector<double> a_copy = a;
+  ASSERT_TRUE(solve_linear_system(a_copy, b, n));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolveRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace grasp

@@ -1,0 +1,60 @@
+#include "support/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grasp {
+namespace {
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, FillsThenEvictsOldest) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.front(), 1);
+  rb.push(4);  // evicts 1
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.front(), 2);
+  EXPECT_EQ(rb.back(), 4);
+  EXPECT_EQ(rb[0], 2);
+  EXPECT_EQ(rb[1], 3);
+  EXPECT_EQ(rb[2], 4);
+}
+
+TEST(RingBuffer, ToVectorOldestFirst) {
+  RingBuffer<int> rb(4);
+  for (int i = 0; i < 10; ++i) rb.push(i);
+  EXPECT_EQ(rb.to_vector(), (std::vector<int>{6, 7, 8, 9}));
+}
+
+TEST(RingBuffer, FrontBackThrowOnEmpty) {
+  RingBuffer<int> rb(2);
+  EXPECT_THROW((void)rb.front(), std::out_of_range);
+  EXPECT_THROW((void)rb.back(), std::out_of_range);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.back(), 9);
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(RingBuffer, CapacityOneKeepsLatest) {
+  RingBuffer<int> rb(1);
+  for (int i = 0; i < 5; ++i) rb.push(i);
+  EXPECT_EQ(rb.front(), 4);
+  EXPECT_EQ(rb.back(), 4);
+}
+
+}  // namespace
+}  // namespace grasp

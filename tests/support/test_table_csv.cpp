@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace grasp {
+namespace {
+
+TEST(Table, AlignsColumnsAndRule) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.to_string();
+  std::istringstream in(out);
+  std::string header, rule, row1, row2;
+  std::getline(in, header);
+  std::getline(in, rule);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_NE(header.find("name"), std::string::npos);
+  EXPECT_EQ(rule.find_first_not_of('-'), std::string::npos);
+  EXPECT_EQ(header.size(), rule.size());
+  // Value column starts at the same offset in every row.
+  EXPECT_EQ(header.find("value"), row2.find("22"));
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+}
+
+TEST(Csv, EscapesSpecialFields) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/grasp_csv_test.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.add_row({"1", "a,b"});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "x,y");
+  EXPECT_EQ(line2, "1,\"a,b\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWidthMismatch) {
+  const std::string path = ::testing::TempDir() + "/grasp_csv_test2.csv";
+  CsvWriter w(path, {"x", "y"});
+  EXPECT_THROW(w.add_row({"1"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/f.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace grasp

@@ -1,0 +1,111 @@
+#include "workloads/applications.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/stats.hpp"
+
+namespace grasp::workloads {
+namespace {
+
+TEST(Mandelbrot, TileCountAndIrregularity) {
+  MandelbrotSweepParams p;
+  p.tiles_x = 8;
+  p.tiles_y = 8;
+  p.probe_resolution = 8;
+  const TaskSet set = make_mandelbrot_sweep(p);
+  ASSERT_EQ(set.size(), 64u);
+  std::vector<double> costs;
+  for (const auto& t : set.tasks) {
+    EXPECT_GT(t.work.value, 0.0);
+    costs.push_back(t.work.value);
+  }
+  // Tiles near the set are far heavier than far-field tiles: the sweep is
+  // genuinely irregular.
+  EXPECT_GT(max_value(costs) / min_value(costs), 10.0);
+}
+
+TEST(Mandelbrot, DeterministicCosts) {
+  MandelbrotSweepParams p;
+  const TaskSet a = make_mandelbrot_sweep(p);
+  const TaskSet b = make_mandelbrot_sweep(p);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.tasks[i].work.value, b.tasks[i].work.value);
+}
+
+TEST(Mandelbrot, RejectsZeroDimensions) {
+  MandelbrotSweepParams p;
+  p.tiles_x = 0;
+  EXPECT_THROW((void)make_mandelbrot_sweep(p), std::invalid_argument);
+}
+
+TEST(Alignment, CostsScaleWithLengthProduct) {
+  AlignmentBatchParams p;
+  p.pairs = 2000;
+  const TaskSet set = make_alignment_batch(p);
+  ASSERT_EQ(set.size(), 2000u);
+  for (const auto& t : set.tasks) {
+    EXPECT_GT(t.work.value, 0.0);
+    EXPECT_GT(t.input.value, 32.0);  // at least two minimal sequences
+  }
+  // Mean cost should be near mops_per_megacell * E[m]*E[n]/1e6 (lognormal
+  // lengths are independent).
+  std::vector<double> costs;
+  for (const auto& t : set.tasks) costs.push_back(t.work.value);
+  const double expected = p.mops_per_megacell *
+                          (p.mean_query_len * p.mean_subject_len) / 1e6;
+  EXPECT_NEAR(mean(costs), expected, expected * 0.15);
+}
+
+TEST(Quadrature, RefinedPanelsAreRareAndHeavy) {
+  QuadratureParams p;
+  p.panels = 10000;
+  const TaskSet set = make_quadrature_panels(p);
+  std::size_t heavy = 0;
+  for (const auto& t : set.tasks)
+    if (t.work.value > p.mean_mops * 2.0) ++heavy;
+  const double frac = static_cast<double>(heavy) / 10000.0;
+  EXPECT_NEAR(frac, p.refine_probability, 0.02);
+}
+
+TEST(ImagePipeline, StagesAreUnbalancedWithSegmentDominant) {
+  ImagePipelineParams p;
+  const PipelineSpec spec = make_image_pipeline(p);
+  ASSERT_EQ(spec.depth(), 5u);
+  const auto heaviest = std::max_element(
+      spec.stages.begin(), spec.stages.end(),
+      [](const StageSpec& a, const StageSpec& b) {
+        return a.work_per_item < b.work_per_item;
+      });
+  EXPECT_EQ(heaviest->name, "segment");
+  EXPECT_DOUBLE_EQ(spec.source_bytes.value, p.frame_bytes);
+}
+
+TEST(ImagePipeline, StageCountClampsAndScales) {
+  ImagePipelineParams p;
+  p.stages = 3;
+  p.work_scale = 2.0;
+  const PipelineSpec spec = make_image_pipeline(p);
+  ASSERT_EQ(spec.depth(), 3u);
+  EXPECT_DOUBLE_EQ(spec.stages[0].work_per_item.value, 80.0);  // 40 * 2
+  p.stages = 6;
+  EXPECT_THROW((void)make_image_pipeline(p), std::invalid_argument);
+  p.stages = 2;
+  EXPECT_THROW((void)make_image_pipeline(p), std::invalid_argument);
+}
+
+TEST(UniformPipeline, AllStagesEqual) {
+  const PipelineSpec spec = make_uniform_pipeline(4, 25.0, 1e4);
+  ASSERT_EQ(spec.depth(), 4u);
+  for (const auto& s : spec.stages) {
+    EXPECT_DOUBLE_EQ(s.work_per_item.value, 25.0);
+    EXPECT_DOUBLE_EQ(s.output_bytes.value, 1e4);
+  }
+  EXPECT_DOUBLE_EQ(spec.work_per_item().value, 100.0);
+  EXPECT_THROW((void)make_uniform_pipeline(0, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grasp::workloads

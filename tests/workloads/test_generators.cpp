@@ -1,0 +1,128 @@
+#include "workloads/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+namespace grasp::workloads {
+namespace {
+
+TEST(Generators, CountAndIdsAreDense) {
+  TaskSetParams p;
+  p.count = 100;
+  const TaskSet set = make_task_set(p);
+  ASSERT_EQ(set.size(), 100u);
+  for (std::size_t i = 0; i < set.size(); ++i)
+    EXPECT_EQ(set.tasks[i].id, TaskId{i});
+}
+
+TEST(Generators, DeterministicPerSeed) {
+  TaskSetParams p;
+  p.seed = 5;
+  const TaskSet a = make_task_set(p);
+  const TaskSet b = make_task_set(p);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.tasks[i].work.value, b.tasks[i].work.value);
+  p.seed = 6;
+  const TaskSet c = make_task_set(p);
+  bool differ = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a.tasks[i].work.value != c.tasks[i].work.value) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+TEST(Generators, ConstantDistributionIsExact) {
+  TaskSetParams p;
+  p.distribution = CostDistribution::Constant;
+  p.mean_mops = 50.0;
+  const TaskSet set = make_task_set(p);
+  for (const auto& t : set.tasks) EXPECT_DOUBLE_EQ(t.work.value, 50.0);
+}
+
+TEST(Generators, PayloadSizesApplied) {
+  TaskSetParams p;
+  p.input_bytes = 123.0;
+  p.output_bytes = 456.0;
+  const TaskSet set = make_task_set(p);
+  EXPECT_DOUBLE_EQ(set.tasks[0].input.value, 123.0);
+  EXPECT_DOUBLE_EQ(set.tasks[0].output.value, 456.0);
+}
+
+TEST(Generators, RejectsBadParams) {
+  TaskSetParams p;
+  p.count = 0;
+  EXPECT_THROW((void)make_task_set(p), std::invalid_argument);
+  p.count = 1;
+  p.mean_mops = 0.0;
+  EXPECT_THROW((void)make_task_set(p), std::invalid_argument);
+}
+
+TEST(Generators, NamesRoundTrip) {
+  for (const CostDistribution d :
+       {CostDistribution::Constant, CostDistribution::Uniform,
+        CostDistribution::Normal, CostDistribution::LogNormal,
+        CostDistribution::Bimodal, CostDistribution::Pareto}) {
+    EXPECT_EQ(cost_distribution_from_string(to_string(d)), d);
+  }
+  EXPECT_THROW((void)cost_distribution_from_string("nope"),
+               std::invalid_argument);
+}
+
+TEST(Generators, TaskSetAggregates) {
+  TaskSetParams p;
+  p.count = 10;
+  p.distribution = CostDistribution::Constant;
+  p.mean_mops = 5.0;
+  p.input_bytes = 100.0;
+  const TaskSet set = make_task_set(p);
+  EXPECT_DOUBLE_EQ(set.total_work().value, 50.0);
+  EXPECT_DOUBLE_EQ(set.total_input().value, 1000.0);
+}
+
+// Property sweep: every distribution hits the requested mean (within
+// sampling error) and never produces non-positive costs.
+class DistributionSweep : public ::testing::TestWithParam<CostDistribution> {
+};
+
+TEST_P(DistributionSweep, MeanApproximatelyMatchesAndPositive) {
+  TaskSetParams p;
+  p.count = 40000;
+  p.mean_mops = 100.0;
+  p.cv = 0.5;
+  p.distribution = GetParam();
+  p.seed = 1234;
+  const TaskSet set = make_task_set(p);
+  std::vector<double> costs;
+  costs.reserve(set.size());
+  for (const auto& t : set.tasks) {
+    ASSERT_GT(t.work.value, 0.0);
+    costs.push_back(t.work.value);
+  }
+  // Pareto's heavy tail converges slowly; give it a wider band.
+  const double tolerance =
+      GetParam() == CostDistribution::Pareto ? 10.0 : 3.0;
+  EXPECT_NEAR(mean(costs), 100.0, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, DistributionSweep,
+    ::testing::Values(CostDistribution::Constant, CostDistribution::Uniform,
+                      CostDistribution::Normal, CostDistribution::LogNormal,
+                      CostDistribution::Bimodal, CostDistribution::Pareto),
+    [](const auto& info) { return to_string(info.param); });
+
+TEST(Generators, LogNormalMatchesRequestedCv) {
+  TaskSetParams p;
+  p.count = 60000;
+  p.mean_mops = 100.0;
+  p.cv = 1.0;
+  p.distribution = CostDistribution::LogNormal;
+  const TaskSet set = make_task_set(p);
+  std::vector<double> costs;
+  for (const auto& t : set.tasks) costs.push_back(t.work.value);
+  const double cv = stddev(costs) / mean(costs);
+  EXPECT_NEAR(cv, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace grasp::workloads

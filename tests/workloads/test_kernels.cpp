@@ -1,0 +1,85 @@
+#include "workloads/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace grasp::workloads {
+namespace {
+
+TEST(MandelbrotKernel, InteriorTileSaturatesIterations) {
+  // A tile wholly inside the main cardioid never escapes.
+  const auto iters = mandelbrot_tile_iterations(-0.2, -0.1, 0.2, 0.2, 4, 100);
+  EXPECT_EQ(iters, 16u * 100u);
+}
+
+TEST(MandelbrotKernel, FarFieldEscapesImmediately) {
+  // |c| > 2 escapes on the first iterations.
+  const auto iters = mandelbrot_tile_iterations(10.0, 10.0, 1.0, 1.0, 4, 100);
+  EXPECT_LT(iters, 16u * 3u);
+}
+
+TEST(MandelbrotKernel, MoreIterationBudgetNeverReducesCount) {
+  const auto lo = mandelbrot_tile_iterations(-0.8, 0.0, 0.4, 0.4, 8, 64);
+  const auto hi = mandelbrot_tile_iterations(-0.8, 0.0, 0.4, 0.4, 8, 256);
+  EXPECT_GE(hi, lo);
+}
+
+TEST(SmithWaterman, KnownScores) {
+  // Identical strings: every position matches, score = 2 * len.
+  EXPECT_EQ(smith_waterman_score("ACGT", "ACGT"), 8);
+  // Disjoint alphabets: no positive-scoring local alignment.
+  EXPECT_EQ(smith_waterman_score("AAAA", "TTTT"), 0);
+  // Local alignment finds the embedded motif.
+  EXPECT_EQ(smith_waterman_score("TTTACGTTT", "GGGACGGGG"), 6);  // "ACG"
+  EXPECT_EQ(smith_waterman_score("", "ACGT"), 0);
+}
+
+TEST(SmithWaterman, SymmetricInArguments) {
+  const std::string a = random_dna(60, 1), b = random_dna(80, 2);
+  EXPECT_EQ(smith_waterman_score(a, b), smith_waterman_score(b, a));
+}
+
+TEST(SmithWaterman, GapPenaltyMatters) {
+  // "AC-GT" vs "ACGT": one gap bridged alignment still scores positive but
+  // less than a perfect 8.
+  const int score = smith_waterman_score("ACXGT", "ACGT");
+  EXPECT_GT(score, 0);
+  EXPECT_LT(score, 8 + 1);
+}
+
+TEST(RandomDna, AlphabetAndDeterminism) {
+  const std::string a = random_dna(200, 7);
+  const std::string b = random_dna(200, 7);
+  EXPECT_EQ(a, b);
+  for (const char c : a)
+    EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+  EXPECT_NE(random_dna(200, 8), a);
+}
+
+TEST(BurnMops, ReturnsFiniteNonZeroAndScales) {
+  const double r = burn_mops(0.1);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_NE(r, 0.0);
+  EXPECT_DOUBLE_EQ(burn_mops(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(burn_mops(-1.0), 0.0);
+}
+
+TEST(Simpson, MatchesClosedForm) {
+  // Integral of sin(x)e^{-x/4} over [0, pi] has a closed form:
+  // (4/17) e^{-x/4} (-4 cos x - ... ) — just compare against a fine
+  // reference computed with many panels.
+  const double fine = simpson_integral(0.0, 3.14159265358979, 100000);
+  const double coarse = simpson_integral(0.0, 3.14159265358979, 100);
+  EXPECT_NEAR(coarse, fine, 1e-6);
+}
+
+TEST(Simpson, OddPanelCountRoundsUp) {
+  // n=3 is forced even internally; result must still be sane.
+  const double v = simpson_integral(0.0, 1.0, 3);
+  const double ref = simpson_integral(0.0, 1.0, 1000);
+  EXPECT_NEAR(v, ref, 1e-4);
+}
+
+}  // namespace
+}  // namespace grasp::workloads
