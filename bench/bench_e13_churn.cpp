@@ -1,0 +1,145 @@
+// E13: resilience under node churn — completion time and wasted work vs
+// churn rate (per-node MTBF), three farm variants on identical grids:
+//
+//   grasp-elastic — full resilience: failure detector + chunk ledger +
+//                   recalibrate-on-crash + fast-path admission of joiners
+//   resil-static  — detector + ledger only: crashes are survived promptly
+//                   but the worker set never grows (no elastic join, no
+//                   recalibration) — the fixed-set ablation
+//   blind         — membership-blind demand farm: only the correctness
+//                   floor (zombie chunks re-queued when their completion
+//                   finally surfaces), so every permanent crash costs the
+//                   whole outage wait
+//
+// Scenarios: 16-node heterogeneous pool (stable dynamics, to isolate the
+// churn effect) + 4 spares joining mid-run; crashes stall in-flight work
+// until the node returns (or 2e4 s for nodes that never do).
+//
+// Writes BENCH_e13.json next to the working directory for trend tracking.
+#include <fstream>
+
+#include "bench/common.hpp"
+
+using namespace grasp;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  core::FarmParams params;
+};
+
+core::FarmParams elastic_params() {
+  core::FarmParams p = core::make_adaptive_farm_params();
+  p.chunk_size = 4;
+  p.resilience.enabled = true;
+  p.resilience.detector.heartbeat_period = Seconds{1.0};
+  p.resilience.detector.timeout = Seconds{5.0};
+  return p;
+}
+
+core::FarmParams static_params() {
+  core::FarmParams p = core::make_demand_farm_params();
+  p.chunk_size = 4;
+  p.resilience.enabled = true;
+  p.resilience.detector.heartbeat_period = Seconds{1.0};
+  p.resilience.detector.timeout = Seconds{5.0};
+  p.resilience.recalibrate_on_crash = false;
+  p.resilience.elastic_join = false;
+  return p;
+}
+
+core::FarmParams blind_params() {
+  core::FarmParams p = core::make_demand_farm_params();
+  p.chunk_size = 4;
+  return p;
+}
+
+gridsim::Grid make_scenario(double mtbf) {
+  gridsim::ChurnScenarioParams cp;
+  cp.grid.node_count = 16;
+  cp.grid.sites = 2;
+  cp.grid.dynamics = gridsim::Dynamics::Stable;
+  cp.grid.seed = 71;
+  cp.spare_nodes = 4;
+  cp.mtbf = mtbf;
+  cp.crash_fraction = 0.75;
+  cp.rejoin_probability = 0.7;
+  cp.rejoin_delay = Seconds{60.0};
+  cp.horizon = Seconds{600.0};
+  cp.warmup = Seconds{30.0};
+  cp.churn_seed = 13;
+  return gridsim::make_churn_grid(cp);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_experiment_header(
+      "E13 — farm resilience under node churn",
+      "16 heterogeneous nodes + 4 late-joining spares; Poisson crash/leave/"
+      "rejoin per node.\nLower MTBF = harsher churn.  grasp-elastic must "
+      "degrade gracefully while the\nmembership-blind farm pays every outage "
+      "in full.");
+
+  const std::vector<double> mtbfs = {0.0, 600.0, 300.0, 150.0};
+  const workloads::TaskSet tasks = bench::irregular_tasks(2000, 120.0, 29);
+
+  Table table({"mtbf_s", "events", "grasp_s", "static_s", "blind_s",
+               "grasp_wasted_mops", "redispatched", "crashes",
+               "joins_admitted"});
+  std::ofstream json("BENCH_e13.json");
+  json << "{\n  \"experiment\": \"e13_churn\",\n  \"scenario\": "
+          "\"hetero-16+4spares, stable dynamics, seed 71/13\",\n  \"tasks\": "
+       << tasks.size() << ",\n  \"rows\": [\n";
+
+  bool first_row = true;
+  for (const double mtbf : mtbfs) {
+    const Variant variants[] = {{"grasp", elastic_params()},
+                                {"static", static_params()},
+                                {"blind", blind_params()}};
+    double makespan[3] = {0, 0, 0};
+    core::FarmReport grasp_report;
+    std::size_t events = 0;
+    for (int v = 0; v < 3; ++v) {
+      gridsim::Grid grid = make_scenario(mtbf);
+      events = grid.churn()->events().size();
+      core::SimBackend backend(grid);
+      core::FarmReport r = core::TaskFarm(variants[v].params)
+                               .run(backend, grid, grid.node_ids(), tasks);
+      makespan[v] = r.makespan.value;
+      if (v == 0) grasp_report = std::move(r);
+    }
+    const auto& res = grasp_report.resilience;
+    table.add_row({mtbf > 0.0 ? Table::num(mtbf, 0) : "none",
+                   Table::num(static_cast<long long>(events)),
+                   Table::num(makespan[0], 1), Table::num(makespan[1], 1),
+                   Table::num(makespan[2], 1),
+                   Table::num(res.wasted_mops, 0),
+                   Table::num(static_cast<long long>(res.tasks_redispatched)),
+                   Table::num(static_cast<long long>(res.crashes_detected)),
+                   Table::num(static_cast<long long>(res.admissions))});
+    json << (first_row ? "" : ",\n") << "    {\"mtbf_s\": " << mtbf
+         << ", \"churn_events\": " << events
+         << ", \"grasp_s\": " << makespan[0]
+         << ", \"static_s\": " << makespan[1]
+         << ", \"blind_s\": " << makespan[2]
+         << ", \"grasp_wasted_mops\": " << res.wasted_mops
+         << ", \"tasks_redispatched\": " << res.tasks_redispatched
+         << ", \"crashes_detected\": " << res.crashes_detected
+         << ", \"joins\": " << res.joins
+         << ", \"joins_admitted\": " << res.admissions
+         << ", \"evictions\": " << res.evictions
+         << ", \"zombie_completions\": " << res.zombie_completions << "}";
+    first_row = false;
+  }
+  json << "\n  ]\n}\n";
+  std::cout << table.to_string()
+            << "\nexpected shape: all variants complete 100% of tasks; "
+               "grasp at or ahead of static\n(elastic joins offset crashed "
+               "capacity, overlapped recalibration hides probe\ncost), both "
+               "well ahead of blind once churn begins (blind waits every "
+               "stalled\nchunk out); wasted work grows as MTBF shrinks.\n"
+            << "baseline written to BENCH_e13.json\n";
+  return 0;
+}

@@ -59,9 +59,10 @@ CalibrationResult Calibrator::run(Backend& backend,
                                   TaskSource& tasks,
                                   perfmon::MonitorDaemon* monitor,
                                   gridsim::TraceRecorder* trace,
-                                  TokenAllocator& tokens) {
+                                  TokenAllocator& tokens,
+                                  const ForeignOps* foreign) {
   if (pool.empty()) throw std::invalid_argument("Calibrator: empty pool");
-  if (backend.in_flight() != 0)
+  if (backend.in_flight() != (foreign ? foreign->pending() : 0))
     throw std::logic_error("Calibrator: backend has foreign ops in flight");
 
   const NodeId root = params_.root.is_valid() ? params_.root : pool.front();
@@ -113,12 +114,35 @@ CalibrationResult Calibrator::run(Backend& backend,
 
   for (const NodeId node : pool) launch_sample(node, samples - 1);
 
+  // Nodes that died mid-calibration: samples abandoned, excluded from the
+  // ranking.
+  std::unordered_set<NodeId> abandoned;
+  auto abandon_dead_nodes = [&] {
+    if (!foreign || !foreign->dead_nodes) return;
+    for (const NodeId dead : foreign->dead_nodes(backend.now())) {
+      for (auto it = in_flight.begin(); it != in_flight.end();) {
+        if (it->second.node == dead) {
+          if (foreign->surrender)
+            foreign->surrender(it->first, dead, it->second.task,
+                               it->second.is_probe);
+          it = in_flight.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      abandoned.insert(dead);
+    }
+  };
+
   // Drive the transfer->compute->transfer chain per node to completion.
   while (!in_flight.empty()) {
     const auto completion = backend.wait_next();
     if (!completion)
       throw std::logic_error("Calibrator: backend drained unexpectedly");
     if (monitor) monitor->advance_to(backend.now());
+    abandon_dead_nodes();
+    if (foreign && foreign->swallow && foreign->swallow(completion->token))
+      continue;
     const auto it = in_flight.find(completion->token);
     if (it == in_flight.end())
       throw std::logic_error("Calibrator: unknown completion token");
@@ -162,10 +186,12 @@ CalibrationResult Calibrator::run(Backend& backend,
     }
   }
 
-  // Build per-node scores with monitor context.
+  // Build per-node scores with monitor context.  Nodes that died mid-
+  // calibration (or never produced a sample) are not rankable.
   std::vector<NodeScore> scores;
   scores.reserve(pool.size());
   for (const NodeId node : pool) {
+    if (abandoned.count(node) != 0 || spm_stats.count(node) == 0) continue;
     NodeScore s;
     s.node = node;
     s.observed_spm = spm_stats.at(node).mean();
@@ -185,7 +211,7 @@ CalibrationResult Calibrator::run(Backend& backend,
 
   // "Adjust T statistically" (Algorithm 1, statistical calibration branch).
   const bool statistical = params_.strategy != RankingStrategy::TimeOnly &&
-                           monitor != nullptr && pool.size() >= 4;
+                           monitor != nullptr && scores.size() >= 4;
   if (statistical) {
     std::vector<double> times;
     times.reserve(scores.size());
@@ -253,18 +279,18 @@ CalibrationResult Calibrator::run(Backend& backend,
               return a.node < b.node;
             });
   std::size_t k = params_.select_count > 0
-                      ? std::min(params_.select_count, pool.size())
+                      ? std::min(params_.select_count, scores.size())
                       : static_cast<std::size_t>(std::ceil(
                             params_.select_fraction *
-                            static_cast<double>(pool.size())));
-  k = std::max<std::size_t>(1, k);
+                            static_cast<double>(scores.size())));
+  k = std::min(std::max<std::size_t>(1, k), scores.size());
 
-  if (params_.exclusion_ratio > 0.0) {
+  if (params_.exclusion_ratio > 0.0 && !scores.empty()) {
     std::vector<double> all_spm;
     all_spm.reserve(scores.size());
     for (const auto& s : scores) all_spm.push_back(s.adjusted_spm);
     const double cutoff = params_.exclusion_ratio * median(all_spm);
-    const std::size_t floor_keep = std::min<std::size_t>(pool.size(), 2);
+    const std::size_t floor_keep = std::min<std::size_t>(scores.size(), 2);
     while (k > floor_keep && scores[k - 1].adjusted_spm > cutoff) --k;
   }
 

@@ -86,6 +86,29 @@ struct TokenAllocator {
   OpToken alloc() { return next++; }
 };
 
+/// Foreign operations a calling engine deliberately left in flight while
+/// calibrating — e.g. zombie chunks surrendered to crash recovery, whose
+/// completions arrive whenever the dead node's outage ends.  `pending()`
+/// reports how many are outstanding; `swallow(token)` consumes one foreign
+/// completion (returns true when the token was foreign).
+///
+/// The optional churn hooks let calibration survive a node dying mid-probe
+/// (otherwise the sample chain would stall for the whole outage):
+/// `dead_nodes(now)` is polled after every completion and returns nodes the
+/// caller has just declared dead; the calibrator abandons their pending
+/// samples, handing each stalled token (plus the real task it carried, if
+/// any) back through `surrender` so the caller can swallow the eventual
+/// zombie completion and re-queue the task.  Abandoned nodes are dropped
+/// from the ranking.
+struct ForeignOps {
+  std::function<std::size_t()> pending;
+  std::function<bool(OpToken)> swallow;
+  std::function<std::vector<NodeId>(Seconds)> dead_nodes;
+  std::function<void(OpToken, NodeId, const workloads::TaskSpec&,
+                     bool is_probe)>
+      surrender;
+};
+
 class Calibrator {
  public:
   Calibrator(SkeletonTraits traits, CalibrationParams params);
@@ -93,14 +116,15 @@ class Calibrator {
   /// Run Algorithm 1 on `pool`.  Consumes up to samples*|pool| tasks from
   /// `tasks` (marking them completed); when the queue runs dry a synthetic
   /// probe of the last seen shape is used instead.  `monitor` may be null
-  /// (statistical strategies then degrade to TimeOnly).  Requires the
-  /// backend to have no foreign operations in flight.
+  /// (statistical strategies then degrade to TimeOnly).  Requires every
+  /// backend operation in flight to be accounted for by `foreign`.
   [[nodiscard]] CalibrationResult run(Backend& backend,
                                       const std::vector<NodeId>& pool,
                                       TaskSource& tasks,
                                       perfmon::MonitorDaemon* monitor,
                                       gridsim::TraceRecorder* trace,
-                                      TokenAllocator& tokens);
+                                      TokenAllocator& tokens,
+                                      const ForeignOps* foreign = nullptr);
 
   [[nodiscard]] const CalibrationParams& params() const { return params_; }
 

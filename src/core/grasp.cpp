@@ -1,5 +1,6 @@
 #include "core/grasp.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/backend_sim.hpp"
@@ -81,11 +82,38 @@ void append_dynamic_phases(const gridsim::TraceRecorder& trace,
           {"calibration", cal_start, e.at, "Algorithm 1"});
       in_calibration = false;
       cursor = e.at;
+    } else {
+      // Membership transitions appear as zero-width recovery records so the
+      // timeline shows when the engine absorbed churn.
+      const char* what = nullptr;
+      switch (e.kind) {
+        case TraceEventKind::NodeCrashDetected: what = "crash detected"; break;
+        case TraceEventKind::NodeLeftPool: what = "node left"; break;
+        case TraceEventKind::NodeJoinedPool: what = "node joined"; break;
+        case TraceEventKind::NodeAdmitted: what = "newcomer admitted"; break;
+        case TraceEventKind::NodeEvicted: what = "worker evicted"; break;
+        default: break;
+      }
+      if (what != nullptr) {
+        summary.phases.push_back(
+            {"recovery", e.at, e.at,
+             std::string(what) + " (node " + std::to_string(e.node.value) +
+                 ")"});
+        ++summary.membership_transitions;
+      }
     }
   }
   if (cursor < makespan)
     summary.phases.push_back(
         {"execution", cursor, makespan, "monitored execution"});
+  // Recovery records are pushed as the trace is scanned, which lands them
+  // ahead of the execution segment that contains them; restore the
+  // documented chronological order (stable: equal timestamps keep their
+  // relative order, so programming/compilation stay first).
+  std::stable_sort(summary.phases.begin(), summary.phases.end(),
+                   [](const PhaseRecord& a, const PhaseRecord& b) {
+                     return a.began < b.began;
+                   });
   // Every calibration after the first is an execution->calibration feedback
   // transition (the loop arrow of Fig. 1).
   summary.feedback_transitions = calibrations > 0 ? calibrations - 1 : 0;

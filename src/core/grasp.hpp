@@ -30,7 +30,11 @@
 namespace grasp::core {
 
 struct PhaseRecord {
-  std::string phase;   ///< programming | compilation | calibration | execution
+  /// programming | compilation | calibration | execution | recovery.
+  /// "recovery" records are zero-width membership transitions inside the
+  /// execution phase: a detected crash, an announced leave, a join, an
+  /// admission or an eviction.
+  std::string phase;
   Seconds began;       ///< engine-clock time (static phases: 0-width stamps)
   Seconds ended;
   std::string detail;
@@ -41,6 +45,9 @@ struct RunSummary {
   std::string skeleton;
   std::vector<PhaseRecord> phases;  ///< in chronological order
   std::size_t feedback_transitions = 0;  ///< execution -> calibration loops
+  /// Membership transitions consumed by the engine (crash detections,
+  /// leaves, joins, evictions); 0 on churn-free grids.
+  std::size_t membership_transitions = 0;
 
   /// Exactly one of these is set, matching the selected skeleton.
   std::optional<FarmReport> farm;

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <map>
 #include <stdexcept>
+#include <unordered_set>
 
+#include "resil/membership.hpp"
 #include "support/log.hpp"
 #include "support/stats.hpp"
 
@@ -44,6 +46,7 @@ struct Replica {
   std::deque<std::uint64_t> received;  ///< shipped in, awaiting compute
   std::optional<std::uint64_t> computing;
   bool migrating = false;  ///< remap or replica-seeding transfer in flight
+  bool down = false;       ///< node lost, no spare yet; waiting for a join
   double latest_spm = 0.0;
 
   [[nodiscard]] bool quiescent() const {
@@ -90,25 +93,37 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
                                     1, params_.stage_replicas[s]);
     initial_nodes += r;
   }
-  if (pool.size() < initial_nodes)
+
+  // Membership: map stages over the nodes present at t=0; absent nodes
+  // (late joiners) arrive through the tracker as spares.
+  const gridsim::ChurnTimeline* churn =
+      params_.membership_enabled ? grid.churn() : nullptr;
+  const std::vector<NodeId> present =
+      churn ? churn->members_at(pool, backend.now()) : pool;
+  if (present.size() < initial_nodes)
     throw std::invalid_argument("Pipeline: pool smaller than total replicas");
 
   const NodeId source =
-      params_.source_node.is_valid() ? params_.source_node : pool.front();
+      params_.source_node.is_valid() ? params_.source_node : present.front();
+  std::optional<resil::MembershipTracker> tracker;
+  if (churn != nullptr) tracker.emplace(*churn, pool);
 
   PipelineReport report;
   TokenAllocator tokens;
 
   perfmon::MonitorDaemon::Params mon_params = params_.monitor;
   mon_params.root = source;
-  perfmon::MonitorDaemon monitor(grid, pool, mon_params);
+  perfmon::MonitorDaemon monitor(grid, present, mon_params);
+  // Nodes the monitor watches; extended when late joiners appear so the
+  // load forecasts estimate_spm needs exist for every candidate spare.
+  std::vector<NodeId> observed = present;
 
-  // ---- Calibration: probe every pool node with stage-shaped work. ------
+  // ---- Calibration: probe every present node with stage-shaped work. ---
   workloads::TaskSet probes;
   probes.name = "pipeline-probes";
   const double mean_stage_work =
       spec.work_per_item().value / static_cast<double>(depth);
-  for (std::size_t i = 0; i < pool.size(); ++i) {
+  for (std::size_t i = 0; i < present.size(); ++i) {
     workloads::TaskSpec t;
     t.id = TaskId{i};
     t.work = Mops{mean_stage_work};
@@ -123,19 +138,31 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
   cal_params.exclusion_ratio = 0.0;
   Calibrator calibrator(traits_, cal_params);
   const CalibrationResult calibration = calibrator.run(
-      backend, pool, probe_source, &monitor, &report.trace, tokens);
+      backend, present, probe_source, &monitor, &report.trace, tokens);
 
   std::unordered_map<NodeId, double> cal_spm, cal_load;
+  double spm_sum = 0.0;
   for (const auto& s : calibration.ranking) {
     cal_spm[s.node] = std::max(1e-9, s.adjusted_spm);
     cal_load[s.node] = s.observed_load;
+    spm_sum += cal_spm[s.node];
   }
+  // Fallback fitness for nodes that joined after calibration (no sample
+  // yet): the pool mean, neither favoured nor penalised.
+  const double fallback_spm =
+      spm_sum / static_cast<double>(calibration.ranking.size());
+  auto known_spm = [&](NodeId n) {
+    const auto it = cal_spm.find(n);
+    return it != cal_spm.end() ? it->second : fallback_spm;
+  };
 
   // Extrapolate a node's current fitness from calibration fitness and the
   // forecast load via the processor-sharing rule (spm scales with load+1).
   auto estimate_spm = [&](NodeId n) {
     const double forecast = monitor.forecast_load(n);
-    return cal_spm.at(n) * (forecast + 1.0) / (cal_load.at(n) + 1.0);
+    const auto load_it = cal_load.find(n);
+    const double at_cal = load_it != cal_load.end() ? load_it->second : 0.0;
+    return known_spm(n) * (forecast + 1.0) / (at_cal + 1.0);
   };
 
   // ---- Initial mapping: heaviest stage -> fittest nodes. ---------------
@@ -171,9 +198,10 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
     OnlineStats base;
     for (const auto& st : stages) {
       for (const auto& rep : st.replicas) {
+        if (rep.down) continue;
         if (std::find(mapped.begin(), mapped.end(), rep.node) == mapped.end())
           mapped.push_back(rep.node);
-        base.add(cal_spm.at(rep.node));
+        base.add(known_spm(rep.node));
       }
     }
     exec_monitor.arm(base.mean(), mapped, backend.now());
@@ -191,6 +219,219 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
 
   auto bytes_into = [&](std::size_t s) {
     return s == 0 ? spec.source_bytes : spec.stages[s - 1].output_bytes;
+  };
+
+  // ---- Membership machinery (churn grids). ------------------------------
+  // Tokens of operations killed by a node loss; their completions are
+  // swallowed when the backend delivers them.
+  std::unordered_set<OpToken> dead_tokens;
+
+  // Node to re-ship stage-s input from after the primary copy is lost: a
+  // live upstream replica when one exists, else the source (which holds the
+  // original payload).  Never names a corpse.
+  auto upstream_holder = [&](std::size_t s) {
+    if (s > 0) {
+      for (const Replica& rep : stages[s - 1].replicas) {
+        if (!rep.down && (!tracker || tracker->is_member(rep.node)))
+          return rep.node;
+      }
+    }
+    return source;
+  };
+
+  auto best_live_spare = [&] {
+    auto best = spares.end();
+    for (auto it = spares.begin(); it != spares.end(); ++it) {
+      if (tracker && !tracker->is_member(*it)) continue;
+      if (best == spares.end() || estimate_spm(*it) < estimate_spm(*best))
+        best = it;
+    }
+    return best;
+  };
+
+  // Nodes currently lost to the pool (cleared on rejoin): guards the loss
+  // counters against double counting when e.g. a migration target dies
+  // mid-transit and the loss is noticed twice.
+  std::unordered_set<std::uint64_t> lost_nodes;
+
+  // A node left the pool.  Every replica it hosted fails over: in-flight
+  // operations are killed, items it held are re-shipped from upstream (the
+  // crashed copy is gone; upstream stages retain their outputs until the
+  // item exits — the ack-buffer protocol), and the replica moves to the
+  // best live spare — or waits down for a joiner when no spare exists.
+  auto handle_node_loss = [&](NodeId node, bool crashed) {
+    if (node == source)
+      throw std::runtime_error(
+          "Pipeline: source node lost to churn (place it on a protected "
+          "node)");
+    const bool first_loss = lost_nodes.insert(node.value).second;
+    spares.erase(std::remove(spares.begin(), spares.end(), node),
+                 spares.end());
+    for (std::size_t s = 0; s < depth; ++s) {
+      StageState& st = stages[s];
+      if (st.pending_remap && *st.pending_remap == node)
+        st.pending_remap.reset();
+      for (std::size_t r = 0; r < st.replicas.size(); ++r) {
+        Replica& rep = st.replicas[r];
+        if (rep.node != node || rep.down) continue;
+        for (auto op_it = ops.begin(); op_it != ops.end();) {
+          const PendingOp& op = op_it->second;
+          if (op.kind != OpKind::SinkOut && op.stage == s &&
+              op.replica == r) {
+            dead_tokens.insert(op_it->first);
+            op_it = ops.erase(op_it);
+          } else {
+            ++op_it;
+          }
+        }
+        auto requeue = [&](std::uint64_t id) {
+          items.at(id).location = upstream_holder(s);
+          st.waiting.push_front(id);
+          ++report.resilience.tasks_redispatched;
+        };
+        if (rep.receiving) {
+          requeue(*rep.receiving);
+          rep.receiving.reset();
+        }
+        while (!rep.received.empty()) {
+          requeue(rep.received.back());
+          rep.received.pop_back();
+        }
+        if (rep.computing) {
+          requeue(*rep.computing);
+          rep.computing.reset();
+        }
+        rep.migrating = false;
+        rep.latest_spm = 0.0;
+        const auto best = best_live_spare();
+        if (best != spares.end()) {
+          rep.node = *best;
+          spares.erase(best);
+          ++report.remaps;
+          report.trace.record({backend.now(),
+                               gridsim::TraceEventKind::StageRemapped,
+                               rep.node, TaskId::invalid(),
+                               static_cast<double>(s), "failover"});
+          GRASP_LOG_INFO("pipeline") << "stage " << s << " failed over "
+                                     << node.value << " -> "
+                                     << rep.node.value;
+        } else {
+          rep.down = true;
+          GRASP_LOG_INFO("pipeline")
+              << "stage " << s << " lost node " << node.value
+              << " with no spare; waiting for a join";
+        }
+      }
+    }
+    // Items whose only data copy sat on the dead node but had already been
+    // handed downstream (queued for, or mid-transfer into, the next stage)
+    // must be re-homed too, or schedule() would ship them out of a corpse.
+    for (std::size_t s = 0; s < depth; ++s) {
+      StageState& st = stages[s];
+      for (const std::uint64_t id : st.waiting) {
+        if (items.at(id).location == node)
+          items.at(id).location = upstream_holder(s);
+      }
+      for (std::size_t r = 0; r < st.replicas.size(); ++r) {
+        Replica& rep = st.replicas[r];
+        if (!rep.receiving || items.at(*rep.receiving).location != node)
+          continue;
+        for (auto op_it = ops.begin(); op_it != ops.end();) {
+          if (op_it->second.kind == OpKind::StageIn &&
+              op_it->second.stage == s && op_it->second.replica == r) {
+            dead_tokens.insert(op_it->first);
+            op_it = ops.erase(op_it);
+          } else {
+            ++op_it;
+          }
+        }
+        items.at(*rep.receiving).location = upstream_holder(s);
+        st.waiting.push_front(*rep.receiving);
+        rep.receiving.reset();
+        ++report.resilience.tasks_redispatched;
+      }
+    }
+    // Result bytes mid-transfer out of the corpse died with it: kill the
+    // sink transfer and re-run the final stage for those items (their
+    // emission is retracted; late re-delivery is honestly reported through
+    // output_in_order).
+    for (auto op_it = ops.begin(); op_it != ops.end();) {
+      const PendingOp& op = op_it->second;
+      if (op.kind == OpKind::SinkOut && items.count(op.item) != 0 &&
+          items.at(op.item).location == node) {
+        dead_tokens.insert(op_it->first);
+        const auto emitted = std::find(emission_order.rbegin(),
+                                       emission_order.rend(), op.item);
+        if (emitted != emission_order.rend())
+          emission_order.erase(std::prev(emitted.base()));
+        items.at(op.item).location = upstream_holder(depth - 1);
+        stages[depth - 1].waiting.push_front(op.item);
+        ++report.resilience.tasks_redispatched;
+        op_it = ops.erase(op_it);
+      } else {
+        ++op_it;
+      }
+    }
+    if (first_loss) {
+      if (crashed)
+        ++report.resilience.crashes_detected;
+      else
+        ++report.resilience.leaves;
+      report.trace.record({backend.now(),
+                           crashed
+                               ? gridsim::TraceEventKind::NodeCrashDetected
+                               : gridsim::TraceEventKind::NodeLeftPool,
+                           node, TaskId::invalid(), 0.0, ""});
+    }
+    arm_monitor();
+  };
+
+  // A node joined: revive a down replica if any stage is starving,
+  // otherwise park it as a spare for remaps/replications.
+  auto handle_join = [&](NodeId node) {
+    ++report.resilience.joins;
+    lost_nodes.erase(node.value);
+    report.trace.record({backend.now(),
+                         gridsim::TraceEventKind::NodeJoinedPool, node,
+                         TaskId::invalid(), 0.0, ""});
+    if (std::find(observed.begin(), observed.end(), node) == observed.end()) {
+      observed.push_back(node);
+      monitor.rewatch(observed);
+    }
+    for (std::size_t s = 0; s < depth; ++s) {
+      for (Replica& rep : stages[s].replicas) {
+        if (!rep.down) continue;
+        rep.down = false;
+        rep.node = node;
+        ++report.remaps;
+        ++report.resilience.admissions;
+        report.trace.record({backend.now(),
+                             gridsim::TraceEventKind::StageRemapped, node,
+                             TaskId::invalid(), static_cast<double>(s),
+                             "revive"});
+        arm_monitor();
+        return;
+      }
+    }
+    spares.push_back(node);
+  };
+
+  auto consume_membership = [&] {
+    if (!tracker) return;
+    for (const auto& e : tracker->poll(backend.now())) {
+      switch (e.kind) {
+        case gridsim::ChurnEventKind::Crash:
+          handle_node_loss(e.node, true);
+          break;
+        case gridsim::ChurnEventKind::Leave:
+          handle_node_loss(e.node, false);
+          break;
+        case gridsim::ChurnEventKind::Join:
+        case gridsim::ChurnEventKind::Rejoin:
+          handle_join(e.node);
+          break;
+      }
+    }
   };
 
   // Emit `item` out of stage `s` (already resequenced): hand it to the
@@ -211,7 +452,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
     StageState& st = stages[s];
     if (!st.pending_remap) return;
     Replica& rep = st.replicas[st.pending_remap_replica];
-    if (rep.receiving || rep.computing || rep.migrating) return;
+    if (rep.down || rep.receiving || rep.computing || rep.migrating) return;
     const NodeId target = *st.pending_remap;
     st.pending_remap.reset();
     rep.migrating = true;
@@ -248,7 +489,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
       apply_pending_remap(s);
       for (std::size_t r = 0; r < st.replicas.size(); ++r) {
         Replica& rep = st.replicas[r];
-        if (rep.migrating) continue;
+        if (rep.migrating || rep.down) continue;
         const bool remap_hold =
             st.pending_remap && st.pending_remap_replica == r;
         // Double buffering: receive the next item while computing.
@@ -303,13 +544,10 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
     if (stages[worst].items_since_structural <
         params_.replication_cooldown_items)
       return;
-    // Grow the stage on the fittest spare; seed it with stage state from
-    // the primary replica.
-    const auto best_it =
-        std::min_element(spares.begin(), spares.end(),
-                         [&](NodeId a, NodeId b) {
-                           return estimate_spm(a) < estimate_spm(b);
-                         });
+    // Grow the stage on the fittest live spare; seed it with stage state
+    // from the primary replica.
+    const auto best_it = best_live_spare();
+    if (best_it == spares.end()) return;
     const NodeId target = *best_it;
     spares.erase(best_it);
     Replica rep;
@@ -351,7 +589,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
       for (std::size_t r = 0; r < stages[s].replicas.size(); ++r) {
         const Replica& rep = stages[s].replicas[r];
         if (rep.latest_spm <= 0.0) continue;
-        const double ratio = rep.latest_spm / cal_spm.at(rep.node);
+        const double ratio = rep.latest_spm / known_spm(rep.node);
         if (ratio > worst_ratio) {
           worst_ratio = ratio;
           worst_stage = s;
@@ -361,11 +599,8 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
     }
     StageState& st = stages[worst_stage];
     const Replica& rep = st.replicas[worst_replica];
-    const auto best_it =
-        std::min_element(spares.begin(), spares.end(),
-                         [&](NodeId a, NodeId b) {
-                           return estimate_spm(a) < estimate_spm(b);
-                         });
+    const auto best_it = best_live_spare();
+    if (best_it == spares.end()) return;
     const double current_spm =
         rep.latest_spm > 0.0 ? rep.latest_spm : estimate_spm(rep.node);
     if (estimate_spm(*best_it) * params_.remap_advantage >= current_spm)
@@ -379,13 +614,19 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
   };
 
   // ---- Main loop. -------------------------------------------------------
+  consume_membership();
   while (report.items_completed < item_count) {
     schedule();
     const auto completion = backend.wait_next();
     if (!completion)
       throw std::logic_error("Pipeline: deadlock — items remain but nothing "
-                             "in flight");
+                             "in flight (stage lost with no spare?)");
     monitor.advance_to(backend.now());
+    consume_membership();
+    if (dead_tokens.erase(completion->token) > 0) {
+      ++report.resilience.zombie_completions;
+      continue;
+    }
     const auto it = ops.find(completion->token);
     if (it == ops.end())
       throw std::logic_error("Pipeline: unknown completion token");
@@ -414,13 +655,19 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
         ++st.items_done;
         ++st.items_since_structural;
         exec_monitor.observe(rep.node, spm, backend.now());
-        // Resequenced exit: emit in item-id order.
-        st.done_buffer[op.item] = true;
-        while (!st.done_buffer.empty() &&
-               st.done_buffer.begin()->first == st.next_expected) {
-          st.done_buffer.erase(st.done_buffer.begin());
-          emit_downstream(op.stage, st.next_expected);
-          ++st.next_expected;
+        // Resequenced exit: emit in item-id order.  An item below
+        // next_expected is a failure-triggered re-execution whose original
+        // emission was retracted; it re-emits immediately.
+        if (op.item < st.next_expected) {
+          emit_downstream(op.stage, op.item);
+        } else {
+          st.done_buffer[op.item] = true;
+          while (!st.done_buffer.empty() &&
+                 st.done_buffer.begin()->first == st.next_expected) {
+            st.done_buffer.erase(st.done_buffer.begin());
+            emit_downstream(op.stage, st.next_expected);
+            ++st.next_expected;
+          }
         }
         consider_adaptation();
         break;
@@ -441,6 +688,11 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
         rep.node = completion->node;
         rep.migrating = false;
         rep.latest_spm = 0.0;
+        if (tracker && !tracker->is_member(rep.node)) {
+          // The migration target died while state was in transit.
+          handle_node_loss(rep.node, true);
+          break;
+        }
         arm_monitor();
         report.trace.record({backend.now(),
                              gridsim::TraceEventKind::StageRemapped, rep.node,

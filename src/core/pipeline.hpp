@@ -21,6 +21,7 @@
 #include "gridsim/grid.hpp"
 #include "gridsim/trace.hpp"
 #include "perfmon/monitor.hpp"
+#include "resil/report.hpp"
 #include "workloads/task.hpp"
 
 namespace grasp::core {
@@ -58,6 +59,12 @@ struct PipelineParams {
 
   /// Where items originate and results are collected; invalid = pool.front().
   NodeId source_node;
+
+  /// Consume grid membership events (churn grids): a crashed or departed
+  /// replica node fails over to the best live spare (items in flight there
+  /// are re-shipped), joined nodes become spares (or revive a stage that
+  /// lost its only replica).  The source node must not churn.
+  bool membership_enabled = true;
 };
 
 struct StageStats {
@@ -79,6 +86,7 @@ struct PipelineReport {
   double p95_latency_s = 0.0;
   std::vector<StageStats> stages;
   std::vector<NodeId> final_mapping;
+  resil::ResilienceReport resilience;  ///< zeros on churn-free runs
   gridsim::TraceRecorder trace;
   bool output_in_order = true;  ///< invariant check: items exit in order
 

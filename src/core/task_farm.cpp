@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_set>
+#include <utility>
 
+#include "resil/chunk_ledger.hpp"
+#include "resil/membership.hpp"
 #include "support/log.hpp"
 
 namespace grasp::core {
@@ -14,14 +18,26 @@ TaskFarm::TaskFarm(FarmParams params) : params_(std::move(params)),
     throw std::invalid_argument("TaskFarm: chunk_size must be positive");
   if (params_.straggler_factor <= 1.0)
     throw std::invalid_argument("TaskFarm: straggler_factor must exceed 1");
+  if (params_.resilience.probe_tasks == 0)
+    throw std::invalid_argument("TaskFarm: probe_tasks must be positive");
 }
 
 FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
                          const std::vector<NodeId>& pool,
                          const workloads::TaskSet& tasks) {
   if (pool.empty()) throw std::invalid_argument("TaskFarm: empty pool");
+
+  const gridsim::ChurnTimeline* churn = grid.churn();
+  const bool resil_on = params_.resilience.enabled && churn != nullptr;
+
+  // The initial worker candidates: pool members present at t=0.  Absent
+  // nodes (late joiners) enter through membership events.
+  std::vector<NodeId> initial_members =
+      churn ? churn->members_at(pool, backend.now()) : pool;
+  if (initial_members.empty())
+    throw std::invalid_argument("TaskFarm: no pool member is present at t=0");
   const NodeId root =
-      params_.root.is_valid() ? params_.root : pool.front();
+      params_.root.is_valid() ? params_.root : initial_members.front();
 
   FarmReport report;
   TaskSource source(tasks);
@@ -33,7 +49,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
 
   perfmon::MonitorDaemon::Params mon_params = params_.monitor;
   mon_params.root = root;
-  perfmon::MonitorDaemon monitor(grid, pool, mon_params);
+  perfmon::MonitorDaemon monitor(grid, initial_members, mon_params);
 
   CalibrationParams cal_params = params_.calibration;
   if (!cal_params.root.is_valid()) cal_params.root = root;
@@ -41,12 +57,68 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
 
   ExecutionMonitor exec_monitor(traits_, params_.threshold);
 
+  // Resilience components.  The tracker/detector pair is the farmer's two
+  // sources of membership knowledge: announcements (leave/join events) and
+  // silence (heartbeat timeout).  The ledger guarantees exactly-once
+  // re-dispatch of work lost to crashes.
+  std::optional<resil::MembershipTracker> tracker;
+  std::optional<resil::FailureDetector> detector;
+  resil::ChunkLedger ledger;
+  resil::ElasticPool elastic(params_.resilience.pool);
+  if (resil_on) {
+    tracker.emplace(*churn, pool);
+    detector.emplace(params_.resilience.detector);
+    for (const NodeId n : initial_members) detector->watch(n, backend.now());
+  }
+
+  // Chunks currently travelling the input -> compute -> output chain.
+  std::unordered_map<OpToken, Assignment> in_flight;
+  // Tokens of chunks surrendered to crash recovery; their completions (the
+  // zombies) are swallowed when the backend eventually delivers them.
+  std::unordered_set<OpToken> dead_tokens;
+  // Deaths declared since the calibrator last polled (it abandons pending
+  // samples on these nodes instead of stalling on their outage).
+  std::vector<NodeId> newly_dead;
+  // Membership consumption, assigned once the recovery lambdas exist below;
+  // null during the initial calibration (churn waits out the warmup).
+  std::function<void(Seconds)> membership_hook;
+  // Routes an engine completion popped inside a recalibration back through
+  // the farm's state machine, so resilient recalibrations overlap with
+  // ongoing execution instead of draining the pool first.  Assigned below.
+  std::function<bool(OpToken)> absorb_engine_completion;
+  ForeignOps foreign;
+  foreign.pending = [&] { return dead_tokens.size() + in_flight.size(); };
+  foreign.swallow = [&](OpToken token) {
+    if (dead_tokens.erase(token) > 0) {
+      ++report.resilience.zombie_completions;
+      return true;
+    }
+    return absorb_engine_completion && absorb_engine_completion(token);
+  };
+  foreign.dead_nodes = [&](Seconds now) {
+    if (membership_hook) membership_hook(now);
+    return std::exchange(newly_dead, {});
+  };
+  foreign.surrender = [&](OpToken token, NodeId node,
+                          const workloads::TaskSpec& task, bool is_probe) {
+    dead_tokens.insert(token);
+    if (is_probe || !task.id.is_valid() || source.is_completed(task.id))
+      return;
+    source.push_front(task);
+    ++report.resilience.tasks_redispatched;
+    report.trace.record({backend.now(),
+                         gridsim::TraceEventKind::ChunkRedispatched, node,
+                         task.id, 0.0, "calibration"});
+  };
+
   // ---- Phase: calibration (Algorithm 1) -------------------------------
   CalibrationResult calibration =
-      calibrator.run(backend, pool, source, &monitor, &report.trace, tokens);
+      calibrator.run(backend, initial_members, source, &monitor,
+                     &report.trace, tokens, &foreign);
   report.calibration_tasks += calibration.tasks_consumed;
   exec_monitor.arm(calibration.baseline_spm, calibration.chosen,
                    backend.now());
+  elastic.reset(calibration.chosen);
 
   // Per-node performance estimate (seconds per Mop), seeded by calibration
   // and refreshed by every completion; drives chunking and stragglers.
@@ -56,15 +128,13 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   std::unordered_map<NodeId, std::size_t> node_chunk;
   for (const NodeId n : pool) node_chunk[n] = params_.chunk_size;
 
-  std::vector<NodeId> chosen = calibration.chosen;
   std::unordered_map<NodeId, bool> busy;
   for (const NodeId n : pool) busy[n] = false;
-
-  std::unordered_map<OpToken, Assignment> in_flight;
 
   Seconds finish_time = Seconds::zero();
   bool finished = false;
   std::size_t recalibrations = 0;
+  bool pending_recalibration = false;
 
   // Wrap the caller's per-task payload (if any) around a chunk: the
   // threaded backend runs it on the worker thread, the simulator ignores it.
@@ -102,12 +172,13 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   };
 
   auto dispatch_chunk = [&](NodeId node, std::vector<workloads::TaskSpec> chunk,
-                            bool is_reissue) {
+                            bool is_reissue, bool is_probe = false) {
     Assignment a;
     a.chunk = std::move(chunk);
     a.node = node;
     a.dispatched = backend.now();
     a.is_reissue = is_reissue;
+    a.is_probe = is_probe;
     Bytes input = Bytes::zero();
     for (const auto& t : a.chunk) input += t.input;
     const OpToken token = tokens.alloc();
@@ -118,18 +189,154 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
                                       : gridsim::TraceEventKind::TaskDispatched,
                            node, t.id, t.work.value, ""});
     busy[node] = true;
+    if (resil_on)
+      ledger.record(token, {node, a.chunk, a.dispatched, a.work()});
     in_flight.emplace(token, std::move(a));
   };
 
+  // Return the unfinished tasks of a lost chunk to the front of the queue
+  // (order-preserving), tracing each re-dispatch.
+  auto requeue_pending = [&](const std::vector<workloads::TaskSpec>& chunk,
+                            NodeId from) {
+    for (auto it = chunk.rbegin(); it != chunk.rend(); ++it) {
+      if (source.is_completed(it->id)) continue;
+      source.push_front(*it);
+      ++report.resilience.tasks_redispatched;
+      report.trace.record({backend.now(),
+                           gridsim::TraceEventKind::ChunkRedispatched, from,
+                           it->id, 0.0, ""});
+    }
+  };
+
+  // Current live view the farmer holds: every node it still watches.
+  auto farmer_live_view = [&]() -> std::vector<NodeId> {
+    if (!resil_on) return initial_members;
+    return detector->watched();
+  };
+
+  // Declare `node` dead: stop watching it, shrink the worker set, and
+  // surrender its in-flight chunks to the queue — exactly once, via the
+  // ledger.  `why` lands in the trace for post-hoc timelines.
+  auto declare_dead = [&](NodeId node, const char* why) {
+    if (!resil_on || !detector->watching(node)) return;
+    detector->unwatch(node);
+    elastic.remove(node);
+    busy[node] = false;
+    newly_dead.push_back(node);
+    ++report.resilience.crashes_detected;
+    report.trace.record({backend.now(),
+                         gridsim::TraceEventKind::NodeCrashDetected, node,
+                         TaskId::invalid(), 0.0, why});
+    GRASP_LOG_INFO("farm") << "node " << node.value << " declared dead ("
+                           << why << ") at t=" << backend.now().value;
+    for (auto& [token, entry] : ledger.fail_node(node)) {
+      const auto it = in_flight.find(token);
+      if (it != in_flight.end()) {
+        in_flight.erase(it);
+        dead_tokens.insert(token);
+      }
+      requeue_pending(entry.tasks, node);
+    }
+    monitor.rewatch(farmer_live_view());
+    exec_monitor.arm(exec_monitor.baseline_spm(), elastic.workers(),
+                     backend.now());
+    if (params_.resilience.recalibrate_on_crash) pending_recalibration = true;
+  };
+
+  // Consume membership events and heartbeat silence up to `now`.
+  auto consume_membership = [&](Seconds now) {
+    if (!resil_on) return;
+    detector->advance(now, [&](NodeId n, Seconds t) {
+      return churn->is_member(n, t);
+    });
+    for (const auto& e : tracker->poll(now)) {
+      switch (e.kind) {
+        case gridsim::ChurnEventKind::Crash:
+          // The farmer cannot see a crash directly; the detector (silence)
+          // or a zombie completion reveals it.
+          break;
+        case gridsim::ChurnEventKind::Leave:
+          if (detector->watching(e.node)) {
+            detector->unwatch(e.node);
+            elastic.remove(e.node);
+            ++report.resilience.leaves;
+            // A calibration running right now must abandon this node's
+            // samples (it can no longer be chosen); execution-phase chunks
+            // still drain gracefully.
+            newly_dead.push_back(e.node);
+            report.trace.record({now, gridsim::TraceEventKind::NodeLeftPool,
+                                 e.node, TaskId::invalid(), 0.0, "announced"});
+            monitor.rewatch(farmer_live_view());
+            exec_monitor.arm(exec_monitor.baseline_spm(), elastic.workers(),
+                             now);
+          }
+          break;
+        case gridsim::ChurnEventKind::Join:
+        case gridsim::ChurnEventKind::Rejoin:
+          ++report.resilience.joins;
+          report.trace.record({now, gridsim::TraceEventKind::NodeJoinedPool,
+                               e.node, TaskId::invalid(), 0.0,
+                               e.kind == gridsim::ChurnEventKind::Rejoin
+                                   ? "rejoin"
+                                   : "join"});
+          detector->watch(e.node, now);
+          // Clear a stale busy flag only when nothing is actually in flight
+          // there: a node rejoining before its stalled chunk surfaced as a
+          // zombie is still occupied, and dispatching a second chunk would
+          // break the one-chunk-per-worker discipline.
+          {
+            bool occupied = false;
+            for (const auto& [token, a] : in_flight) {
+              (void)token;
+              if (a.node == e.node) occupied = true;
+            }
+            if (!occupied) busy[e.node] = false;
+          }
+          if (params_.resilience.elastic_join) elastic.begin_probation(e.node);
+          monitor.rewatch(farmer_live_view());
+          break;
+      }
+    }
+    for (const NodeId n : detector->suspects(now))
+      declare_dead(n, "heartbeat timeout");
+  };
+
   auto dispatch_to_idle = [&] {
-    for (const NodeId n : chosen) {
+    // Copy: declare_dead (via the liveness check) mutates the worker set.
+    const std::vector<NodeId> workers = elastic.workers();
+    for (const NodeId n : workers) {
       if (source.empty()) break;
       if (busy[n]) continue;
+      // Dispatch-time liveness check: opening the connection to a dead
+      // node fails fast, so the farmer learns of the crash here even
+      // before the heartbeat timeout.
+      if (resil_on && !churn->is_member(n, backend.now())) {
+        declare_dead(n, "dispatch failed");
+        continue;
+      }
       const std::size_t want = chunk_for(n);
       std::vector<workloads::TaskSpec> chunk;
       while (chunk.size() < want && !source.empty())
         chunk.push_back(source.pop());
       if (!chunk.empty()) dispatch_chunk(n, std::move(chunk), false);
+    }
+    // Fast-path calibration probes for newcomers in probation.
+    if (resil_on) {
+      const std::vector<NodeId> probationers = elastic.probationers();
+      for (const NodeId n : probationers) {
+        if (source.empty()) break;
+        if (busy[n]) continue;
+        if (!churn->is_member(n, backend.now())) {
+          declare_dead(n, "dispatch failed");
+          continue;
+        }
+        std::vector<workloads::TaskSpec> chunk;
+        while (chunk.size() < params_.resilience.probe_tasks &&
+               !source.empty())
+          chunk.push_back(source.pop());
+        if (!chunk.empty())
+          dispatch_chunk(n, std::move(chunk), false, /*is_probe=*/true);
+      }
     }
   };
 
@@ -140,7 +347,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     if ((traits_.actions & kActionReissueTask) == 0) return;
     // Idle chosen workers, fastest first.
     std::vector<NodeId> idle;
-    for (const NodeId n : chosen)
+    for (const NodeId n : elastic.workers())
       if (!busy[n]) idle.push_back(n);
     if (idle.empty()) return;
     std::sort(idle.begin(), idle.end(), [&](NodeId a, NodeId b) {
@@ -176,101 +383,38 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     }
   };
 
-  auto drain = [&] {
-    while (backend.in_flight() > 0) {
-      const auto c = backend.wait_next();
-      if (!c) break;
-      monitor.advance_to(backend.now());
-      const auto it = in_flight.find(c->token);
-      if (it == in_flight.end()) continue;  // should not happen
-      Assignment a = std::move(it->second);
-      in_flight.erase(it);
-      if (a.phase == Assignment::Phase::Input) {
-        a.phase = Assignment::Phase::Compute;
-        const OpToken token = tokens.alloc();
-        backend.submit_compute(token, a.node, a.work(),
-                                make_chunk_body(a.chunk));
-        in_flight.emplace(token, std::move(a));
-      } else if (a.phase == Assignment::Phase::Compute) {
-        a.phase = Assignment::Phase::Output;
-        Bytes output = Bytes::zero();
-        for (const auto& t : a.chunk) output += t.output;
-        const OpToken token = tokens.alloc();
-        backend.submit_transfer(token, a.node, root, output);
-        in_flight.emplace(token, std::move(a));
-      } else {
-        // Completed; account below through the shared bookkeeping.
-        const double elapsed = (backend.now() - a.dispatched).value;
-        const double spm = elapsed / std::max(1e-9, a.work().value);
-        node_spm[a.node] = 0.5 * node_spm[a.node] + 0.5 * spm;
-        busy[a.node] = false;
-        for (const auto& t : a.chunk) {
-          if (source.mark_completed(t.id)) {
-            ++report.tasks_completed;
-            report.trace.record({backend.now(),
-                                 gridsim::TraceEventKind::TaskCompleted,
-                                 a.node, t.id, elapsed, ""});
-          }
-        }
-        if (!finished && source.all_done()) {
-          finished = true;
-          finish_time = backend.now();
-        }
-      }
+  // Shared completion handling for the main loop and the drains.  Drives
+  // the input -> compute -> output state machine and, on churn grids, the
+  // zombie test: a completion whose dispatch-to-finish window straddles a
+  // crash of its node never really happened.
+  auto process_completion = [&](const Completion& c) {
+    if (dead_tokens.erase(c.token) > 0) {
+      ++report.resilience.zombie_completions;
+      return;
     }
-  };
-
-  auto recalibrate = [&] {
-    ++recalibrations;
-    report.trace.record({backend.now(),
-                         gridsim::TraceEventKind::RecalibrationTriggered,
-                         root, TaskId::invalid(),
-                         static_cast<double>(recalibrations), ""});
-    GRASP_LOG_INFO("farm") << "recalibration #" << recalibrations << " at t="
-                           << backend.now().value;
-    drain();
-    if (source.all_done()) return;
-    if (source.empty()) return;  // nothing left to schedule differently
-    const std::vector<NodeId> previous = chosen;
-    CalibrationResult recal = calibrator.run(backend, pool, source, &monitor,
-                                             &report.trace, tokens);
-    report.calibration_tasks += recal.tasks_consumed;
-    if (!finished && source.all_done()) {
-      finished = true;
-      finish_time = backend.now();
-    }
-    for (const auto& s : recal.ranking) node_spm[s.node] = s.adjusted_spm;
-    chosen = recal.chosen;
-    exec_monitor.arm(recal.baseline_spm, chosen, backend.now());
-    report.final_baseline_spm = recal.baseline_spm;
-    for (const NodeId n : chosen) {
-      if (std::find(previous.begin(), previous.end(), n) == previous.end())
-        report.trace.record({backend.now(),
-                             gridsim::TraceEventKind::NodeSwapped, n,
-                             TaskId::invalid(), 1.0, "joined"});
-    }
-  };
-
-  report.final_baseline_spm = calibration.baseline_spm;
-
-  // ---- Phase: execution (Algorithm 2 loop) ----------------------------
-  while (!source.all_done()) {
-    dispatch_to_idle();
-    maybe_reissue();
-    const auto completion = backend.wait_next();
-    if (!completion) {
-      if (!source.all_done())
-        throw std::logic_error("TaskFarm: deadlock — tasks remain but "
-                               "nothing in flight");
-      break;
-    }
-    monitor.advance_to(backend.now());
-
-    const auto it = in_flight.find(completion->token);
+    const auto it = in_flight.find(c.token);
     if (it == in_flight.end())
       throw std::logic_error("TaskFarm: unknown completion token");
     Assignment a = std::move(it->second);
     in_flight.erase(it);
+
+    if (churn != nullptr &&
+        churn->crashed_during(a.node, a.dispatched, backend.now())) {
+      // Zombie chunk observed before the detector fired: the work is lost;
+      // re-queue it here, exactly once (the ledger entry dies with it).
+      ++report.resilience.zombie_completions;
+      if (resil_on) ledger.invalidate(c.token);
+      else {
+        ++report.resilience.chunks_lost;
+        report.resilience.wasted_mops += a.work().value;
+      }
+      requeue_pending(a.chunk, a.node);
+      if (resil_on && !tracker->is_member(a.node))
+        declare_dead(a.node, "connection lost");
+      else
+        busy[a.node] = false;
+      return;
+    }
 
     switch (a.phase) {
       case Assignment::Phase::Input: {
@@ -278,6 +422,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
         const OpToken token = tokens.alloc();
         backend.submit_compute(token, a.node, a.work(),
                                 make_chunk_body(a.chunk));
+        if (resil_on) ledger.rekey(c.token, token);
         in_flight.emplace(token, std::move(a));
         break;
       }
@@ -287,10 +432,12 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
         for (const auto& t : a.chunk) output += t.output;
         const OpToken token = tokens.alloc();
         backend.submit_transfer(token, a.node, root, output);
+        if (resil_on) ledger.rekey(c.token, token);
         in_flight.emplace(token, std::move(a));
         break;
       }
       case Assignment::Phase::Output: {
+        if (resil_on) ledger.complete(c.token);
         const double elapsed = (backend.now() - a.dispatched).value;
         const double spm = elapsed / std::max(1e-9, a.work().value);
         // Blend the observation into the node estimate (EWMA, alpha 0.5).
@@ -306,7 +453,32 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
                                  a.node, t.id, elapsed, ""});
           }
         }
-        exec_monitor.observe(a.node, spm, backend.now());
+        if (a.is_probe) {
+          // Fast-path calibration verdict for a newcomer.
+          const bool admitted = elastic.admit(
+              a.node, spm, std::max(1e-9, exec_monitor.baseline_spm()));
+          if (admitted) {
+            report.trace.record({backend.now(),
+                                 gridsim::TraceEventKind::NodeAdmitted,
+                                 a.node, TaskId::invalid(), spm, ""});
+            exec_monitor.arm(exec_monitor.baseline_spm(), elastic.workers(),
+                             backend.now());
+            GRASP_LOG_INFO("farm")
+                << "node " << a.node.value << " admitted (probe spm=" << spm
+                << ")";
+          }
+        } else {
+          exec_monitor.observe(a.node, spm, backend.now());
+          if (resil_on &&
+              elastic.observe(a.node, spm, exec_monitor.baseline_spm())) {
+            report.trace.record({backend.now(),
+                                 gridsim::TraceEventKind::NodeEvicted,
+                                 a.node, TaskId::invalid(), spm,
+                                 "persistent degradation"});
+            exec_monitor.arm(exec_monitor.baseline_spm(), elastic.workers(),
+                             backend.now());
+          }
+        }
         if (!finished && source.all_done()) {
           finished = true;
           finish_time = backend.now();
@@ -314,22 +486,127 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
         break;
       }
     }
+  };
+
+  // Drain live operations.  Chunks surrendered to crash recovery are
+  // deliberately left pending: their zombie completions sit in the backend
+  // until (long-)after the node's outage, and waiting for them would stall
+  // the whole farm on a corpse.
+  auto drain = [&] {
+    while (backend.in_flight() > dead_tokens.size()) {
+      const auto c = backend.wait_next();
+      if (!c) break;
+      if (!finished) monitor.advance_to(backend.now());
+      consume_membership(backend.now());
+      process_completion(*c);
+    }
+  };
+
+  auto recalibrate = [&] {
+    ++recalibrations;
+    report.trace.record({backend.now(),
+                         gridsim::TraceEventKind::RecalibrationTriggered,
+                         root, TaskId::invalid(),
+                         static_cast<double>(recalibrations), ""});
+    GRASP_LOG_INFO("farm") << "recalibration #" << recalibrations << " at t="
+                           << backend.now().value;
+    // Resilient runs calibrate concurrently with execution (in-flight
+    // chunks keep flowing through absorb_engine_completion); the classic
+    // path drains first, as the original Algorithm 2 loop did.
+    if (!resil_on) drain();
+    if (source.all_done()) return;
+    if (source.empty()) return;  // nothing left to schedule differently
+    const std::vector<NodeId> previous = elastic.workers();
+    std::vector<NodeId> recal_pool = farmer_live_view();
+    if (resil_on) {
+      // Drop nodes that are provably gone right now (a calibration probe to
+      // a dead node would fail at connection time, not stall forever).
+      std::vector<NodeId> alive;
+      for (const NodeId n : recal_pool)
+        if (churn->is_member(n, backend.now())) alive.push_back(n);
+        else declare_dead(n, "dispatch failed");
+      recal_pool = std::move(alive);
+    }
+    if (recal_pool.empty()) return;
+    // Entries queued while no calibration was listening are stale: every
+    // node they name is already outside recal_pool (or back in it after a
+    // rejoin, in which case its fresh samples must not be abandoned).
+    newly_dead.clear();
+    CalibrationResult recal =
+        calibrator.run(backend, recal_pool, source, &monitor, &report.trace,
+                       tokens, &foreign);
+    report.calibration_tasks += recal.tasks_consumed;
+    if (!finished && source.all_done()) {
+      finished = true;
+      finish_time = backend.now();
+    }
+    if (recal.chosen.empty()) return;  // every probed node died; keep the set
+    for (const auto& s : recal.ranking) node_spm[s.node] = s.adjusted_spm;
+    elastic.reset(recal.chosen);
+    exec_monitor.arm(recal.baseline_spm, recal.chosen, backend.now());
+    report.final_baseline_spm = recal.baseline_spm;
+    for (const NodeId n : recal.chosen) {
+      if (std::find(previous.begin(), previous.end(), n) == previous.end())
+        report.trace.record({backend.now(),
+                             gridsim::TraceEventKind::NodeSwapped, n,
+                             TaskId::invalid(), 1.0, "joined"});
+    }
+  };
+
+  report.final_baseline_spm = calibration.baseline_spm;
+  membership_hook = consume_membership;
+  absorb_engine_completion = [&](OpToken token) {
+    if (in_flight.find(token) == in_flight.end()) return false;
+    Completion c;
+    c.token = token;
+    process_completion(c);
+    return true;
+  };
+  consume_membership(backend.now());
+
+  // ---- Phase: execution (Algorithm 2 loop) ----------------------------
+  while (!source.all_done()) {
+    dispatch_to_idle();
+    maybe_reissue();
+    const auto completion = backend.wait_next();
+    if (!completion) {
+      if (!source.all_done())
+        throw std::logic_error("TaskFarm: deadlock — tasks remain but "
+                               "nothing in flight (all workers lost?)");
+      break;
+    }
+    monitor.advance_to(backend.now());
+    consume_membership(backend.now());
+    process_completion(*completion);
 
     if (params_.adaptation_enabled && !source.all_done() &&
         recalibrations < params_.max_recalibrations) {
       const MonitorVerdict verdict = exec_monitor.check(backend.now());
-      if (verdict != MonitorVerdict::None) recalibrate();
+      if (verdict != MonitorVerdict::None) pending_recalibration = true;
+    }
+    if (pending_recalibration) {
+      pending_recalibration = false;
+      if (params_.adaptation_enabled && !source.all_done() &&
+          recalibrations < params_.max_recalibrations)
+        recalibrate();
     }
   }
 
   if (!finished) finish_time = backend.now();
-  drain();  // late duplicates / abandoned twins complete off the clock
+  report.monitor_samples = monitor.samples_taken();
+  drain();  // late duplicates / abandoned twins / zombies, off the clock
 
   report.makespan = finish_time;
   report.recalibrations = recalibrations;
-  report.monitor_samples = monitor.samples_taken();
   report.rounds = exec_monitor.rounds_completed();
-  report.final_chosen = chosen;
+  report.final_chosen = elastic.workers();
+  if (resil_on) {
+    report.resilience.admissions = elastic.admissions();
+    report.resilience.rejections = elastic.rejections();
+    report.resilience.evictions = elastic.evictions();
+    report.resilience.chunks_lost = ledger.chunks_lost();
+    report.resilience.wasted_mops = ledger.wasted_mops();
+  }
   return report;
 }
 

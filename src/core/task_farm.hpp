@@ -24,8 +24,31 @@
 #include "gridsim/grid.hpp"
 #include "gridsim/trace.hpp"
 #include "perfmon/monitor.hpp"
+#include "resil/elastic_pool.hpp"
+#include "resil/failure_detector.hpp"
+#include "resil/report.hpp"
 
 namespace grasp::core {
+
+/// Resilience/elasticity policy for a farm run.  Active only when `enabled`
+/// and the grid carries a ChurnTimeline; a churn-free grid behaves exactly
+/// as before.  The correctness floor (zombie completions discarded, their
+/// tasks re-queued) applies whenever the grid has a timeline, because it is
+/// physics, not policy: a chunk that was on a node when the node died never
+/// really completed.
+struct FarmResilience {
+  bool enabled = false;
+  resil::FailureDetector::Params detector;
+  resil::ElasticPool::Params pool;
+  /// Rerun Algorithm 1 over the surviving pool after a detected crash.
+  bool recalibrate_on_crash = true;
+  /// Fast-path probe-and-admit for joined nodes (elastic growth).  Off,
+  /// joiners can only enter through a full recalibration — with adaptation
+  /// also off, the worker set never grows (the fixed-set ablation).
+  bool elastic_join = true;
+  /// Tasks in a newcomer's fast-path calibration probe chunk.
+  std::size_t probe_tasks = 1;
+};
 
 struct FarmParams {
   CalibrationParams calibration;
@@ -52,6 +75,9 @@ struct FarmParams {
 
   /// Farmer location; invalid means pool.front().
   NodeId root;
+
+  /// Node-churn handling (crash recovery + elastic worker set).
+  FarmResilience resilience;
 };
 
 struct FarmReport {
@@ -65,6 +91,7 @@ struct FarmReport {
   std::size_t rounds = 0;
   double final_baseline_spm = 0.0;
   std::vector<NodeId> final_chosen;
+  resil::ResilienceReport resilience;  ///< zeros on churn-free runs
   gridsim::TraceRecorder trace;
 
   [[nodiscard]] double throughput() const {
@@ -93,6 +120,7 @@ class TaskFarm {
     Seconds dispatched;
     enum class Phase { Input, Compute, Output } phase = Phase::Input;
     bool is_reissue = false;
+    bool is_probe = false;  ///< newcomer fast-path calibration chunk
     Mops work() const {
       Mops total = Mops::zero();
       for (const auto& t : chunk) total += t.work;

@@ -1,0 +1,109 @@
+#include "gridsim/churn.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace grasp::gridsim {
+
+const char* to_string(ChurnEventKind kind) {
+  switch (kind) {
+    case ChurnEventKind::Crash: return "crash";
+    case ChurnEventKind::Leave: return "leave";
+    case ChurnEventKind::Join: return "join";
+    case ChurnEventKind::Rejoin: return "rejoin";
+  }
+  return "unknown";
+}
+
+ChurnTimeline::ChurnTimeline(std::vector<ChurnEvent> events,
+                             std::vector<NodeId> initially_absent)
+    : events_(std::move(events)),
+      initially_absent_(initially_absent.begin(), initially_absent.end()) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+std::size_t ChurnTimeline::count(ChurnEventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const ChurnEvent& e) { return e.kind == kind; }));
+}
+
+bool ChurnTimeline::is_member(NodeId node, Seconds t) const {
+  bool member = initially_member(node);
+  for (const auto& e : events_) {
+    if (e.at > t) break;
+    if (e.node != node) continue;
+    switch (e.kind) {
+      case ChurnEventKind::Crash:
+      case ChurnEventKind::Leave:
+        member = false;
+        break;
+      case ChurnEventKind::Join:
+      case ChurnEventKind::Rejoin:
+        member = true;
+        break;
+    }
+  }
+  return member;
+}
+
+bool ChurnTimeline::crashed_during(NodeId node, Seconds from,
+                                   Seconds to) const {
+  for (const auto& e : events_) {
+    if (e.at > to) break;
+    if (e.at > from && e.node == node && e.kind == ChurnEventKind::Crash)
+      return true;
+  }
+  return false;
+}
+
+std::vector<ChurnEvent> ChurnTimeline::events_between(Seconds from,
+                                                      Seconds to) const {
+  std::vector<ChurnEvent> out;
+  for (const auto& e : events_) {
+    if (e.at > to) break;
+    if (e.at > from) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<NodeId> ChurnTimeline::members_at(const std::vector<NodeId>& pool,
+                                              Seconds t) const {
+  std::vector<NodeId> out;
+  out.reserve(pool.size());
+  for (const NodeId n : pool)
+    if (is_member(n, t)) out.push_back(n);
+  return out;
+}
+
+ChurnTimeline ChurnModel::generate(const std::vector<NodeId>& churnable,
+                                   const Params& params) {
+  std::vector<ChurnEvent> events;
+  Rng master(params.seed);
+  for (const NodeId node : churnable) {
+    // Independent stream per node: a node's schedule depends only on the
+    // master seed and its position, never on other nodes' draw counts.
+    Rng rng = master.split(node.value);
+    double t = params.warmup.value + rng.exponential(1.0 / params.mtbf);
+    while (t < params.horizon.value) {
+      const bool crash = rng.bernoulli(params.crash_fraction);
+      events.push_back({Seconds{t},
+                        crash ? ChurnEventKind::Crash : ChurnEventKind::Leave,
+                        node});
+      if (!rng.bernoulli(params.rejoin_probability)) break;  // gone for good
+      const double delay =
+          rng.exponential(1.0 / std::max(1e-9, params.mean_rejoin_delay.value));
+      const double back = t + std::max(1.0, delay);
+      if (back >= params.horizon.value) break;
+      events.push_back({Seconds{back}, ChurnEventKind::Rejoin, node});
+      t = back + rng.exponential(1.0 / params.mtbf);
+    }
+  }
+  return ChurnTimeline(std::move(events));
+}
+
+}  // namespace grasp::gridsim

@@ -30,6 +30,19 @@ std::vector<NodeId> Grid::node_ids() const {
   return ids;
 }
 
+bool Grid::is_available(NodeId id, Seconds t) const {
+  if (churn_ && !churn_->is_member(id, t)) return false;
+  return !node(id).is_down(t);
+}
+
+std::vector<NodeId> Grid::available_nodes(Seconds t) const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_)
+    if (is_available(n.id(), t)) out.push_back(n.id());
+  return out;
+}
+
 Seconds Grid::transfer_time(NodeId from, NodeId to, Bytes payload,
                             Seconds start) const {
   if (from == to) return Seconds::zero();

@@ -1,14 +1,21 @@
-// Grid façade: nodes + topology, the complete simulated metacomputer.
+// Grid façade: nodes + topology + membership, the complete simulated
+// metacomputer.
 //
 // The skeletons and the message-passing runtime query the grid for compute
 // and transfer costs; scenario scripts mutate node load models to inject the
-// dynamism the adaptation experiments need.
+// dynamism the adaptation experiments need.  A grid may additionally carry a
+// ChurnTimeline: the membership dimension of dynamism (crash / leave / join
+// / rejoin).  Engines learn of membership changes either by polling
+// `is_available` / the timeline queries, or incrementally through
+// resil::MembershipTracker, which turns the timeline into callbacks.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "gridsim/churn.hpp"
 #include "gridsim/node_model.hpp"
 #include "gridsim/topology.hpp"
 #include "support/ids.hpp"
@@ -33,9 +40,26 @@ class Grid {
   [[nodiscard]] Seconds transfer_time(NodeId from, NodeId to, Bytes payload,
                                       Seconds start) const;
 
+  // ------------------------------------------------------------ membership
+  /// Attach the run's membership schedule (scenario construction time).
+  void set_churn(ChurnTimeline churn) { churn_ = std::move(churn); }
+
+  /// The membership schedule, or nullptr for a churn-free grid.
+  [[nodiscard]] const ChurnTimeline* churn() const {
+    return churn_ ? &*churn_ : nullptr;
+  }
+
+  /// A node is available at t when it is a pool member (per the churn
+  /// timeline, if any) and not inside a NodeModel downtime window.
+  [[nodiscard]] bool is_available(NodeId id, Seconds t) const;
+
+  /// Available node ids at time t (the elastic "processor pool" view).
+  [[nodiscard]] std::vector<NodeId> available_nodes(Seconds t) const;
+
  private:
   std::vector<NodeModel> nodes_;
   Topology topology_;
+  std::optional<ChurnTimeline> churn_;
 };
 
 /// Incremental construction of grids for tests, examples and scenarios.

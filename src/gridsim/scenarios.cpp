@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "support/rng.hpp"
@@ -149,6 +150,68 @@ void inject_load_step_on(Grid& grid, NodeId node, Seconds at,
   parts.push_back(std::make_unique<StepLoad>(
       std::vector<StepLoad::Segment>{{at, extra_load}}, 0.0));
   n.set_load_model(std::make_unique<CompositeLoad>(std::move(parts)));
+}
+
+Grid make_churn_grid(const ChurnScenarioParams& params) {
+  ScenarioParams base = params.grid;
+  const std::size_t members = base.node_count;
+  base.node_count += params.spare_nodes;
+  Grid grid = make_grid(base);
+
+  if (params.protected_prefix >= members && params.spare_nodes == 0)
+    throw std::invalid_argument("make_churn_grid: nothing can churn");
+
+  // Failure schedule over the unprotected initial members.
+  std::vector<NodeId> churnable;
+  for (std::size_t i = params.protected_prefix; i < members; ++i)
+    churnable.push_back(NodeId{i});
+  std::vector<ChurnEvent> events;
+  if (params.mtbf > 0.0 && !churnable.empty()) {
+    ChurnModel::Params cp;
+    cp.mtbf = params.mtbf;
+    cp.crash_fraction = params.crash_fraction;
+    cp.rejoin_probability = params.rejoin_probability;
+    cp.mean_rejoin_delay = params.rejoin_delay;
+    cp.horizon = params.horizon;
+    cp.warmup = params.warmup;
+    cp.seed = params.churn_seed;
+    events = ChurnModel::generate(churnable, cp).events();
+  }
+
+  // Spares: absent at t=0, joining at uniform times in the join window.
+  std::vector<NodeId> absent;
+  Rng join_rng(params.churn_seed ^ 0x9e3779b97f4a7c15ULL);
+  for (std::size_t i = members; i < members + params.spare_nodes; ++i) {
+    const NodeId n{i};
+    absent.push_back(n);
+    const double at =
+        params.warmup.value + join_rng.uniform(0.0, params.join_window.value);
+    events.push_back({Seconds{at}, ChurnEventKind::Join, n});
+  }
+
+  ChurnTimeline timeline(std::move(events), std::move(absent));
+
+  if (params.stall_during_crash) {
+    // Crashed nodes stop computing: register a downtime window from each
+    // crash to the matching rejoin (or `gone_downtime` for permanent ones)
+    // so in-flight work physically stalls instead of finishing on a corpse.
+    std::unordered_map<std::uint64_t, Seconds> open_crash;
+    for (const ChurnEvent& e : timeline.events()) {
+      if (e.kind == ChurnEventKind::Crash) {
+        open_crash[e.node.value] = e.at;
+      } else if (e.kind == ChurnEventKind::Rejoin) {
+        const auto it = open_crash.find(e.node.value);
+        if (it == open_crash.end()) continue;  // leave -> rejoin: no stall
+        grid.node(e.node).add_downtime({it->second, e.at});
+        open_crash.erase(it);
+      }
+    }
+    for (const auto& [node, at] : open_crash)
+      grid.node(NodeId{node}).add_downtime({at, at + params.gone_downtime});
+  }
+
+  grid.set_churn(std::move(timeline));
+  return grid;
 }
 
 void inject_load_step(Grid& grid, double victim_fraction, Seconds at,

@@ -61,4 +61,39 @@ void inject_load_step(Grid& grid, double victim_fraction, Seconds at,
 void inject_load_step_on(Grid& grid, NodeId node, Seconds at,
                          double extra_load);
 
+// --------------------------------------------------------------- churn
+
+/// A churning pool: the base heterogeneous grid plus a membership timeline.
+/// `churn_rate` is expressed through `mtbf` (mean seconds between failures
+/// per churnable node); spares are extra nodes absent at t=0 that join
+/// mid-run, exercising elastic growth.
+struct ChurnScenarioParams {
+  ScenarioParams grid;  ///< base pool shape (node_count = initial members)
+  /// Extra nodes built into the grid but absent until their Join event.
+  std::size_t spare_nodes = 0;
+  /// Mean time between failures per churnable node; <= 0 disables failures.
+  double mtbf = 400.0;
+  double crash_fraction = 0.75;
+  double rejoin_probability = 0.7;
+  Seconds rejoin_delay{60.0};
+  Seconds horizon{600.0};
+  /// Failure-free grace period (calibration completes undisturbed).
+  Seconds warmup{20.0};
+  /// Spares join uniformly in [warmup, warmup + join_window].
+  Seconds join_window{300.0};
+  /// The first `protected_prefix` nodes never churn (farmer/root lives
+  /// there; the paper's farmer is assumed reliable).
+  std::size_t protected_prefix = 1;
+  /// Register matching NodeModel downtime windows for crashes, so work in
+  /// flight on a crashed node physically stalls until the node returns
+  /// (or `gone_downtime` elapses for nodes that never do).  Engines that
+  /// ignore membership then pay the full price of waiting a zombie out.
+  bool stall_during_crash = true;
+  Seconds gone_downtime{2e4};
+  std::uint64_t churn_seed = 7;
+};
+
+/// Heterogeneous grid with Poisson node churn and late-joining spares.
+[[nodiscard]] Grid make_churn_grid(const ChurnScenarioParams& params);
+
 }  // namespace grasp::gridsim

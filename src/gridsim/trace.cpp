@@ -20,6 +20,12 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::StageReplicated: return "stage_replicated";
     case TraceEventKind::ChunkResized: return "chunk_resized";
     case TraceEventKind::ItemCompleted: return "item_completed";
+    case TraceEventKind::NodeCrashDetected: return "node_crash_detected";
+    case TraceEventKind::NodeLeftPool: return "node_left_pool";
+    case TraceEventKind::NodeJoinedPool: return "node_joined_pool";
+    case TraceEventKind::NodeAdmitted: return "node_admitted";
+    case TraceEventKind::NodeEvicted: return "node_evicted";
+    case TraceEventKind::ChunkRedispatched: return "chunk_redispatched";
   }
   return "unknown";
 }
@@ -79,6 +85,9 @@ std::vector<Seconds> TraceRecorder::adaptation_times() const {
       case TraceEventKind::StageRemapped:
       case TraceEventKind::StageReplicated:
       case TraceEventKind::ChunkResized:
+      case TraceEventKind::NodeAdmitted:
+      case TraceEventKind::NodeEvicted:
+      case TraceEventKind::ChunkRedispatched:
         times.push_back(e.at);
         break;
       default:

@@ -26,6 +26,13 @@ enum class TraceEventKind {
   StageReplicated,
   ChunkResized,
   ItemCompleted,  // pipeline sink
+  // Membership / resilience events (churn runs).
+  NodeCrashDetected,   ///< failure detector declared the node dead
+  NodeLeftPool,        ///< announced departure consumed by the engine
+  NodeJoinedPool,      ///< join/rejoin observed; probation begins
+  NodeAdmitted,        ///< newcomer passed fast-path calibration
+  NodeEvicted,         ///< persistent degradation shrank the worker set
+  ChunkRedispatched,   ///< task lost to a crash returned to the queue
 };
 
 [[nodiscard]] const char* to_string(TraceEventKind kind);

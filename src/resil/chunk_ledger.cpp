@@ -1,0 +1,62 @@
+#include "resil/chunk_ledger.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace grasp::resil {
+
+void ChunkLedger::record(core::OpToken token, Entry entry) {
+  const auto [it, inserted] = entries_.emplace(token, std::move(entry));
+  (void)it;
+  if (!inserted)
+    throw std::logic_error("ChunkLedger: token already registered");
+}
+
+void ChunkLedger::rekey(core::OpToken old_token, core::OpToken new_token) {
+  const auto it = entries_.find(old_token);
+  if (it == entries_.end()) return;
+  Entry entry = std::move(it->second);
+  entries_.erase(it);
+  record(new_token, std::move(entry));
+}
+
+std::optional<ChunkLedger::Entry> ChunkLedger::complete(core::OpToken token) {
+  const auto it = entries_.find(token);
+  if (it == entries_.end()) return std::nullopt;
+  Entry entry = std::move(it->second);
+  entries_.erase(it);
+  return entry;
+}
+
+std::optional<ChunkLedger::Entry> ChunkLedger::invalidate(
+    core::OpToken token) {
+  auto entry = complete(token);
+  if (entry) count_loss(*entry);
+  return entry;
+}
+
+std::vector<std::pair<core::OpToken, ChunkLedger::Entry>>
+ChunkLedger::fail_node(NodeId node) {
+  std::vector<std::pair<core::OpToken, Entry>> out;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.node == node) {
+      count_loss(it->second);
+      out.emplace_back(it->first, std::move(it->second));
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.dispatched < b.second.dispatched;
+  });
+  return out;
+}
+
+void ChunkLedger::count_loss(const Entry& entry) {
+  ++chunks_lost_;
+  tasks_lost_ += entry.tasks.size();
+  wasted_mops_ += entry.work.value;
+}
+
+}  // namespace grasp::resil

@@ -1,0 +1,71 @@
+// ChunkLedger: the exactly-once accounting behind crash recovery.
+//
+// Every dispatched chunk is registered under its current operation token;
+// phase transitions (input -> compute -> output) re-key the entry.  When a
+// node is declared dead, `fail_node` surrenders its entries exactly once —
+// callers return the contained tasks to the work queue and nothing else
+// ever will, because the entries are gone.  Zombie completions (a chunk
+// whose node crashed mid-flight) are settled through `invalidate`, which
+// removes the entry so a later `fail_node` cannot re-dispatch the same
+// work a second time.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "workloads/task.hpp"
+
+namespace grasp::resil {
+
+class ChunkLedger {
+ public:
+  struct Entry {
+    NodeId node;
+    std::vector<workloads::TaskSpec> tasks;
+    Seconds dispatched;
+    Mops work;
+  };
+
+  /// Register a freshly dispatched chunk.  The token must be unused.
+  void record(core::OpToken token, Entry entry);
+
+  /// Move an entry to the next phase's token.  No-op for unknown tokens
+  /// (the chunk may have been surrendered to fail_node meanwhile).
+  void rekey(core::OpToken old_token, core::OpToken new_token);
+
+  /// Chunk finished normally: remove and return its entry.
+  std::optional<Entry> complete(core::OpToken token);
+
+  /// Chunk invalidated by a crash: remove and return its entry, counting
+  /// the work as lost.
+  std::optional<Entry> invalidate(core::OpToken token);
+
+  /// Surrender every in-flight entry on `node` with its token (oldest
+  /// dispatch first), counting them lost.  A second call for the same node
+  /// returns nothing — the exactly-once guarantee for crash re-dispatch.
+  std::vector<std::pair<core::OpToken, Entry>> fail_node(NodeId node);
+
+  [[nodiscard]] bool tracks(core::OpToken token) const {
+    return entries_.count(token) != 0;
+  }
+  [[nodiscard]] std::size_t in_flight() const { return entries_.size(); }
+
+  // Loss accounting (drives the wasted-work experiment columns).
+  [[nodiscard]] std::size_t chunks_lost() const { return chunks_lost_; }
+  [[nodiscard]] std::size_t tasks_lost() const { return tasks_lost_; }
+  [[nodiscard]] double wasted_mops() const { return wasted_mops_; }
+
+ private:
+  void count_loss(const Entry& entry);
+
+  std::unordered_map<core::OpToken, Entry> entries_;
+  std::size_t chunks_lost_ = 0;
+  std::size_t tasks_lost_ = 0;
+  double wasted_mops_ = 0.0;
+};
+
+}  // namespace grasp::resil

@@ -1,0 +1,86 @@
+#include "resil/elastic_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace grasp::resil {
+
+namespace {
+
+bool erase_value(std::vector<NodeId>& v, NodeId node) {
+  const auto it = std::find(v.begin(), v.end(), node);
+  if (it == v.end()) return false;
+  v.erase(it);
+  return true;
+}
+
+}  // namespace
+
+ElasticPool::ElasticPool(Params params) : params_(params) {
+  if (params_.admit_ratio <= 0.0)
+    throw std::invalid_argument("ElasticPool: admit_ratio must be positive");
+  if (params_.evict_ratio < 0.0)
+    throw std::invalid_argument("ElasticPool: evict_ratio must be >= 0");
+  if (params_.evict_after == 0)
+    throw std::invalid_argument("ElasticPool: evict_after must be positive");
+}
+
+void ElasticPool::reset(std::vector<NodeId> workers) {
+  workers_ = std::move(workers);
+  probation_.clear();
+  strikes_.clear();
+}
+
+bool ElasticPool::contains(NodeId node) const {
+  return std::find(workers_.begin(), workers_.end(), node) != workers_.end();
+}
+
+bool ElasticPool::remove(NodeId node) {
+  strikes_.erase(node);
+  erase_value(probation_, node);
+  return erase_value(workers_, node);
+}
+
+void ElasticPool::begin_probation(NodeId node) {
+  if (contains(node) || in_probation(node)) return;
+  probation_.push_back(node);
+}
+
+bool ElasticPool::in_probation(NodeId node) const {
+  return std::find(probation_.begin(), probation_.end(), node) !=
+         probation_.end();
+}
+
+bool ElasticPool::admit(NodeId node, double probe_spm, double baseline_spm) {
+  erase_value(probation_, node);
+  if (contains(node)) return true;  // recalibration admitted it meanwhile
+  const bool room =
+      params_.max_workers == 0 || workers_.size() < params_.max_workers;
+  const bool fit =
+      baseline_spm <= 0.0 || probe_spm <= params_.admit_ratio * baseline_spm;
+  if (room && fit) {
+    workers_.push_back(node);
+    ++admissions_;
+    return true;
+  }
+  ++rejections_;
+  return false;
+}
+
+bool ElasticPool::observe(NodeId node, double spm, double baseline_spm) {
+  if (params_.evict_ratio <= 0.0 || baseline_spm <= 0.0) return false;
+  if (!contains(node)) return false;
+  if (spm > params_.evict_ratio * baseline_spm) {
+    if (++strikes_[node] >= params_.evict_after &&
+        workers_.size() > params_.min_workers) {
+      remove(node);
+      ++evictions_;
+      return true;
+    }
+  } else {
+    strikes_[node] = 0;
+  }
+  return false;
+}
+
+}  // namespace grasp::resil

@@ -1,0 +1,78 @@
+#include "resil/failure_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace grasp::resil {
+
+FailureDetector::FailureDetector(Params params) : params_(params) {
+  if (params_.heartbeat_period.value <= 0.0)
+    throw std::invalid_argument(
+        "FailureDetector: heartbeat_period must be positive");
+  if (params_.timeout.value <= 0.0)
+    throw std::invalid_argument("FailureDetector: timeout must be positive");
+}
+
+void FailureDetector::watch(NodeId node, Seconds now) { last_[node] = now; }
+
+void FailureDetector::unwatch(NodeId node) { last_.erase(node); }
+
+bool FailureDetector::watching(NodeId node) const {
+  return last_.count(node) != 0;
+}
+
+void FailureDetector::heartbeat(NodeId node, Seconds at) {
+  const auto it = last_.find(node);
+  if (it == last_.end()) return;  // not watched; drop
+  if (at > it->second) it->second = at;
+}
+
+void FailureDetector::advance(
+    Seconds now, const std::function<bool(NodeId, Seconds)>& alive) {
+  if (now <= last_advance_) return;
+  const double period = params_.heartbeat_period.value;
+  const auto first_tick =
+      static_cast<long long>(std::floor(last_advance_.value / period)) + 1;
+  const auto last_tick = static_cast<long long>(std::floor(now.value / period));
+  if (first_tick <= last_tick) {
+    for (auto& [node, last] : last_) {
+      // Latest alive tick wins; scan backwards and stop at the first hit so
+      // large clock jumps stay cheap for healthy nodes.
+      for (long long k = last_tick; k >= first_tick; --k) {
+        const Seconds tick{static_cast<double>(k) * period};
+        if (alive(node, tick)) {
+          if (tick > last) last = tick;
+          break;
+        }
+      }
+    }
+  }
+  last_advance_ = now;
+}
+
+std::vector<NodeId> FailureDetector::suspects(Seconds now) const {
+  std::vector<NodeId> out;
+  for (const auto& [node, last] : last_)
+    if (now - last > params_.timeout) out.push_back(node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> FailureDetector::watched() const {
+  std::vector<NodeId> out;
+  out.reserve(last_.size());
+  for (const auto& [node, last] : last_) {
+    (void)last;
+    out.push_back(node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Seconds FailureDetector::last_heartbeat(NodeId node) const {
+  const auto it = last_.find(node);
+  return it == last_.end() ? Seconds{-1.0} : it->second;
+}
+
+}  // namespace grasp::resil

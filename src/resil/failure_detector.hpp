@@ -1,0 +1,66 @@
+// Heartbeat/timeout failure detection.
+//
+// The farmer cannot observe a remote crash directly; it can only notice
+// silence.  Each watched node is expected to heartbeat every
+// `heartbeat_period`; a node whose last heartbeat is older than `timeout`
+// becomes a suspect.  The detector is transport-agnostic: heartbeats arrive
+// either from a real channel (resil/heartbeat.hpp feeds it from
+// mp::Communicator messages) or from `advance`, which synthesises the
+// beats an available node would have sent in simulation.  Detection latency
+// is therefore `timeout` plus at most one period — the knob the churn
+// experiments sweep against wasted work.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace grasp::resil {
+
+class FailureDetector {
+ public:
+  struct Params {
+    Seconds heartbeat_period{1.0};
+    /// Declare a node suspect when now - last_heartbeat > timeout.
+    Seconds timeout{5.0};
+  };
+
+  explicit FailureDetector(Params params);
+
+  /// Begin (or restart) watching `node`, crediting a heartbeat at `now` so
+  /// a fresh node is never instantly suspect.
+  void watch(NodeId node, Seconds now);
+  void unwatch(NodeId node);
+  [[nodiscard]] bool watching(NodeId node) const;
+  [[nodiscard]] std::size_t watched_count() const { return last_.size(); }
+
+  /// Record a heartbeat received from `node` at time `at`.  Stale stamps
+  /// (older than the latest) are ignored.
+  void heartbeat(NodeId node, Seconds at);
+
+  /// Simulated transport: for every watched node, credit the heartbeat
+  /// ticks (multiples of heartbeat_period in (last_advance, now]) at which
+  /// `alive(node, tick)` holds.  `now` must be non-decreasing.
+  void advance(Seconds now,
+               const std::function<bool(NodeId, Seconds)>& alive);
+
+  /// Watched nodes whose silence exceeds the timeout, in id order.
+  [[nodiscard]] std::vector<NodeId> suspects(Seconds now) const;
+
+  /// Every watched node, in id order (the farmer's live view of the pool).
+  [[nodiscard]] std::vector<NodeId> watched() const;
+
+  /// Last credited heartbeat; Seconds{-1} when the node is not watched.
+  [[nodiscard]] Seconds last_heartbeat(NodeId node) const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  std::unordered_map<NodeId, Seconds> last_;
+  Seconds last_advance_{0.0};
+};
+
+}  // namespace grasp::resil

@@ -1,0 +1,19 @@
+#include "resil/heartbeat.hpp"
+
+namespace grasp::resil {
+
+void send_heartbeat(mp::Comm& comm, int detector_rank, NodeId node) {
+  comm.send_value(detector_rank, kHeartbeatTag, node.value);
+}
+
+std::size_t drain_heartbeats(mp::Comm& comm, FailureDetector& detector,
+                             Seconds now) {
+  std::size_t drained = 0;
+  while (auto msg = comm.try_recv(mp::kAnySource, kHeartbeatTag)) {
+    detector.heartbeat(NodeId{msg->unpack<NodeId::rep_type>()}, now);
+    ++drained;
+  }
+  return drained;
+}
+
+}  // namespace grasp::resil

@@ -1,0 +1,29 @@
+// Heartbeat transport over mp::Communicator.
+//
+// The FailureDetector itself is transport-agnostic; this adapter carries
+// real heartbeats between ranks of the in-process message-passing world
+// (the role MPI played in the published prototype).  Workers call
+// `send_heartbeat` periodically; the farmer rank drains its mailbox into
+// the detector without blocking.  Heartbeats use a reserved tag just below
+// the collectives' range so user traffic never collides with liveness
+// traffic.
+#pragma once
+
+#include "mp/communicator.hpp"
+#include "resil/failure_detector.hpp"
+
+namespace grasp::resil {
+
+/// Reserved heartbeat tag (user tags stay below 1 << 27; collectives are at
+/// and above mp::kInternalTagBase == 1 << 28).
+inline constexpr int kHeartbeatTag = (1 << 27) + 17;
+
+/// Announce liveness of `node` to the detector living on `detector_rank`.
+void send_heartbeat(mp::Comm& comm, int detector_rank, NodeId node);
+
+/// Drain every pending heartbeat into `detector`, stamping arrival time
+/// `now`.  Non-blocking; returns the number of heartbeats consumed.
+std::size_t drain_heartbeats(mp::Comm& comm, FailureDetector& detector,
+                             Seconds now);
+
+}  // namespace grasp::resil

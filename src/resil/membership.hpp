@@ -1,0 +1,46 @@
+// MembershipTracker: incremental consumer of a grid's ChurnTimeline.
+//
+// The timeline is an immutable schedule; engines advance a virtual (or real)
+// clock.  The tracker sits between them: each poll() returns the membership
+// events crossed since the previous poll, restricted to the engine's pool,
+// and maintains the current ground-truth member set.  This is the
+// notification half of the Grid membership API — the timeline answers "who
+// is a member at t", the tracker answers "what changed since I last looked".
+#pragma once
+
+#include <vector>
+
+#include "gridsim/churn.hpp"
+
+namespace grasp::resil {
+
+class MembershipTracker {
+ public:
+  /// Track membership of `pool` against `timeline`.  The timeline must
+  /// outlive the tracker.  The member set starts at the timeline's t=0
+  /// state.
+  MembershipTracker(const gridsim::ChurnTimeline& timeline,
+                    std::vector<NodeId> pool);
+
+  /// Events with previous-poll < at <= now for tracked nodes, in time
+  /// order.  Updates the member set.  `now` must be non-decreasing.
+  [[nodiscard]] std::vector<gridsim::ChurnEvent> poll(Seconds now);
+
+  /// Current ground-truth members (initial order, joiners appended).
+  [[nodiscard]] const std::vector<NodeId>& members() const { return members_; }
+
+  [[nodiscard]] bool is_member(NodeId node) const;
+
+  /// Every tracked node (members plus absent/future joiners).
+  [[nodiscard]] const std::vector<NodeId>& pool() const { return pool_; }
+
+ private:
+  [[nodiscard]] bool tracked(NodeId node) const;
+
+  const gridsim::ChurnTimeline* timeline_;
+  std::vector<NodeId> pool_;
+  std::vector<NodeId> members_;
+  std::size_t cursor_ = 0;  ///< next unconsumed timeline event
+};
+
+}  // namespace grasp::resil

@@ -1,0 +1,21 @@
+// Per-run resilience accounting, embedded in the engine reports.
+#pragma once
+
+#include <cstddef>
+
+namespace grasp::resil {
+
+struct ResilienceReport {
+  std::size_t crashes_detected = 0;  ///< failure-detector declarations
+  std::size_t leaves = 0;            ///< announced departures consumed
+  std::size_t joins = 0;             ///< join/rejoin events consumed
+  std::size_t admissions = 0;        ///< probationers admitted to the set
+  std::size_t rejections = 0;        ///< probationers parked as spares
+  std::size_t evictions = 0;         ///< degradation-driven shrinks
+  std::size_t chunks_lost = 0;       ///< chunks invalidated by crashes
+  std::size_t tasks_redispatched = 0;  ///< task re-queues caused by losses
+  std::size_t zombie_completions = 0;  ///< completions discarded post-crash
+  double wasted_mops = 0.0;            ///< work dispatched but lost
+};
+
+}  // namespace grasp::resil

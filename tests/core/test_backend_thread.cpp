@@ -24,9 +24,12 @@ TEST(ThreadBackend, CompletesSubmittedCompute) {
   ASSERT_TRUE(c.has_value());
   EXPECT_EQ(c->token, 1u);
   EXPECT_EQ(c->node, NodeId{0});
-  // Model says 1 virtual second; allow generous scheduling slack.
+  // Model says 1 virtual second; the upper bound only guards against a
+  // runaway sleep.  At time_scale 1e-4 every virtual second of slack is
+  // 0.1 ms of wall clock, and a loaded parallel-ctest runner can delay the
+  // worker thread by tens of milliseconds — keep the bound loose.
   EXPECT_GT(c->duration().value, 0.5);
-  EXPECT_LT(c->duration().value, 20.0);
+  EXPECT_LT(c->duration().value, 500.0);
 }
 
 TEST(ThreadBackend, RunsRealBodies) {

@@ -84,8 +84,9 @@ TEST(Grasp, PoolRestriction) {
   const RunSummary summary = program.compile(grid).execute();
   ASSERT_TRUE(summary.farm.has_value());
   for (const auto& e : summary.farm->trace.events()) {
-    if (e.kind == gridsim::TraceEventKind::TaskCompleted)
+    if (e.kind == gridsim::TraceEventKind::TaskCompleted) {
       EXPECT_LT(e.node.value, 2u);
+    }
   }
 }
 

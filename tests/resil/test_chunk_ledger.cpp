@@ -1,0 +1,93 @@
+#include "resil/chunk_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grasp::resil {
+namespace {
+
+workloads::TaskSpec task(std::uint64_t id, double mops = 10.0) {
+  workloads::TaskSpec t;
+  t.id = TaskId{id};
+  t.work = Mops{mops};
+  return t;
+}
+
+ChunkLedger::Entry entry(NodeId node, std::initializer_list<std::uint64_t> ids,
+                         double at = 0.0) {
+  ChunkLedger::Entry e;
+  e.node = node;
+  for (const auto id : ids) e.tasks.push_back(task(id));
+  e.dispatched = Seconds{at};
+  e.work = Mops{10.0 * static_cast<double>(e.tasks.size())};
+  return e;
+}
+
+TEST(ChunkLedger, CompleteRemovesEntry) {
+  ChunkLedger ledger;
+  ledger.record(1, entry(NodeId{0}, {1, 2}));
+  EXPECT_TRUE(ledger.tracks(1));
+  const auto e = ledger.complete(1);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->tasks.size(), 2u);
+  EXPECT_FALSE(ledger.tracks(1));
+  EXPECT_FALSE(ledger.complete(1).has_value());
+  EXPECT_EQ(ledger.chunks_lost(), 0u);
+}
+
+TEST(ChunkLedger, RekeyFollowsPhaseTransitions) {
+  ChunkLedger ledger;
+  ledger.record(1, entry(NodeId{3}, {7}));
+  ledger.rekey(1, 2);   // input -> compute
+  ledger.rekey(2, 3);   // compute -> output
+  EXPECT_FALSE(ledger.tracks(1));
+  EXPECT_FALSE(ledger.tracks(2));
+  ASSERT_TRUE(ledger.tracks(3));
+  ledger.rekey(99, 100);  // unknown old token: no-op
+  EXPECT_FALSE(ledger.tracks(100));
+  const auto e = ledger.complete(3);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->node, NodeId{3});
+}
+
+TEST(ChunkLedger, FailNodeSurrendersEntriesExactlyOnce) {
+  ChunkLedger ledger;
+  ledger.record(1, entry(NodeId{0}, {1, 2}, 5.0));
+  ledger.record(2, entry(NodeId{1}, {3}, 1.0));
+  ledger.record(3, entry(NodeId{0}, {4}, 2.0));
+
+  const auto lost = ledger.fail_node(NodeId{0});
+  ASSERT_EQ(lost.size(), 2u);
+  // Oldest dispatch first.
+  EXPECT_EQ(lost[0].first, 3u);
+  EXPECT_EQ(lost[1].first, 1u);
+  EXPECT_EQ(ledger.chunks_lost(), 2u);
+  EXPECT_EQ(ledger.tasks_lost(), 3u);
+  EXPECT_DOUBLE_EQ(ledger.wasted_mops(), 30.0);
+
+  // Exactly once: a second declaration finds nothing.
+  EXPECT_TRUE(ledger.fail_node(NodeId{0}).empty());
+  EXPECT_EQ(ledger.chunks_lost(), 2u);
+  // The survivor is untouched.
+  EXPECT_TRUE(ledger.tracks(2));
+}
+
+TEST(ChunkLedger, InvalidateCountsLossAndBlocksLaterFailNode) {
+  ChunkLedger ledger;
+  ledger.record(5, entry(NodeId{2}, {9, 10}));
+  const auto e = ledger.invalidate(5);  // zombie completion settled first
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(ledger.chunks_lost(), 1u);
+  EXPECT_EQ(ledger.tasks_lost(), 2u);
+  // The detector fires later: the chunk must not be surrendered again.
+  EXPECT_TRUE(ledger.fail_node(NodeId{2}).empty());
+  EXPECT_EQ(ledger.chunks_lost(), 1u);
+}
+
+TEST(ChunkLedger, DuplicateTokenThrows) {
+  ChunkLedger ledger;
+  ledger.record(1, entry(NodeId{0}, {1}));
+  EXPECT_THROW(ledger.record(1, entry(NodeId{1}, {2})), std::logic_error);
+}
+
+}  // namespace
+}  // namespace grasp::resil

@@ -1,0 +1,157 @@
+#include "gridsim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridsim/scenarios.hpp"
+
+namespace grasp::gridsim {
+namespace {
+
+std::vector<NodeId> nodes(std::size_t n, std::size_t from = 0) {
+  std::vector<NodeId> out;
+  for (std::size_t i = from; i < from + n; ++i) out.push_back(NodeId{i});
+  return out;
+}
+
+TEST(ChurnModel, DeterministicBySeed) {
+  ChurnModel::Params p;
+  p.mtbf = 120.0;
+  p.horizon = Seconds{600.0};
+  p.seed = 11;
+  const ChurnTimeline a = ChurnModel::generate(nodes(8), p);
+  const ChurnTimeline b = ChurnModel::generate(nodes(8), p);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].at.value, b.events()[i].at.value);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+  }
+  p.seed = 12;
+  const ChurnTimeline c = ChurnModel::generate(nodes(8), p);
+  // Different seed, different schedule (times virtually never coincide).
+  bool differs = c.events().size() != a.events().size();
+  for (std::size_t i = 0; !differs && i < a.events().size(); ++i)
+    differs = a.events()[i].at.value != c.events()[i].at.value;
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChurnModel, EventsSortedAndInsideHorizonAfterWarmup) {
+  ChurnModel::Params p;
+  p.mtbf = 60.0;
+  p.warmup = Seconds{25.0};
+  p.horizon = Seconds{500.0};
+  p.seed = 3;
+  const ChurnTimeline t = ChurnModel::generate(nodes(16), p);
+  ASSERT_FALSE(t.empty());
+  for (std::size_t i = 0; i < t.events().size(); ++i) {
+    const auto& e = t.events()[i];
+    EXPECT_GT(e.at.value, p.warmup.value);
+    EXPECT_LT(e.at.value, p.horizon.value);
+    if (i > 0) {
+      EXPECT_GE(e.at.value, t.events()[i - 1].at.value);
+    }
+  }
+}
+
+TEST(ChurnModel, RejoinFollowsDeparture) {
+  ChurnModel::Params p;
+  p.mtbf = 50.0;
+  p.rejoin_probability = 1.0;
+  p.horizon = Seconds{2000.0};
+  p.seed = 5;
+  const ChurnTimeline t = ChurnModel::generate(nodes(4), p);
+  // Per node: alternating departure / rejoin, never two departures in a row.
+  for (const NodeId n : nodes(4)) {
+    bool up = true;
+    for (const auto& e : t.events()) {
+      if (e.node != n) continue;
+      if (e.kind == ChurnEventKind::Crash || e.kind == ChurnEventKind::Leave) {
+        EXPECT_TRUE(up);
+        up = false;
+      } else if (e.kind == ChurnEventKind::Rejoin) {
+        EXPECT_FALSE(up);
+        up = true;
+      }
+    }
+  }
+}
+
+TEST(ChurnTimeline, MembershipStateMachine) {
+  const ChurnTimeline t(
+      {{Seconds{10.0}, ChurnEventKind::Crash, NodeId{1}},
+       {Seconds{30.0}, ChurnEventKind::Rejoin, NodeId{1}},
+       {Seconds{40.0}, ChurnEventKind::Join, NodeId{2}}},
+      {NodeId{2}});
+  EXPECT_TRUE(t.is_member(NodeId{1}, Seconds{0.0}));
+  EXPECT_FALSE(t.is_member(NodeId{1}, Seconds{10.0}));  // at-event inclusive
+  EXPECT_FALSE(t.is_member(NodeId{1}, Seconds{29.0}));
+  EXPECT_TRUE(t.is_member(NodeId{1}, Seconds{30.0}));
+  EXPECT_FALSE(t.is_member(NodeId{2}, Seconds{0.0}));
+  EXPECT_TRUE(t.is_member(NodeId{2}, Seconds{45.0}));
+  EXPECT_TRUE(t.is_member(NodeId{0}, Seconds{1000.0}));  // untouched node
+
+  EXPECT_TRUE(t.crashed_during(NodeId{1}, Seconds{0.0}, Seconds{20.0}));
+  EXPECT_FALSE(t.crashed_during(NodeId{1}, Seconds{10.0}, Seconds{20.0}));
+  EXPECT_FALSE(t.crashed_during(NodeId{1}, Seconds{15.0}, Seconds{20.0}));
+  EXPECT_FALSE(t.crashed_during(NodeId{2}, Seconds{0.0}, Seconds{100.0}));
+
+  const auto between = t.events_between(Seconds{10.0}, Seconds{40.0});
+  ASSERT_EQ(between.size(), 2u);  // (10, 40]: rejoin@30, join@40
+  EXPECT_EQ(between[0].kind, ChurnEventKind::Rejoin);
+  EXPECT_EQ(between[1].kind, ChurnEventKind::Join);
+
+  const auto members =
+      t.members_at({NodeId{0}, NodeId{1}, NodeId{2}}, Seconds{15.0});
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members[0], NodeId{0});
+}
+
+TEST(ChurnScenario, FactoryAttachesTimelineAndProtectsPrefix) {
+  ChurnScenarioParams p;
+  p.grid.node_count = 12;
+  p.grid.seed = 9;
+  p.spare_nodes = 3;
+  p.mtbf = 80.0;
+  p.horizon = Seconds{600.0};
+  p.churn_seed = 21;
+  const Grid grid = make_churn_grid(p);
+  EXPECT_EQ(grid.node_count(), 15u);
+  ASSERT_NE(grid.churn(), nullptr);
+  const ChurnTimeline& t = *grid.churn();
+  ASSERT_FALSE(t.empty());
+  for (const auto& e : t.events()) {
+    EXPECT_NE(e.node, NodeId{0});  // protected farmer node never churns
+  }
+  // Spares are absent at t=0 and join within the window.
+  for (std::size_t i = 12; i < 15; ++i) {
+    EXPECT_FALSE(t.initially_member(NodeId{i}));
+    EXPECT_TRUE(t.is_member(NodeId{i}, Seconds{1e6}));
+  }
+  // Crash-stall: a crashed node is unavailable mid-outage.
+  for (const auto& e : t.events()) {
+    if (e.kind != ChurnEventKind::Crash) continue;
+    EXPECT_TRUE(grid.node(e.node).is_down(e.at + Seconds{0.5}));
+    EXPECT_FALSE(grid.is_available(e.node, e.at + Seconds{0.5}));
+    break;
+  }
+  // Determinism: same params, same timeline.
+  const Grid again = make_churn_grid(p);
+  ASSERT_EQ(again.churn()->events().size(), t.events().size());
+  for (std::size_t i = 0; i < t.events().size(); ++i)
+    EXPECT_EQ(again.churn()->events()[i].at.value, t.events()[i].at.value);
+}
+
+TEST(ChurnScenario, ZeroMtbfMeansNoFailures) {
+  ChurnScenarioParams p;
+  p.grid.node_count = 6;
+  p.mtbf = 0.0;
+  p.spare_nodes = 1;
+  const Grid grid = make_churn_grid(p);
+  ASSERT_NE(grid.churn(), nullptr);
+  EXPECT_EQ(grid.churn()->count(ChurnEventKind::Crash), 0u);
+  EXPECT_EQ(grid.churn()->count(ChurnEventKind::Leave), 0u);
+  EXPECT_EQ(grid.churn()->count(ChurnEventKind::Join), 1u);
+}
+
+}  // namespace
+}  // namespace grasp::gridsim

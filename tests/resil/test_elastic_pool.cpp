@@ -1,0 +1,104 @@
+#include "resil/elastic_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace grasp::resil {
+namespace {
+
+ElasticPool::Params params() {
+  ElasticPool::Params p;
+  p.admit_ratio = 2.0;
+  p.evict_ratio = 3.0;
+  p.evict_after = 3;
+  return p;
+}
+
+TEST(ElasticPool, AdmitsFitProbationerAndParksSlowOne) {
+  ElasticPool pool(params());
+  pool.reset({NodeId{0}, NodeId{1}});
+
+  pool.begin_probation(NodeId{2});
+  pool.begin_probation(NodeId{3});
+  EXPECT_TRUE(pool.in_probation(NodeId{2}));
+  EXPECT_FALSE(pool.contains(NodeId{2}));
+
+  EXPECT_TRUE(pool.admit(NodeId{2}, 1.5, 1.0));   // 1.5 <= 2 x baseline
+  EXPECT_FALSE(pool.admit(NodeId{3}, 2.5, 1.0));  // 2.5 > 2 x baseline
+  EXPECT_TRUE(pool.contains(NodeId{2}));
+  EXPECT_FALSE(pool.contains(NodeId{3}));
+  EXPECT_FALSE(pool.in_probation(NodeId{2}));
+  EXPECT_FALSE(pool.in_probation(NodeId{3}));
+  EXPECT_EQ(pool.admissions(), 1u);
+  EXPECT_EQ(pool.rejections(), 1u);
+}
+
+TEST(ElasticPool, MaxWorkersBoundsGrowth) {
+  ElasticPool::Params p = params();
+  p.max_workers = 2;
+  ElasticPool pool(p);
+  pool.reset({NodeId{0}, NodeId{1}});
+  pool.begin_probation(NodeId{2});
+  EXPECT_FALSE(pool.admit(NodeId{2}, 0.5, 1.0));  // fit but full
+}
+
+TEST(ElasticPool, EvictsAfterConsecutiveBadObservations) {
+  ElasticPool pool(params());
+  pool.reset({NodeId{0}, NodeId{1}, NodeId{2}});
+
+  EXPECT_FALSE(pool.observe(NodeId{2}, 4.0, 1.0));  // strike 1
+  EXPECT_FALSE(pool.observe(NodeId{2}, 4.0, 1.0));  // strike 2
+  EXPECT_FALSE(pool.observe(NodeId{2}, 1.0, 1.0));  // healthy: reset
+  EXPECT_FALSE(pool.observe(NodeId{2}, 4.0, 1.0));
+  EXPECT_FALSE(pool.observe(NodeId{2}, 4.0, 1.0));
+  EXPECT_TRUE(pool.observe(NodeId{2}, 4.0, 1.0));  // strike 3: evicted
+  EXPECT_FALSE(pool.contains(NodeId{2}));
+  EXPECT_EQ(pool.evictions(), 1u);
+  // Observations for non-members are ignored.
+  EXPECT_FALSE(pool.observe(NodeId{2}, 9.0, 1.0));
+}
+
+TEST(ElasticPool, EvictionRespectsMinWorkers) {
+  ElasticPool::Params p = params();
+  p.min_workers = 1;
+  ElasticPool pool(p);
+  pool.reset({NodeId{0}});
+  for (int i = 0; i < 10; ++i)
+    EXPECT_FALSE(pool.observe(NodeId{0}, 100.0, 1.0));
+  EXPECT_TRUE(pool.contains(NodeId{0}));  // last worker is never evicted
+}
+
+TEST(ElasticPool, RemoveCoversWorkersAndProbationers) {
+  ElasticPool pool(params());
+  pool.reset({NodeId{0}, NodeId{1}});
+  pool.begin_probation(NodeId{2});
+  EXPECT_TRUE(pool.remove(NodeId{0}));
+  EXPECT_FALSE(pool.remove(NodeId{0}));  // already gone
+  EXPECT_FALSE(pool.remove(NodeId{2}));  // probationer, not a worker
+  EXPECT_FALSE(pool.in_probation(NodeId{2}));  // but probation ended
+}
+
+TEST(ElasticPool, ResetClearsProbationAndStrikes) {
+  ElasticPool pool(params());
+  pool.reset({NodeId{0}, NodeId{1}});
+  pool.begin_probation(NodeId{5});
+  (void)pool.observe(NodeId{1}, 9.0, 1.0);
+  (void)pool.observe(NodeId{1}, 9.0, 1.0);
+  pool.reset({NodeId{0}, NodeId{1}});
+  EXPECT_FALSE(pool.in_probation(NodeId{5}));
+  // Strikes were cleared: two more bad rounds are not enough to evict.
+  EXPECT_FALSE(pool.observe(NodeId{1}, 9.0, 1.0));
+  EXPECT_FALSE(pool.observe(NodeId{1}, 9.0, 1.0));
+  EXPECT_TRUE(pool.contains(NodeId{1}));
+}
+
+TEST(ElasticPool, ValidationErrors) {
+  ElasticPool::Params bad;
+  bad.admit_ratio = 0.0;
+  EXPECT_THROW(ElasticPool{bad}, std::invalid_argument);
+  bad = {};
+  bad.evict_after = 0;
+  EXPECT_THROW(ElasticPool{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grasp::resil

@@ -1,0 +1,123 @@
+#include "resil/failure_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "resil/heartbeat.hpp"
+
+namespace grasp::resil {
+namespace {
+
+FailureDetector::Params params(double period = 1.0, double timeout = 3.0) {
+  FailureDetector::Params p;
+  p.heartbeat_period = Seconds{period};
+  p.timeout = Seconds{timeout};
+  return p;
+}
+
+TEST(FailureDetector, FreshNodeIsNotSuspect) {
+  FailureDetector d(params());
+  d.watch(NodeId{0}, Seconds{10.0});
+  EXPECT_TRUE(d.suspects(Seconds{12.9}).empty());
+}
+
+TEST(FailureDetector, SilenceBeyondTimeoutMakesSuspect) {
+  FailureDetector d(params(1.0, 3.0));
+  d.watch(NodeId{0}, Seconds{0.0});
+  d.heartbeat(NodeId{0}, Seconds{5.0});
+  EXPECT_TRUE(d.suspects(Seconds{8.0}).empty());  // exactly at timeout: alive
+  const auto s = d.suspects(Seconds{8.1});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], NodeId{0});
+}
+
+TEST(FailureDetector, StaleHeartbeatsIgnored) {
+  FailureDetector d(params());
+  d.watch(NodeId{0}, Seconds{0.0});
+  d.heartbeat(NodeId{0}, Seconds{6.0});
+  d.heartbeat(NodeId{0}, Seconds{2.0});  // out of order: must not rewind
+  EXPECT_EQ(d.last_heartbeat(NodeId{0}).value, 6.0);
+}
+
+TEST(FailureDetector, UnwatchedNodesNeverReported) {
+  FailureDetector d(params());
+  d.watch(NodeId{0}, Seconds{0.0});
+  d.watch(NodeId{1}, Seconds{0.0});
+  d.unwatch(NodeId{0});
+  d.heartbeat(NodeId{0}, Seconds{50.0});  // dropped: not watched
+  EXPECT_EQ(d.last_heartbeat(NodeId{0}).value, -1.0);
+  const auto s = d.suspects(Seconds{100.0});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], NodeId{1});
+  EXPECT_EQ(d.watched(), std::vector<NodeId>{NodeId{1}});
+}
+
+TEST(FailureDetector, AdvanceSynthesisesHeartbeatsWhileAlive) {
+  FailureDetector d(params(1.0, 3.0));
+  d.watch(NodeId{0}, Seconds{0.0});
+  d.watch(NodeId{1}, Seconds{0.0});
+  // Node 1 dies at t=10: it answers pings strictly before then.
+  const auto alive = [](NodeId n, Seconds t) {
+    return n == NodeId{0} || t.value < 10.0;
+  };
+  d.advance(Seconds{9.5}, alive);
+  EXPECT_TRUE(d.suspects(Seconds{9.5}).empty());
+  d.advance(Seconds{14.0}, alive);
+  EXPECT_EQ(d.last_heartbeat(NodeId{0}).value, 14.0);
+  EXPECT_EQ(d.last_heartbeat(NodeId{1}).value, 9.0);  // last tick before death
+  EXPECT_TRUE(d.suspects(Seconds{11.9}).empty());
+  const auto s = d.suspects(Seconds{12.1});  // 9 + 3 < 12.1
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], NodeId{1});
+}
+
+TEST(FailureDetector, AdvanceHandlesLargeClockJumps) {
+  FailureDetector d(params(1.0, 5.0));
+  d.watch(NodeId{0}, Seconds{0.0});
+  d.advance(Seconds{20000.0}, [](NodeId, Seconds) { return true; });
+  EXPECT_EQ(d.last_heartbeat(NodeId{0}).value, 20000.0);
+  EXPECT_TRUE(d.suspects(Seconds{20004.0}).empty());
+}
+
+TEST(FailureDetector, ValidationErrors) {
+  FailureDetector::Params bad;
+  bad.heartbeat_period = Seconds{0.0};
+  EXPECT_THROW(FailureDetector{bad}, std::invalid_argument);
+  bad = {};
+  bad.timeout = Seconds{-1.0};
+  EXPECT_THROW(FailureDetector{bad}, std::invalid_argument);
+}
+
+// Real transport: heartbeats travel as messages between ranks of the
+// in-process world; the detector lives on rank 0.
+TEST(HeartbeatTransport, DetectsSilentRankOverCommunicator) {
+  mp::World world(4);
+  FailureDetector detector(params(1.0, 3.0));
+  for (int r = 1; r < 4; ++r)
+    detector.watch(NodeId{static_cast<std::uint64_t>(r)}, Seconds{0.0});
+
+  std::atomic<int> round{0};
+  std::vector<NodeId> suspects;
+  world.run([&](mp::Comm& comm) {
+    // Four synchronised rounds; worker 3 goes silent from round 2.
+    for (int step = 1; step <= 4; ++step) {
+      if (comm.rank() != 0) {
+        const bool silent = comm.rank() == 3 && step >= 2;
+        if (!silent)
+          send_heartbeat(comm, 0, NodeId{static_cast<std::uint64_t>(comm.rank())});
+      }
+      comm.barrier();
+      if (comm.rank() == 0)
+        drain_heartbeats(comm, detector, Seconds{static_cast<double>(step)});
+      comm.barrier();
+    }
+    if (comm.rank() == 0) suspects = detector.suspects(Seconds{4.5});
+  });
+  // Ranks 1 and 2 heartbeated at t=4; rank 3 last at t=1 -> 4.5 - 1 > 3.
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], NodeId{3});
+}
+
+}  // namespace
+}  // namespace grasp::resil

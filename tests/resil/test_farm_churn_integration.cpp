@@ -1,0 +1,249 @@
+// Integration: the adaptive farm under node churn.  The acceptance story of
+// the resilience subsystem: crashes mid-run lose chunks, the farm completes
+// 100% of tasks anyway, every lost chunk is re-dispatched exactly once, and
+// joined nodes are admitted into the worker set.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "core/backend_sim.hpp"
+#include "core/baselines.hpp"
+#include "core/grasp.hpp"
+#include "core/pipeline.hpp"
+#include "core/task_farm.hpp"
+#include "gridsim/scenarios.hpp"
+#include "workloads/applications.hpp"
+#include "workloads/generators.hpp"
+
+namespace grasp::core {
+namespace {
+
+workloads::TaskSet tasks(std::size_t n, double mops = 100.0,
+                         std::uint64_t seed = 42) {
+  workloads::TaskSetParams p;
+  p.count = n;
+  p.mean_mops = mops;
+  p.cv = 0.5;
+  p.seed = seed;
+  return workloads::make_task_set(p);
+}
+
+// Planted scenario: 5 equal members + 1 spare.  Node 2 crashes at t=30 and
+// never returns (its outage stalls any chunk it held); node 5 joins at t=60.
+gridsim::Grid planted_grid() {
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  for (int i = 0; i < 6; ++i) b.add_node(s, 100.0);
+  gridsim::Grid grid = b.build();
+  grid.node(NodeId{2}).add_downtime({Seconds{30.0}, Seconds{20030.0}});
+  grid.set_churn(gridsim::ChurnTimeline(
+      {{Seconds{30.0}, gridsim::ChurnEventKind::Crash, NodeId{2}},
+       {Seconds{60.0}, gridsim::ChurnEventKind::Join, NodeId{5}}},
+      {NodeId{5}}));
+  return grid;
+}
+
+FarmParams resilient_params() {
+  FarmParams p = make_adaptive_farm_params();
+  p.chunk_size = 2;
+  p.resilience.enabled = true;
+  p.resilience.detector.heartbeat_period = Seconds{1.0};
+  p.resilience.detector.timeout = Seconds{5.0};
+  return p;
+}
+
+TEST(FarmChurn, CompletesAllTasksWithCrashMidRun) {
+  const gridsim::Grid grid = planted_grid();
+  SimBackend backend(grid);
+  const workloads::TaskSet ts = tasks(400);
+  const FarmReport report = TaskFarm(resilient_params())
+                                .run(backend, grid, grid.node_ids(), ts);
+
+  // 100% completion, no double counting.
+  EXPECT_EQ(report.tasks_completed + report.calibration_tasks, 400u);
+  EXPECT_EQ(report.trace.count(gridsim::TraceEventKind::TaskCompleted), 400u);
+
+  // The crash was detected and its chunks re-dispatched.
+  EXPECT_GE(report.resilience.crashes_detected, 1u);
+  EXPECT_GE(report.resilience.tasks_redispatched, 1u);
+  EXPECT_GE(report.resilience.chunks_lost, 1u);
+  EXPECT_GT(report.resilience.wasted_mops, 0.0);
+  EXPECT_GE(report.trace.count(gridsim::TraceEventKind::NodeCrashDetected),
+            1u);
+
+  // Exactly once: with a single crash no task is re-dispatched twice.
+  std::unordered_map<std::uint64_t, std::size_t> redispatches;
+  for (const auto& e : report.trace.events())
+    if (e.kind == gridsim::TraceEventKind::ChunkRedispatched)
+      ++redispatches[e.task.value];
+  EXPECT_FALSE(redispatches.empty());
+  for (const auto& [task_id, count] : redispatches) {
+    (void)task_id;
+    EXPECT_EQ(count, 1u);
+  }
+
+  // The joiner was probed and admitted into the worker set.
+  EXPECT_GE(report.resilience.joins, 1u);
+  EXPECT_GE(report.resilience.admissions, 1u);
+  EXPECT_EQ(report.trace.count(gridsim::TraceEventKind::NodeAdmitted), 1u);
+  bool joiner_in_set = false;
+  for (const NodeId n : report.final_chosen)
+    if (n == NodeId{5}) joiner_in_set = true;
+  EXPECT_TRUE(joiner_in_set);
+  // ...and the corpse is not.
+  for (const NodeId n : report.final_chosen) EXPECT_NE(n, NodeId{2});
+
+  // Detection, not zombie-waiting: the farm finished in scenario time.
+  EXPECT_LT(report.makespan.value, 500.0);
+}
+
+TEST(FarmChurn, DeterministicUnderChurn) {
+  auto once = [] {
+    const gridsim::Grid grid = planted_grid();
+    SimBackend backend(grid);
+    return TaskFarm(resilient_params())
+        .run(backend, grid, grid.node_ids(), tasks(300))
+        .makespan;
+  };
+  EXPECT_DOUBLE_EQ(once().value, once().value);
+}
+
+TEST(FarmChurn, ResilientFarBeatsMembershipBlindFarm) {
+  // The membership-blind farm (no detector, no straggler reissue) only
+  // learns of the crash when the stalled chunk's zombie completion arrives
+  // after the outage — four virtual hours late.
+  const workloads::TaskSet ts = tasks(400);
+
+  const gridsim::Grid grid_a = planted_grid();
+  SimBackend backend_a(grid_a);
+  const FarmReport resilient = TaskFarm(resilient_params())
+                                   .run(backend_a, grid_a,
+                                        grid_a.node_ids(), ts);
+
+  const gridsim::Grid grid_b = planted_grid();
+  SimBackend backend_b(grid_b);
+  FarmParams blind = make_demand_farm_params();
+  blind.chunk_size = 2;
+  const FarmReport naive =
+      TaskFarm(blind).run(backend_b, grid_b, grid_b.node_ids(), ts);
+
+  // Both complete everything (the zombie test is the correctness floor)...
+  EXPECT_EQ(resilient.tasks_completed + resilient.calibration_tasks, 400u);
+  EXPECT_EQ(naive.tasks_completed + naive.calibration_tasks, 400u);
+  // ...but the blind farm pays the whole outage.
+  EXPECT_GT(naive.makespan.value, 20000.0);
+  EXPECT_LT(resilient.makespan.value * 10.0, naive.makespan.value);
+}
+
+TEST(FarmChurn, GracefulLeaveDrainsWithoutLoss) {
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  for (int i = 0; i < 4; ++i) b.add_node(s, 100.0);
+  gridsim::Grid grid = b.build();
+  // Node 3 announces departure at t=25; no downtime: it finishes in-flight.
+  grid.set_churn(gridsim::ChurnTimeline(
+      {{Seconds{25.0}, gridsim::ChurnEventKind::Leave, NodeId{3}}}));
+
+  SimBackend backend(grid);
+  const FarmReport report = TaskFarm(resilient_params())
+                                .run(backend, grid, grid.node_ids(),
+                                     tasks(200));
+  EXPECT_EQ(report.tasks_completed + report.calibration_tasks, 200u);
+  EXPECT_GE(report.resilience.leaves, 1u);
+  // Graceful: nothing was lost, nothing re-dispatched.
+  EXPECT_EQ(report.resilience.chunks_lost, 0u);
+  EXPECT_EQ(report.resilience.tasks_redispatched, 0u);
+  for (const NodeId n : report.final_chosen) EXPECT_NE(n, NodeId{3});
+}
+
+TEST(FarmChurn, PoissonChurnScenarioCompletesEverything) {
+  gridsim::ChurnScenarioParams cp;
+  cp.grid.node_count = 12;
+  cp.grid.dynamics = gridsim::Dynamics::Stable;
+  cp.grid.seed = 17;
+  cp.spare_nodes = 3;
+  cp.mtbf = 150.0;
+  cp.horizon = Seconds{400.0};
+  cp.churn_seed = 23;
+  const gridsim::Grid grid = gridsim::make_churn_grid(cp);
+  ASSERT_GT(grid.churn()->events().size(), 0u);
+
+  SimBackend backend(grid);
+  const FarmReport report = TaskFarm(resilient_params())
+                                .run(backend, grid, grid.node_ids(),
+                                     tasks(1500, 120.0, 5));
+  EXPECT_EQ(report.tasks_completed + report.calibration_tasks, 1500u);
+  EXPECT_EQ(report.trace.count(gridsim::TraceEventKind::TaskCompleted),
+            1500u);
+}
+
+TEST(FarmChurn, GraspDriverSurfacesRecoveryPhases) {
+  const gridsim::Grid grid = planted_grid();
+  GraspProgram program("churny-sweep");
+  program.use_task_farm(resilient_params()).with_tasks(tasks(300));
+  const RunSummary summary = program.compile(grid).execute();
+  ASSERT_TRUE(summary.farm.has_value());
+  EXPECT_GE(summary.membership_transitions, 2u);  // crash + join at least
+  bool has_recovery = false;
+  for (const auto& p : summary.phases)
+    if (p.phase == "recovery") has_recovery = true;
+  EXPECT_TRUE(has_recovery);
+}
+
+TEST(PipelineChurn, LateJoinerCanBecomeFailoverTarget) {
+  // Regression: a node absent at t=0 joins mid-run and must be usable as a
+  // spare when a later crash needs one — including by estimate_spm, which
+  // reads monitor forecasts (the joiner must be watched) and calibration
+  // fitness (the joiner has no sample; the fallback must kick in).
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  for (int i = 0; i < 6; ++i) b.add_node(s, 120.0);
+  gridsim::Grid grid = b.build();
+  grid.node(NodeId{2}).add_downtime({Seconds{60.0}, Seconds{20060.0}});
+  grid.set_churn(gridsim::ChurnTimeline(
+      {{Seconds{50.0}, gridsim::ChurnEventKind::Join, NodeId{5}},
+       {Seconds{60.0}, gridsim::ChurnEventKind::Crash, NodeId{2}}},
+      {NodeId{5}}));
+
+  const auto spec = workloads::make_uniform_pipeline(5, 30.0, 1e4);
+  SimBackend backend(grid);
+  PipelineParams params;
+  params.monitor.period = Seconds{1.0};
+  const PipelineReport report =
+      Pipeline(params).run(backend, grid, grid.node_ids(), spec, 600);
+
+  EXPECT_EQ(report.items_completed, 600u);
+  EXPECT_TRUE(report.output_in_order);
+  EXPECT_GE(report.resilience.joins, 1u);
+  EXPECT_GE(report.resilience.crashes_detected, 1u);
+  for (const NodeId n : report.final_mapping) EXPECT_NE(n, NodeId{2});
+  EXPECT_LT(report.makespan.value, 2000.0);
+}
+
+TEST(PipelineChurn, StageFailsOverToSpareAndKeepsOrder) {
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  for (int i = 0; i < 6; ++i) b.add_node(s, 120.0);
+  gridsim::Grid grid = b.build();
+  // The pipeline maps 4 stages over 6 nodes, keeping spares.  Node 2
+  // crashes mid-stream; whatever stage lives there must fail over.
+  grid.node(NodeId{2}).add_downtime({Seconds{40.0}, Seconds{20040.0}});
+  grid.set_churn(gridsim::ChurnTimeline(
+      {{Seconds{40.0}, gridsim::ChurnEventKind::Crash, NodeId{2}}}));
+
+  const auto spec = workloads::make_uniform_pipeline(4, 30.0, 1e4);
+  SimBackend backend(grid);
+  PipelineParams params;
+  params.monitor.period = Seconds{1.0};
+  const PipelineReport report =
+      Pipeline(params).run(backend, grid, grid.node_ids(), spec, 300);
+
+  EXPECT_EQ(report.items_completed, 300u);
+  EXPECT_TRUE(report.output_in_order);
+  EXPECT_GE(report.resilience.crashes_detected, 1u);
+  EXPECT_LT(report.makespan.value, 2000.0);
+  for (const NodeId n : report.final_mapping) EXPECT_NE(n, NodeId{2});
+}
+
+}  // namespace
+}  // namespace grasp::core
