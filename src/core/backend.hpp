@@ -22,12 +22,13 @@ namespace grasp::core {
 /// Token identifying one asynchronous operation; engines allocate them.
 using OpToken = std::uint64_t;
 
-/// One finished asynchronous operation.
+/// One finished asynchronous operation (or a fired timer).
 struct Completion {
   OpToken token = 0;
   NodeId node;        ///< computing node, or destination of a transfer
   Seconds started;    ///< when the operation was submitted
   Seconds finished;   ///< when it completed (backend clock)
+  bool is_timer = false;  ///< a submit_timer firing, not a compute/transfer
 
   [[nodiscard]] Seconds duration() const { return finished - started; }
 };
@@ -50,11 +51,28 @@ class Backend {
   virtual void submit_transfer(OpToken token, NodeId from, NodeId to,
                                Bytes payload) = 0;
 
-  /// Block (or advance virtual time) until the next operation completes.
-  /// Returns nullopt when nothing is in flight.
+  /// Arm a one-shot timer that fires `delay` (>= 0) after now().  The firing
+  /// is delivered through wait_next as a Completion with `is_timer` set and
+  /// an invalid node.  Timers are ordered: of two pending timers the earlier
+  /// deadline is delivered first (ties by submission order), and a timer
+  /// never fires before an operation whose completion time precedes its
+  /// deadline.  Pending timers keep wait_next alive but are *not* counted by
+  /// in_flight(), so engine drain invariants see real work only.
+  virtual void submit_timer(OpToken token, Seconds delay) = 0;
+
+  /// Cancel a timer.  Afterwards its completion is never delivered, whether
+  /// it had already fired or not.  Returns true when the timer was still
+  /// pending (or fired but undelivered); false when it was unknown or
+  /// already delivered.
+  virtual bool cancel_timer(OpToken token) = 0;
+
+  /// Block (or advance virtual time) until the next operation completes or
+  /// timer fires.  Returns nullopt when nothing is in flight and no timer
+  /// is pending.
   [[nodiscard]] virtual std::optional<Completion> wait_next() = 0;
 
   /// Number of operations submitted but not yet returned by wait_next.
+  /// Pending timers are excluded.
   [[nodiscard]] virtual std::size_t in_flight() const = 0;
 };
 

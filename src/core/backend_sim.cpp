@@ -29,13 +29,40 @@ void SimBackend::submit_transfer(OpToken token, NodeId from, NodeId to,
   });
 }
 
+void SimBackend::submit_timer(OpToken token, Seconds delay) {
+  const Seconds start = events_.now();
+  const auto id = events_.schedule_after(delay, [this, token, start] {
+    timers_.erase(token);
+    ready_.push_back(
+        Completion{token, NodeId::invalid(), start, events_.now(), true});
+  });
+  timers_.emplace(token, id);
+}
+
+bool SimBackend::cancel_timer(OpToken token) {
+  const auto it = timers_.find(token);
+  if (it != timers_.end()) {
+    events_.cancel(it->second);
+    timers_.erase(it);
+    return true;
+  }
+  // Fired but undelivered: scrub it from the ready queue.
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    if (it->is_timer && it->token == token) {
+      ready_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 std::optional<Completion> SimBackend::wait_next() {
   while (ready_.empty()) {
     if (!events_.step()) return std::nullopt;
   }
   const Completion c = ready_.front();
   ready_.pop_front();
-  --in_flight_;
+  if (!c.is_timer) --in_flight_;
   return c;
 }
 

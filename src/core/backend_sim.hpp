@@ -9,6 +9,7 @@
 #pragma once
 
 #include <deque>
+#include <unordered_map>
 
 #include "core/backend.hpp"
 #include "gridsim/event_queue.hpp"
@@ -25,6 +26,8 @@ class SimBackend final : public Backend {
                       std::function<void()> body = {}) override;
   void submit_transfer(OpToken token, NodeId from, NodeId to,
                        Bytes payload) override;
+  void submit_timer(OpToken token, Seconds delay) override;
+  bool cancel_timer(OpToken token) override;
   [[nodiscard]] std::optional<Completion> wait_next() override;
   [[nodiscard]] std::size_t in_flight() const override;
 
@@ -35,6 +38,9 @@ class SimBackend final : public Backend {
   gridsim::EventQueue events_;
   std::deque<Completion> ready_;
   std::size_t in_flight_ = 0;
+  // Armed timers: token -> scheduled event, so cancel_timer can remove the
+  // event itself (a cancelled event neither runs nor advances the clock).
+  std::unordered_map<OpToken, gridsim::EventQueue::EventId> timers_;
 };
 
 }  // namespace grasp::core

@@ -1,8 +1,21 @@
 #include "core/backend_thread.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 namespace grasp::core {
+
+namespace {
+
+/// Wall-clock instant `wall_seconds` from now (steady clock granularity).
+std::chrono::steady_clock::time_point deadline_after(double wall_seconds) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(wall_seconds));
+}
+
+}  // namespace
 
 ThreadBackend::ThreadBackend(const gridsim::Grid& grid, Params params)
     : grid_(&grid),
@@ -15,9 +28,13 @@ ThreadBackend::ThreadBackend(const gridsim::Grid& grid, Params params)
   }
   link_queue_ = std::make_unique<WorkerQueue>();
   threads_.emplace_back([this] { worker_loop(*link_queue_); });
+  timer_thread_ = std::thread([this] { timer_loop(); });
 }
 
 ThreadBackend::~ThreadBackend() {
+  // Teardown abandons queued jobs and interrupts in-progress modelled waits:
+  // no further completions are delivered, and a chunk stalled by a simulated
+  // outage does not hold the destructor for its remaining modelled time.
   for (auto& q : node_queues_) {
     const std::lock_guard<std::mutex> lock(q->mutex);
     q->stop = true;
@@ -28,7 +45,13 @@ ThreadBackend::~ThreadBackend() {
     link_queue_->stop = true;
     link_queue_->cv.notify_all();
   }
+  {
+    const std::lock_guard<std::mutex> lock(timer_mutex_);
+    timer_stop_ = true;
+    timer_cv_.notify_all();
+  }
   for (auto& t : threads_) t.join();
+  timer_thread_.join();
 }
 
 Seconds ThreadBackend::now() const {
@@ -62,26 +85,109 @@ void ThreadBackend::submit_transfer(OpToken token, NodeId from, NodeId to,
   enqueue(*link_queue_, Job{token, to, duration, {}});
 }
 
-void ThreadBackend::worker_loop(WorkerQueue& queue) {
-  for (;;) {
-    Job job;
-    {
-      std::unique_lock<std::mutex> lock(queue.mutex);
-      queue.cv.wait(lock, [&] { return queue.stop || !queue.jobs.empty(); });
-      if (queue.jobs.empty()) return;  // stop requested and drained
-      job = std::move(queue.jobs.front());
-      queue.jobs.pop_front();
+void ThreadBackend::submit_timer(OpToken token, Seconds delay) {
+  if (delay.value < 0.0)
+    throw std::invalid_argument("ThreadBackend: negative timer delay");
+  {
+    // Count the timer before it is armed: a wait_next racing the timer
+    // thread must never observe "nothing pending" while the firing is due.
+    const std::lock_guard<std::mutex> ready_lock(ready_mutex_);
+    ++timers_pending_;
+  }
+  const Seconds started = now();
+  {
+    const std::lock_guard<std::mutex> lock(timer_mutex_);
+    timer_heap_.push_back(TimerEntry{
+        deadline_after(delay.value * params_.time_scale), timer_seq_++, token,
+        started});
+    std::push_heap(timer_heap_.begin(), timer_heap_.end(), TimerLater{});
+    timer_cv_.notify_one();
+  }
+}
+
+bool ThreadBackend::cancel_timer(OpToken token) {
+  {
+    const std::lock_guard<std::mutex> lock(timer_mutex_);
+    const auto it =
+        std::find_if(timer_heap_.begin(), timer_heap_.end(),
+                     [&](const TimerEntry& e) { return e.token == token; });
+    if (it != timer_heap_.end()) {
+      timer_heap_.erase(it);
+      std::make_heap(timer_heap_.begin(), timer_heap_.end(), TimerLater{});
+      const std::lock_guard<std::mutex> ready_lock(ready_mutex_);
+      --timers_pending_;
+      return true;
     }
+  }
+  // Not pending: it may have fired but not yet been delivered.  The firing
+  // path is atomic under timer_mutex_, so by here it is in ready_ or gone.
+  const std::lock_guard<std::mutex> ready_lock(ready_mutex_);
+  const auto it = std::find_if(
+      ready_.begin(), ready_.end(),
+      [&](const Completion& c) { return c.is_timer && c.token == token; });
+  if (it != ready_.end()) {
+    ready_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void ThreadBackend::timer_loop() {
+  std::unique_lock<std::mutex> lock(timer_mutex_);
+  for (;;) {
+    if (timer_stop_) return;
+    if (timer_heap_.empty()) {
+      timer_cv_.wait(lock,
+                     [&] { return timer_stop_ || !timer_heap_.empty(); });
+      continue;
+    }
+    const auto deadline = timer_heap_.front().deadline;
+    if (std::chrono::steady_clock::now() < deadline) {
+      // Woken early by submit/cancel/stop: loop and re-evaluate the heap.
+      timer_cv_.wait_until(lock, deadline);
+      continue;
+    }
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), TimerLater{});
+    const TimerEntry due = timer_heap_.back();
+    timer_heap_.pop_back();
+    // Deliver while still holding timer_mutex_ so cancel_timer never finds
+    // the token in neither structure while its firing is in transit.
+    {
+      const std::lock_guard<std::mutex> ready_lock(ready_mutex_);
+      --timers_pending_;
+      ready_.push_back(Completion{due.token, NodeId::invalid(), due.started,
+                                  now(), true});
+    }
+    ready_cv_.notify_one();
+  }
+}
+
+void ThreadBackend::worker_loop(WorkerQueue& queue) {
+  std::unique_lock<std::mutex> lock(queue.mutex);
+  for (;;) {
+    queue.cv.wait(lock, [&] { return queue.stop || !queue.jobs.empty(); });
+    if (queue.stop) return;  // teardown: abandon queued jobs
+    Job job = std::move(queue.jobs.front());
+    queue.jobs.pop_front();
+    lock.unlock();
     const Seconds started = now();
     if (job.body) job.body();
-    // Sleep out whatever the model says remains after real work ran.
+    // Wait out whatever the model says remains after real work ran — on the
+    // queue's condition variable, so the destructor can interrupt a stalled
+    // op instead of sleeping out its modelled duration.
     const double wall_budget = job.model_duration.value * params_.time_scale;
     const double wall_used = (now() - started).value * params_.time_scale;
+    lock.lock();
     if (wall_budget > wall_used) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(wall_budget - wall_used));
+      const bool interrupted =
+          queue.cv.wait_until(lock, deadline_after(wall_budget - wall_used),
+                              [&] { return queue.stop; });
+      if (interrupted) return;
     }
+    if (queue.stop) return;
+    lock.unlock();
     complete(job, started);
+    lock.lock();
   }
 }
 
@@ -95,11 +201,12 @@ void ThreadBackend::complete(const Job& job, Seconds started) {
 
 std::optional<Completion> ThreadBackend::wait_next() {
   std::unique_lock<std::mutex> lock(ready_mutex_);
-  if (ready_.empty() && in_flight_ == 0) return std::nullopt;
+  if (ready_.empty() && in_flight_ == 0 && timers_pending_ == 0)
+    return std::nullopt;
   ready_cv_.wait(lock, [&] { return !ready_.empty(); });
   const Completion c = ready_.front();
   ready_.pop_front();
-  --in_flight_;
+  if (!c.is_timer) --in_flight_;
   return c;
 }
 

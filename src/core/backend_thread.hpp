@@ -1,13 +1,19 @@
 // Wall-clock backend: one worker thread per grid node.
 //
 // Costs are realised physically: a compute op optionally runs the caller's
-// real body, then sleeps out the remainder of the model-predicted duration
+// real body, then waits out the remainder of the model-predicted duration
 // scaled by `time_scale` (so a 400-virtual-second run can execute in
-// 0.4 s of wall clock).  Transfers sleep their scaled duration on a
-// dedicated link thread pool.  This backend exists to show the identical
+// 0.4 s of wall clock).  Transfers wait their scaled duration on a
+// dedicated link thread pool.  Modelled waits are cancellable
+// condition-variable deadline waits, not sleep_for: destruction interrupts
+// them, so teardown returns promptly even when a chunk stalled by a
+// simulated outage has hours of modelled time left (churn on real threads).
+// Timers run on a dedicated deadline-heap thread and are delivered through
+// the same completion stream.  This backend exists to show the identical
 // skeleton logic driving real concurrency — the experiments use SimBackend.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -40,6 +46,8 @@ class ThreadBackend final : public Backend {
                       std::function<void()> body = {}) override;
   void submit_transfer(OpToken token, NodeId from, NodeId to,
                        Bytes payload) override;
+  void submit_timer(OpToken token, Seconds delay) override;
+  bool cancel_timer(OpToken token) override;
   [[nodiscard]] std::optional<Completion> wait_next() override;
   [[nodiscard]] std::size_t in_flight() const override;
 
@@ -47,7 +55,7 @@ class ThreadBackend final : public Backend {
   struct Job {
     OpToken token;
     NodeId report_node;
-    Seconds model_duration;  ///< virtual-time cost, scaled into a sleep
+    Seconds model_duration;  ///< virtual-time cost, scaled into a wait
     std::function<void()> body;
   };
   struct WorkerQueue {
@@ -56,8 +64,22 @@ class ThreadBackend final : public Backend {
     std::deque<Job> jobs;
     bool stop = false;
   };
+  struct TimerEntry {
+    std::chrono::steady_clock::time_point deadline;
+    std::uint64_t seq;  ///< FIFO among equal deadlines
+    OpToken token;
+    Seconds started;  ///< virtual submit time, reported in the Completion
+  };
+  /// Heap order for timer_heap_: earliest deadline on top, FIFO on ties.
+  struct TimerLater {
+    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
 
   void worker_loop(WorkerQueue& queue);
+  void timer_loop();
   void complete(const Job& job, Seconds started);
   void enqueue(WorkerQueue& queue, Job job);
 
@@ -69,10 +91,19 @@ class ThreadBackend final : public Backend {
   std::unique_ptr<WorkerQueue> link_queue_;  // serialised transfer lane
   std::vector<std::thread> threads_;
 
+  // Deadline-sorted pending timers, served by a dedicated thread.
+  std::mutex timer_mutex_;
+  std::condition_variable timer_cv_;
+  std::vector<TimerEntry> timer_heap_;  // std::push_heap, earliest on top
+  std::uint64_t timer_seq_ = 0;
+  bool timer_stop_ = false;
+  std::thread timer_thread_;
+
   mutable std::mutex ready_mutex_;
   std::condition_variable ready_cv_;
   std::deque<Completion> ready_;
   std::size_t in_flight_ = 0;
+  std::size_t timers_pending_ = 0;  ///< armed but not yet in ready_
 };
 
 }  // namespace grasp::core

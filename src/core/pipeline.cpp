@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
 #include "resil/membership.hpp"
 #include "support/log.hpp"
@@ -137,8 +138,84 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
   cal_params.select_fraction = 1.0;  // rank everyone; mapping picks below
   cal_params.exclusion_ratio = 0.0;
   Calibrator calibrator(traits_, cal_params);
-  const CalibrationResult calibration = calibrator.run(
-      backend, present, probe_source, &monitor, &report.trace, tokens);
+
+  // Tokens of operations killed by a node loss; their completions are
+  // swallowed when the backend delivers them.  Declared before calibration:
+  // a node dying mid-probe surrenders its stalled sample ops here.
+  std::unordered_set<OpToken> dead_tokens;
+  // Nodes currently lost to the pool (cleared on rejoin): guards the loss
+  // counters against double counting when e.g. a migration target dies
+  // mid-transit and the loss is noticed twice.
+  std::unordered_set<std::uint64_t> lost_nodes;
+  // Last completion or membership event: the reference point for the
+  // down-stage patience window while the liveness tick idles.
+  Seconds last_activity = backend.now();
+
+  // ForeignOps for the *initial* calibration, so the t=0 stage mapping
+  // tolerates a pool that is already churning: losses crossed mid-probe
+  // feed the calibrator's abandon hook (the corpse drops out of the
+  // ranking instead of stalling the probe chain for the whole outage), and
+  // joiners are parked until the mapping exists, then admitted as spares.
+  std::vector<NodeId> newly_dead_cal;
+  std::vector<NodeId> joined_during_cal;
+  ForeignOps cal_foreign;
+  cal_foreign.pending = [&] { return dead_tokens.size(); };
+  cal_foreign.swallow = [&](OpToken token) {
+    if (dead_tokens.erase(token) > 0) {
+      ++report.resilience.zombie_completions;
+      return true;
+    }
+    return false;
+  };
+  cal_foreign.dead_nodes = [&](Seconds at) {
+    if (tracker) {
+      for (const auto& e : tracker->poll(at)) {
+        switch (e.kind) {
+          case gridsim::ChurnEventKind::Crash:
+          case gridsim::ChurnEventKind::Leave: {
+            const bool crashed = e.kind == gridsim::ChurnEventKind::Crash;
+            if (lost_nodes.insert(e.node.value).second) {
+              if (crashed)
+                ++report.resilience.crashes_detected;
+              else
+                ++report.resilience.leaves;
+              report.trace.record(
+                  {at,
+                   crashed ? gridsim::TraceEventKind::NodeCrashDetected
+                           : gridsim::TraceEventKind::NodeLeftPool,
+                   e.node, TaskId::invalid(), 0.0, "calibration"});
+            }
+            newly_dead_cal.push_back(e.node);
+            // A joiner dying before the mapping exists must not be parked
+            // for admission — its crash event is consumed here and would
+            // never be re-reported to the main loop.
+            joined_during_cal.erase(std::remove(joined_during_cal.begin(),
+                                                joined_during_cal.end(),
+                                                e.node),
+                                    joined_during_cal.end());
+            break;
+          }
+          case gridsim::ChurnEventKind::Join:
+          case gridsim::ChurnEventKind::Rejoin:
+            if (std::find(joined_during_cal.begin(), joined_during_cal.end(),
+                          e.node) == joined_during_cal.end())
+              joined_during_cal.push_back(e.node);
+            lost_nodes.erase(e.node.value);  // rejoined mid-calibration
+            break;
+        }
+      }
+    }
+    return std::exchange(newly_dead_cal, {});
+  };
+  cal_foreign.surrender = [&](OpToken token, NodeId, const workloads::TaskSpec&,
+                              bool) { dead_tokens.insert(token); };
+
+  const CalibrationResult calibration =
+      calibrator.run(backend, present, probe_source, &monitor, &report.trace,
+                     tokens, &cal_foreign);
+  if (calibration.ranking.size() < initial_nodes)
+    throw std::runtime_error(
+        "Pipeline: pool shrank below the replica count during calibration");
 
   std::unordered_map<NodeId, double> cal_spm, cal_load;
   double spm_sum = 0.0;
@@ -222,10 +299,6 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
   };
 
   // ---- Membership machinery (churn grids). ------------------------------
-  // Tokens of operations killed by a node loss; their completions are
-  // swallowed when the backend delivers them.
-  std::unordered_set<OpToken> dead_tokens;
-
   // Node to re-ship stage-s input from after the primary copy is lost: a
   // live upstream replica when one exists, else the source (which holds the
   // original payload).  Never names a corpse.
@@ -249,11 +322,6 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
     return best;
   };
 
-  // Nodes currently lost to the pool (cleared on rejoin): guards the loss
-  // counters against double counting when e.g. a migration target dies
-  // mid-transit and the loss is noticed twice.
-  std::unordered_set<std::uint64_t> lost_nodes;
-
   // A node left the pool.  Every replica it hosted fails over: in-flight
   // operations are killed, items it held are re-shipped from upstream (the
   // crashed copy is gone; upstream stages retain their outputs until the
@@ -264,6 +332,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
       throw std::runtime_error(
           "Pipeline: source node lost to churn (place it on a protected "
           "node)");
+    last_activity = backend.now();
     const bool first_loss = lost_nodes.insert(node.value).second;
     spares.erase(std::remove(spares.begin(), spares.end(), node),
                  spares.end());
@@ -390,6 +459,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
   // otherwise park it as a spare for remaps/replications.
   auto handle_join = [&](NodeId node) {
     ++report.resilience.joins;
+    last_activity = backend.now();
     lost_nodes.erase(node.value);
     report.trace.record({backend.now(),
                          gridsim::TraceEventKind::NodeJoinedPool, node,
@@ -613,6 +683,21 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
     st.pending_remap_replica = worst_replica;
   };
 
+  // Admit nodes that joined while calibration ran: their tracker events are
+  // already consumed, so hand them to the join path now the mapping exists.
+  for (const NodeId n : joined_during_cal) handle_join(n);
+
+  // Liveness tick: a one-shot backend timer, re-armed on every firing, so
+  // membership is polled between completions too — a crash that stalls the
+  // whole stream is noticed within one period, not at the next completion.
+  OpToken tick_token = 0;
+  auto arm_tick = [&] {
+    if (!tracker || params_.membership_tick.value <= 0.0) return;
+    tick_token = tokens.alloc();
+    backend.submit_timer(tick_token, params_.membership_tick);
+  };
+  arm_tick();
+
   // ---- Main loop. -------------------------------------------------------
   consume_membership();
   while (report.items_completed < item_count) {
@@ -623,6 +708,52 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
                              "in flight (stage lost with no spare?)");
     monitor.advance_to(backend.now());
     consume_membership();
+    if (completion->is_timer) {
+      if (tick_token != 0 && completion->token == tick_token) {
+        tick_token = 0;
+        arm_tick();
+        if (ops.empty() && dead_tokens.empty()) {
+          // Nothing in flight and no zombie pending.  Re-arming forever
+          // would spin, so classify the lull: work schedule() can still
+          // dispatch (progress resumes next iteration), a down stage
+          // waiting for a joiner (keep ticking, bounded by patience), or
+          // the dead end the nullopt branch reports on tick-free runs.
+          bool waiting_for_join = false;
+          for (const auto& st : stages)
+            for (const auto& rep : st.replicas)
+              if (rep.down) waiting_for_join = true;
+          bool dispatchable = false;
+          for (std::size_t s = 0; s < depth && !dispatchable; ++s) {
+            const StageState& st = stages[s];
+            bool live = false;
+            for (const auto& rep : st.replicas)
+              if (!rep.down && !rep.migrating) live = true;
+            if (!live) continue;
+            if (!st.waiting.empty() || (s == 0 && injected < item_count))
+              dispatchable = true;
+            for (const auto& rep : st.replicas)
+              if (!rep.received.empty()) dispatchable = true;
+          }
+          if (!dispatchable) {
+            if (!waiting_for_join) {
+              backend.cancel_timer(tick_token);
+              throw std::logic_error(
+                  "Pipeline: deadlock — items remain but nothing "
+                  "in flight (stage lost with no spare?)");
+            }
+            if (backend.now() - last_activity >
+                params_.down_stage_patience) {
+              backend.cancel_timer(tick_token);
+              throw std::runtime_error(
+                  "Pipeline: stage down with no spare and no joiner "
+                  "within down_stage_patience");
+            }
+          }
+        }
+      }
+      continue;
+    }
+    last_activity = backend.now();
     if (dead_tokens.erase(completion->token) > 0) {
       ++report.resilience.zombie_completions;
       continue;
@@ -702,6 +833,8 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
       }
     }
   }
+
+  if (tick_token != 0) backend.cancel_timer(tick_token);
 
   // ---- Report. ----------------------------------------------------------
   report.makespan = last_done;

@@ -65,6 +65,21 @@ struct PipelineParams {
   /// are re-shipped), joined nodes become spares (or revive a stage that
   /// lost its only replica).  The source node must not churn.
   bool membership_enabled = true;
+
+  /// Period of the liveness tick on churn grids: a one-shot backend timer,
+  /// re-armed on every firing, that polls membership even when no stage
+  /// completions are flowing — so a crash that stalls the whole stream
+  /// (e.g. the sole in-flight item sat on the corpse) is noticed within one
+  /// period instead of at the next completion.  Zero disables the tick;
+  /// membership then advances only with completions, as before.
+  Seconds membership_tick{1.0};
+
+  /// How long a pipeline with a down stage (no spare) and nothing at all in
+  /// flight keeps ticking while waiting for a joiner before declaring the
+  /// run wedged.  Measured from the last completion or membership event.
+  /// Only meaningful with membership_tick > 0 — the tick is what keeps the
+  /// loop alive while waiting.
+  Seconds down_stage_patience{1e4};
 };
 
 struct StageStats {

@@ -86,9 +86,26 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   // the farm's state machine, so resilient recalibrations overlap with
   // ongoing execution instead of draining the pool first.  Assigned below.
   std::function<bool(OpToken)> absorb_engine_completion;
+  // Periodic liveness tick (resilient runs): a one-shot backend timer,
+  // re-armed on every firing, whose delivery drives the failure detector
+  // even when no chunk completions are flowing.  This bounds crash
+  // detection at timeout + heartbeat_period unconditionally — a quiescent
+  // farm whose only in-flight chunk sits on the corpse no longer waits for
+  // the zombie completion to notice.  Handler assigned below.
+  OpToken tick_token = 0;
+  std::function<void()> handle_tick;
+  auto is_tick = [&](OpToken token) {
+    return tick_token != 0 && token == tick_token;
+  };
   ForeignOps foreign;
   foreign.pending = [&] { return dead_tokens.size() + in_flight.size(); };
   foreign.swallow = [&](OpToken token) {
+    if (is_tick(token)) {
+      // A tick delivered inside a (re)calibration still advances liveness:
+      // the calibrator's dead-node poll picks up the verdict next round.
+      handle_tick();
+      return true;
+    }
     if (dead_tokens.erase(token) > 0) {
       ++report.resilience.zombie_completions;
       return true;
@@ -229,13 +246,21 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
                          TaskId::invalid(), 0.0, why});
     GRASP_LOG_INFO("farm") << "node " << node.value << " declared dead ("
                            << why << ") at t=" << backend.now().value;
-    for (auto& [token, entry] : ledger.fail_node(node)) {
+    const auto already_done = [&](TaskId id) { return source.is_completed(id); };
+    for (auto& [token, entry] : ledger.fail_node(node, already_done)) {
       const auto it = in_flight.find(token);
       if (it != in_flight.end()) {
         in_flight.erase(it);
         dead_tokens.insert(token);
       }
       requeue_pending(entry.tasks, node);
+    }
+    // The crash may have taken reissue twins with it: clear the duplicated
+    // marks so the surviving originals are eligible for straggler/tail
+    // relief again.  Over-clearing is safe — first completion wins.
+    for (auto& [token, a] : in_flight) {
+      (void)token;
+      a.duplicated = false;
     }
     monitor.rewatch(farmer_live_view());
     exec_monitor.arm(exec_monitor.baseline_spm(), elastic.workers(),
@@ -301,6 +326,30 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       declare_dead(n, "heartbeat timeout");
   };
 
+  auto arm_tick = [&] {
+    if (!resil_on) return;
+    tick_token = tokens.alloc();
+    // Align ticks to the heartbeat grid: beats are credited at absolute
+    // multiples of the period, so suspicion state only changes there — a
+    // grid-aligned tick evaluates each beat boundary as soon as it passes,
+    // keeping detection within timeout + heartbeat_period of the crash.
+    const double period =
+        1.0 * params_.resilience.detector.heartbeat_period.value;
+    const double into = std::fmod(backend.now().value, period);
+    backend.submit_timer(tick_token, Seconds{period - into});
+  };
+  auto cancel_tick = [&] {
+    if (tick_token != 0) {
+      backend.cancel_timer(tick_token);
+      tick_token = 0;
+    }
+  };
+  handle_tick = [&] {
+    tick_token = 0;
+    consume_membership(backend.now());
+    arm_tick();
+  };
+
   auto dispatch_to_idle = [&] {
     // Copy: declare_dead (via the liveness check) mutates the worker set.
     const std::vector<NodeId> workers = elastic.workers();
@@ -349,37 +398,75 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     std::vector<NodeId> idle;
     for (const NodeId n : elastic.workers())
       if (!busy[n]) idle.push_back(n);
-    if (idle.empty()) return;
     std::sort(idle.begin(), idle.end(), [&](NodeId a, NodeId b) {
       return spm_estimate(a) < spm_estimate(b);
     });
-    // Collect decisions first: dispatch_chunk inserts into in_flight and
-    // would invalidate the iteration otherwise.
-    struct Reissue {
-      NodeId from;
-      std::vector<workloads::TaskSpec> pending;
+    // Idle probationers ride along behind the chosen workers: a duplicated
+    // straggler chunk doubles as their admission probe (first completion
+    // wins either way), so a node that joins after the queue ran dry can
+    // still be admitted and absorb the tail.
+    std::size_t probation_targets = 0;
+    if (resil_on) {
+      for (const NodeId n : elastic.probationers()) {
+        if (!busy[n] && churn->is_member(n, backend.now())) {
+          idle.push_back(n);
+          ++probation_targets;
+        }
+      }
+    }
+    if (idle.empty()) return;
+    // Collect candidates first: dispatch_chunk inserts into in_flight and
+    // would invalidate the iteration otherwise.  Latest expected finish
+    // first, so the fastest idle node relieves the worst chunk.
+    struct Candidate {
+      OpToken token;
+      double expected_finish;  ///< dispatched + expected, on its holder
+      bool straggler;
     };
-    std::vector<Reissue> planned;
+    const double now_s = backend.now().value;
+    std::vector<Candidate> candidates;
     for (const auto& [token, a] : in_flight) {
-      (void)token;
-      if (planned.size() >= idle.size()) break;
-      if (a.is_reissue) continue;
+      if (a.is_reissue || a.duplicated) continue;
       const double expected =
           spm_estimate(a.node) * a.work().value + 1.0;  // +1 s transfer slack
-      const double age = (backend.now() - a.dispatched).value;
-      if (age <= params_.straggler_factor * expected) continue;
+      const double age = now_s - a.dispatched.value;
+      candidates.push_back({token, a.dispatched.value + expected,
+                            age > params_.straggler_factor * expected});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& x, const Candidate& y) {
+                if (x.expected_finish != y.expected_finish)
+                  return x.expected_finish > y.expected_finish;
+                return x.token < y.token;
+              });
+    // Pair chunks with idle nodes.  Two triggers, both first-completion-wins:
+    //  * straggler — the chunk is far past its expected time (the node
+    //    seized up or died silently);
+    //  * tail steal — the queue is dry and the chunk's expected finish is
+    //    still far enough out that the idle node can redo it from scratch
+    //    with half its cost again to spare.  Without it the last chunks
+    //    grind on slow nodes while better ones sit idle.
+    std::size_t next_idle = 0;
+    for (const Candidate& c : candidates) {
+      if (next_idle >= idle.size()) break;
+      const NodeId target = idle[next_idle];
+      Assignment& a = in_flight.at(c.token);
+      const double idle_cost = spm_estimate(target) * a.work().value + 1.0;
+      const bool tail_steal = c.expected_finish > now_s + 1.5 * idle_cost;
+      if (!c.straggler && !tail_steal) continue;
       std::vector<workloads::TaskSpec> pending;
       for (const auto& t : a.chunk)
         if (!source.is_completed(t.id)) pending.push_back(t);
-      if (!pending.empty()) planned.push_back({a.node, std::move(pending)});
-    }
-    for (std::size_t i = 0; i < planned.size(); ++i) {
-      const NodeId target = idle[i];
+      if (pending.empty()) continue;
+      a.duplicated = true;
+      const bool as_probe = next_idle >= idle.size() - probation_targets;
+      ++next_idle;
       ++report.reissues;
-      GRASP_LOG_INFO("farm") << "reissuing " << planned[i].pending.size()
-                             << " tasks from " << planned[i].from.value
-                             << " to " << target.value;
-      dispatch_chunk(target, std::move(planned[i].pending), true);
+      GRASP_LOG_INFO("farm") << "reissuing " << pending.size()
+                             << " tasks from " << a.node.value << " to "
+                             << target.value
+                             << (as_probe ? " (probation probe)" : "");
+      dispatch_chunk(target, std::move(pending), true, as_probe);
     }
   };
 
@@ -403,12 +490,22 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       // Zombie chunk observed before the detector fired: the work is lost;
       // re-queue it here, exactly once (the ledger entry dies with it).
       ++report.resilience.zombie_completions;
-      if (resil_on) ledger.invalidate(c.token);
+      if (resil_on)
+        ledger.invalidate(c.token,
+                          [&](TaskId id) { return source.is_completed(id); });
       else {
         ++report.resilience.chunks_lost;
         report.resilience.wasted_mops += a.work().value;
       }
       requeue_pending(a.chunk, a.node);
+      if (a.is_reissue) {
+        // The lost chunk was itself a twin: let its original be duplicated
+        // again rather than grinding out the full duration unrelieved.
+        for (auto& [token, other] : in_flight) {
+          (void)token;
+          other.duplicated = false;
+        }
+      }
       if (resil_on && !tracker->is_member(a.node))
         declare_dead(a.node, "connection lost");
       else
@@ -497,6 +594,10 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       const auto c = backend.wait_next();
       if (!c) break;
       if (!finished) monitor.advance_to(backend.now());
+      if (c->is_timer) {
+        if (is_tick(c->token)) handle_tick();
+        continue;
+      }
       consume_membership(backend.now());
       process_completion(*c);
     }
@@ -563,6 +664,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     return true;
   };
   consume_membership(backend.now());
+  arm_tick();
 
   // ---- Phase: execution (Algorithm 2 loop) ----------------------------
   while (!source.all_done()) {
@@ -576,13 +678,27 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       break;
     }
     monitor.advance_to(backend.now());
-    consume_membership(backend.now());
-    process_completion(*completion);
-
-    if (params_.adaptation_enabled && !source.all_done() &&
-        recalibrations < params_.max_recalibrations) {
-      const MonitorVerdict verdict = exec_monitor.check(backend.now());
-      if (verdict != MonitorVerdict::None) pending_recalibration = true;
+    if (completion->is_timer) {
+      if (is_tick(completion->token)) handle_tick();
+      // A tick with no real work in flight and nobody left to dispatch to
+      // is the dead end the nullopt branch reports on tick-free runs;
+      // without this check the farm would re-arm and spin forever.
+      if (!source.all_done() && backend.in_flight() == 0 &&
+          elastic.workers().empty() && elastic.probationers().empty()) {
+        cancel_tick();
+        throw std::logic_error("TaskFarm: deadlock — tasks remain but "
+                               "nothing in flight (all workers lost?)");
+      }
+    } else {
+      consume_membership(backend.now());
+      process_completion(*completion);
+      // The adaptation threshold is judged on work observations only; ticks
+      // exist for liveness and must not perturb Algorithm 2's cadence.
+      if (params_.adaptation_enabled && !source.all_done() &&
+          recalibrations < params_.max_recalibrations) {
+        const MonitorVerdict verdict = exec_monitor.check(backend.now());
+        if (verdict != MonitorVerdict::None) pending_recalibration = true;
+      }
     }
     if (pending_recalibration) {
       pending_recalibration = false;
@@ -592,6 +708,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     }
   }
 
+  cancel_tick();  // liveness no longer matters once every task is done
   if (!finished) finish_time = backend.now();
   report.monitor_samples = monitor.samples_taken();
   drain();  // late duplicates / abandoned twins / zombies, off the clock

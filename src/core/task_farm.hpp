@@ -120,7 +120,8 @@ class TaskFarm {
     Seconds dispatched;
     enum class Phase { Input, Compute, Output } phase = Phase::Input;
     bool is_reissue = false;
-    bool is_probe = false;  ///< newcomer fast-path calibration chunk
+    bool is_probe = false;   ///< newcomer fast-path calibration chunk
+    bool duplicated = false;  ///< a reissue twin of this chunk exists
     Mops work() const {
       Mops total = Mops::zero();
       for (const auto& t : chunk) total += t.work;

@@ -4,24 +4,40 @@
 
 namespace grasp::gridsim {
 
-void EventQueue::schedule_at(Seconds when, Callback fn) {
+EventQueue::EventId EventQueue::schedule_at(Seconds when, Callback fn) {
   if (when < clock_.now())
     throw std::invalid_argument("EventQueue: scheduling into the past");
-  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+  const EventId id = next_seq_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  live_.insert(id);
+  return id;
 }
 
-void EventQueue::schedule_after(Seconds delay, Callback fn) {
+EventQueue::EventId EventQueue::schedule_after(Seconds delay, Callback fn) {
   if (delay.value < 0.0)
     throw std::invalid_argument("EventQueue: negative delay");
-  schedule_at(clock_.now() + delay, std::move(fn));
+  return schedule_at(clock_.now() + delay, std::move(fn));
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (live_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  prune_cancelled_top();
+  return true;
+}
+
+void EventQueue::prune_cancelled_top() {
+  while (!heap_.empty() && cancelled_.erase(heap_.top().seq) > 0) heap_.pop();
 }
 
 bool EventQueue::step() {
+  prune_cancelled_top();
   if (heap_.empty()) return false;
   // priority_queue::top returns const&; the callback must be moved out
   // before pop, so copy the entry (callbacks are cheap shared closures).
   Entry entry = heap_.top();
   heap_.pop();
+  live_.erase(entry.seq);
   clock_.advance_to(entry.when);
   entry.fn();
   return true;
@@ -35,7 +51,9 @@ std::size_t EventQueue::run_all() {
 
 std::size_t EventQueue::run_until(Seconds until) {
   std::size_t executed = 0;
-  while (!heap_.empty() && heap_.top().when <= until) {
+  for (;;) {
+    prune_cancelled_top();
+    if (heap_.empty() || heap_.top().when > until) break;
     step();
     ++executed;
   }

@@ -9,6 +9,7 @@
 #include <functional>
 #include <queue>
 #include <stdexcept>
+#include <unordered_set>
 #include <vector>
 
 #include "support/ids.hpp"
@@ -32,16 +33,23 @@ class SimClock {
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+  /// Handle for cancelling a scheduled event (its insertion sequence).
+  using EventId = std::uint64_t;
 
   /// Schedule `fn` at absolute time `when` (must be >= now).
-  void schedule_at(Seconds when, Callback fn);
+  EventId schedule_at(Seconds when, Callback fn);
 
   /// Schedule `fn` `delay` after the current time.
-  void schedule_after(Seconds delay, Callback fn);
+  EventId schedule_after(Seconds delay, Callback fn);
+
+  /// Cancel a pending event: it will neither run nor advance the clock.
+  /// Returns true when `id` was pending; false when it already executed,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
 
   [[nodiscard]] Seconds now() const { return clock_.now(); }
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
 
   /// Pop and run the earliest event; advances the clock to its timestamp.
   /// Returns false when no events remain.
@@ -67,9 +75,15 @@ class EventQueue {
     }
   };
 
+  /// Drop cancelled entries sitting on top of the heap so the earliest
+  /// visible entry is always live.
+  void prune_cancelled_top();
+
   SimClock clock_;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+  std::unordered_set<EventId> live_;       ///< scheduled, not run/cancelled
+  std::unordered_set<EventId> cancelled_;  ///< tombstones still in the heap
 };
 
 }  // namespace grasp::gridsim

@@ -29,18 +29,18 @@ std::optional<ChunkLedger::Entry> ChunkLedger::complete(core::OpToken token) {
 }
 
 std::optional<ChunkLedger::Entry> ChunkLedger::invalidate(
-    core::OpToken token) {
+    core::OpToken token, const CompletedFn& completed) {
   auto entry = complete(token);
-  if (entry) count_loss(*entry);
+  if (entry) count_loss(*entry, completed);
   return entry;
 }
 
 std::vector<std::pair<core::OpToken, ChunkLedger::Entry>>
-ChunkLedger::fail_node(NodeId node) {
+ChunkLedger::fail_node(NodeId node, const CompletedFn& completed) {
   std::vector<std::pair<core::OpToken, Entry>> out;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.node == node) {
-      count_loss(it->second);
+      count_loss(it->second, completed);
       out.emplace_back(it->first, std::move(it->second));
       it = entries_.erase(it);
     } else {
@@ -53,10 +53,26 @@ ChunkLedger::fail_node(NodeId node) {
   return out;
 }
 
-void ChunkLedger::count_loss(const Entry& entry) {
+void ChunkLedger::count_loss(const Entry& entry, const CompletedFn& completed) {
+  if (!completed) {
+    ++chunks_lost_;
+    tasks_lost_ += entry.tasks.size();
+    wasted_mops_ += entry.work.value;
+    return;
+  }
+  // Only work that must be redone counts: tasks a winning twin already
+  // finished were not lost to the crash.
+  std::size_t pending = 0;
+  double pending_mops = 0.0;
+  for (const auto& t : entry.tasks) {
+    if (t.id.is_valid() && completed(t.id)) continue;
+    ++pending;
+    pending_mops += t.work.value;
+  }
+  if (pending == 0) return;
   ++chunks_lost_;
-  tasks_lost_ += entry.tasks.size();
-  wasted_mops_ += entry.work.value;
+  tasks_lost_ += pending;
+  wasted_mops_ += pending_mops;
 }
 
 }  // namespace grasp::resil

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -40,14 +41,23 @@ class ChunkLedger {
   /// Chunk finished normally: remove and return its entry.
   std::optional<Entry> complete(core::OpToken token);
 
+  /// Identifies tasks already completed elsewhere (e.g. by a straggler
+  /// reissue that won the race).  When supplied, loss accounting only
+  /// counts tasks still pending — a chunk whose every task already
+  /// finished on its twin is removed without counting as lost at all.
+  using CompletedFn = std::function<bool(TaskId)>;
+
   /// Chunk invalidated by a crash: remove and return its entry, counting
-  /// the work as lost.
-  std::optional<Entry> invalidate(core::OpToken token);
+  /// the pending work as lost.
+  std::optional<Entry> invalidate(core::OpToken token,
+                                  const CompletedFn& completed = {});
 
   /// Surrender every in-flight entry on `node` with its token (oldest
-  /// dispatch first), counting them lost.  A second call for the same node
-  /// returns nothing — the exactly-once guarantee for crash re-dispatch.
-  std::vector<std::pair<core::OpToken, Entry>> fail_node(NodeId node);
+  /// dispatch first), counting pending work lost.  A second call for the
+  /// same node returns nothing — the exactly-once guarantee for crash
+  /// re-dispatch.
+  std::vector<std::pair<core::OpToken, Entry>> fail_node(
+      NodeId node, const CompletedFn& completed = {});
 
   [[nodiscard]] bool tracks(core::OpToken token) const {
     return entries_.count(token) != 0;
@@ -60,7 +70,7 @@ class ChunkLedger {
   [[nodiscard]] double wasted_mops() const { return wasted_mops_; }
 
  private:
-  void count_loss(const Entry& entry);
+  void count_loss(const Entry& entry, const CompletedFn& completed);
 
   std::unordered_map<core::OpToken, Entry> entries_;
   std::size_t chunks_lost_ = 0;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "gridsim/scenarios.hpp"
 
 namespace grasp::core {
@@ -85,6 +87,102 @@ TEST(SimBackend, BodiesAreIgnoredInSimulation) {
   backend.submit_compute(1, NodeId{0}, Mops{1.0}, [&] { ran = true; });
   (void)backend.wait_next();
   EXPECT_FALSE(ran);  // the model is authoritative in virtual time
+}
+
+// ---- Timer facility -------------------------------------------------------
+
+TEST(SimBackend, TimerFiresAtItsDeadline) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  SimBackend backend(grid);
+  backend.submit_timer(7, Seconds{2.5});
+  EXPECT_EQ(backend.in_flight(), 0u);  // timers are not operations
+  const auto c = backend.wait_next();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(c->is_timer);
+  EXPECT_EQ(c->token, 7u);
+  EXPECT_FALSE(c->node.is_valid());
+  EXPECT_NEAR(c->started.value, 0.0, 1e-12);
+  EXPECT_NEAR(c->finished.value, 2.5, 1e-12);
+  EXPECT_NEAR(backend.now().value, 2.5, 1e-12);
+  EXPECT_FALSE(backend.wait_next().has_value());
+}
+
+TEST(SimBackend, TimersDeliverInDeadlineOrder) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  SimBackend backend(grid);
+  backend.submit_timer(3, Seconds{3.0});
+  backend.submit_timer(1, Seconds{1.0});
+  backend.submit_timer(2, Seconds{2.0});
+  EXPECT_EQ(backend.wait_next()->token, 1u);
+  EXPECT_EQ(backend.wait_next()->token, 2u);
+  EXPECT_EQ(backend.wait_next()->token, 3u);
+}
+
+TEST(SimBackend, TimerInterleavesWithOperations) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  SimBackend backend(grid);
+  backend.submit_compute(1, NodeId{0}, Mops{100.0});  // completes at t=1
+  backend.submit_timer(2, Seconds{0.5});
+  backend.submit_timer(3, Seconds{1.5});
+  const auto first = backend.wait_next();
+  EXPECT_EQ(first->token, 2u);
+  EXPECT_TRUE(first->is_timer);
+  const auto second = backend.wait_next();
+  EXPECT_EQ(second->token, 1u);
+  EXPECT_FALSE(second->is_timer);
+  EXPECT_EQ(backend.wait_next()->token, 3u);
+  EXPECT_EQ(backend.in_flight(), 0u);
+}
+
+TEST(SimBackend, CancelledTimerNeverFires) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  SimBackend backend(grid);
+  backend.submit_timer(5, Seconds{1.0});
+  EXPECT_TRUE(backend.cancel_timer(5));
+  EXPECT_FALSE(backend.cancel_timer(5));  // already cancelled
+  EXPECT_FALSE(backend.wait_next().has_value());
+  EXPECT_DOUBLE_EQ(backend.now().value, 0.0);
+}
+
+TEST(SimBackend, CancelledTimerDoesNotDelayOperations) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  SimBackend backend(grid);
+  backend.submit_timer(9, Seconds{0.25});
+  backend.submit_compute(1, NodeId{0}, Mops{100.0});
+  EXPECT_TRUE(backend.cancel_timer(9));
+  const auto c = backend.wait_next();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->token, 1u);
+  EXPECT_FALSE(backend.wait_next().has_value());
+}
+
+TEST(SimBackend, CancelUnknownTimerReturnsFalse) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  SimBackend backend(grid);
+  EXPECT_FALSE(backend.cancel_timer(42));
+}
+
+TEST(SimBackend, RearmedTimerDrivesAPeriodicTick) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  SimBackend backend(grid);
+  OpToken next = 1;
+  backend.submit_timer(next, Seconds{1.0});
+  for (int tick = 1; tick <= 4; ++tick) {
+    const auto c = backend.wait_next();
+    ASSERT_TRUE(c.has_value());
+    EXPECT_TRUE(c->is_timer);
+    EXPECT_EQ(c->token, next);
+    EXPECT_NEAR(backend.now().value, static_cast<double>(tick), 1e-9);
+    backend.submit_timer(++next, Seconds{1.0});
+  }
+  EXPECT_TRUE(backend.cancel_timer(next));
+  EXPECT_FALSE(backend.wait_next().has_value());
+}
+
+TEST(SimBackend, NegativeTimerDelayThrows) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  SimBackend backend(grid);
+  EXPECT_THROW(backend.submit_timer(1, Seconds{-1.0}), std::invalid_argument);
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 #include "gridsim/scenarios.hpp"
 
@@ -108,6 +111,141 @@ TEST(ThreadBackend, DestructorJoinsCleanlyWithPendingWork) {
     // Destroy without waiting: teardown must not hang or crash.
   }
   SUCCEED();
+}
+
+// ---- Teardown latency -----------------------------------------------------
+
+TEST(ThreadBackend, DestructorInterruptsStalledModelledSleep) {
+  // A chunk whose model duration is enormous (e.g. stalled by a simulated
+  // outage) used to be slept out with an uninterruptible sleep_for, holding
+  // the destructor for the whole scaled duration.  The cancellable deadline
+  // wait must let teardown return in a tiny fraction of the modelled time.
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  ThreadBackend::Params p;
+  p.time_scale = 0.1;  // 1 virtual second = 0.1 wall seconds
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    ThreadBackend backend(grid, p);
+    // 600 virtual seconds -> a 60-second wall-clock modelled sleep.
+    backend.submit_compute(1, NodeId{0}, Mops{60000.0});
+    // Give the worker time to dequeue the job and enter its deadline wait.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 10.0);  // CI-loose; sleep_for would need the full 60 s
+}
+
+TEST(ThreadBackend, DestructorDropsQueuedJobsPromptly) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  ThreadBackend::Params p;
+  p.time_scale = 0.1;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    ThreadBackend backend(grid, p);
+    // Five stalled jobs queued behind each other on one node: the old
+    // destructor drained (slept out) every one of them.
+    for (OpToken t = 1; t <= 5; ++t)
+      backend.submit_compute(t, NodeId{0}, Mops{60000.0});
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 10.0);
+}
+
+// ---- Timer facility -------------------------------------------------------
+
+TEST(ThreadBackend, TimerFiresAndIsDeliveredThroughWaitNext) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  ThreadBackend backend(grid, fast());
+  backend.submit_timer(11, Seconds{100.0});  // 10 ms of wall clock
+  EXPECT_EQ(backend.in_flight(), 0u);        // timers are not operations
+  const auto c = backend.wait_next();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(c->is_timer);
+  EXPECT_EQ(c->token, 11u);
+  EXPECT_FALSE(c->node.is_valid());
+  // Fired no earlier than its deadline; the upper bound only guards
+  // against a runaway wait under parallel-ctest load.
+  EXPECT_GE(c->duration().value, 99.0);
+  EXPECT_LT(c->duration().value, 100000.0);
+  EXPECT_FALSE(backend.wait_next().has_value());
+}
+
+TEST(ThreadBackend, TimersDeliverInDeadlineOrder) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  ThreadBackend backend(grid, fast());
+  backend.submit_timer(3, Seconds{900.0});
+  backend.submit_timer(1, Seconds{100.0});
+  backend.submit_timer(2, Seconds{500.0});
+  EXPECT_EQ(backend.wait_next()->token, 1u);
+  EXPECT_EQ(backend.wait_next()->token, 2u);
+  EXPECT_EQ(backend.wait_next()->token, 3u);
+}
+
+TEST(ThreadBackend, CancelledTimerNeverFires) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  ThreadBackend backend(grid, fast());
+  backend.submit_timer(5, Seconds{1e7});  // ~17 min of wall clock if leaked
+  EXPECT_TRUE(backend.cancel_timer(5));
+  EXPECT_FALSE(backend.cancel_timer(5));
+  EXPECT_FALSE(backend.wait_next().has_value());  // nothing pending anymore
+}
+
+TEST(ThreadBackend, CancelledTimerDoesNotDelayOperations) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  ThreadBackend backend(grid, fast());
+  backend.submit_timer(9, Seconds{1e7});
+  backend.submit_compute(1, NodeId{0}, Mops{10.0});
+  EXPECT_TRUE(backend.cancel_timer(9));
+  const auto c = backend.wait_next();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->token, 1u);
+  EXPECT_FALSE(backend.wait_next().has_value());
+}
+
+TEST(ThreadBackend, CancelUnknownTimerReturnsFalse) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  ThreadBackend backend(grid, fast());
+  EXPECT_FALSE(backend.cancel_timer(42));
+}
+
+TEST(ThreadBackend, TimerInterleavesWithCompute) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  ThreadBackend backend(grid, fast());
+  // Compute: 1 virtual second (0.1 ms wall).  Timer: 500 virtual (50 ms).
+  backend.submit_compute(1, NodeId{0}, Mops{100.0});
+  backend.submit_timer(2, Seconds{500.0});
+  const auto first = backend.wait_next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->token, 1u);
+  EXPECT_FALSE(first->is_timer);
+  const auto second = backend.wait_next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->token, 2u);
+  EXPECT_TRUE(second->is_timer);
+}
+
+TEST(ThreadBackend, NegativeTimerDelayThrows) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  ThreadBackend backend(grid, fast());
+  EXPECT_THROW(backend.submit_timer(1, Seconds{-1.0}), std::invalid_argument);
+}
+
+TEST(ThreadBackend, DestructorJoinsWithPendingTimer) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    ThreadBackend backend(grid, fast());
+    backend.submit_timer(1, Seconds{1e7});  // never fires
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 10.0);
 }
 
 }  // namespace

@@ -81,6 +81,47 @@ TEST(EventQueue, EventsMayScheduleMoreEvents) {
   EXPECT_DOUBLE_EQ(q.now().value, 9.0);
 }
 
+TEST(EventQueue, CancelledEventNeitherRunsNorAdvancesTheClock) {
+  EventQueue q;
+  bool ran = false;
+  const auto id = q.schedule_after(Seconds{5.0}, [&] { ran = true; });
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // already cancelled
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_FALSE(q.step());
+  EXPECT_FALSE(ran);
+  EXPECT_DOUBLE_EQ(q.now().value, 0.0);
+}
+
+TEST(EventQueue, CancelledEntryBelowTopIsSkippedLazily) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(Seconds{1.0}, [&] { order.push_back(1); });
+  const auto id = q.schedule_at(Seconds{2.0}, [&] { order.push_back(2); });
+  q.schedule_at(Seconds{3.0}, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_EQ(q.run_all(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_DOUBLE_EQ(q.now().value, 3.0);
+}
+
+TEST(EventQueue, RunUntilDoesNotOverrunPastACancelledTop) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto id = q.schedule_at(Seconds{1.0}, [&] { order.push_back(1); });
+  q.schedule_at(Seconds{5.0}, [&] { order.push_back(5); });
+  EXPECT_TRUE(q.cancel(id));
+  // The only event <= 2 is cancelled; the one at 5 must not run.
+  EXPECT_EQ(q.run_until(Seconds{2.0}), 0u);
+  EXPECT_TRUE(order.empty());
+  EXPECT_DOUBLE_EQ(q.now().value, 2.0);
+  EXPECT_EQ(q.run_all(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{5}));
+}
+
 TEST(SimClock, NeverMovesBackwards) {
   SimClock c;
   c.advance_to(Seconds{5.0});

@@ -190,6 +190,168 @@ TEST(FarmChurn, GraspDriverSurfacesRecoveryPhases) {
   EXPECT_TRUE(has_recovery);
 }
 
+TEST(FarmChurn, QuiescentFarmDetectsCrashWithinTimerBound) {
+  // Regression for the pre-timer event loop: suspects were only evaluated
+  // when wait_next yielded a completion, so a farm whose sole in-flight
+  // chunk sat on the crashed node blocked until the zombie surfaced at the
+  // end of the outage.  The liveness tick must bound detection at
+  // timeout + heartbeat_period even with no completions flowing.
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  b.add_node(s, 100.0);   // node 0: root + slow worker
+  b.add_node(s, 1000.0);  // node 1: fast worker — takes the huge chunk
+  gridsim::Grid grid = b.build();
+  grid.node(NodeId{1}).add_downtime({Seconds{10.0}, Seconds{20010.0}});
+  grid.set_churn(gridsim::ChurnTimeline(
+      {{Seconds{10.0}, gridsim::ChurnEventKind::Crash, NodeId{1}}}));
+
+  // Two small tasks feed calibration (one sample per node), then the fast
+  // node draws the huge chunk while node 0 clears the last small task.
+  // From then on the farm is quiescent: the only in-flight chunk is on the
+  // node that crashes at t=10.
+  workloads::TaskSet ts;
+  ts.name = "quiescent-crash";
+  const double works[] = {100.0, 100.0, 20000.0, 100.0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    workloads::TaskSpec t;
+    t.id = TaskId{i};
+    t.work = Mops{works[i]};
+    t.input = Bytes{1e3};
+    t.output = Bytes{1e3};
+    ts.tasks.push_back(t);
+  }
+
+  FarmParams p = resilient_params();
+  p.chunk_size = 1;
+  SimBackend backend(grid);
+  const FarmReport report =
+      TaskFarm(p).run(backend, grid, grid.node_ids(), ts);
+
+  EXPECT_EQ(report.tasks_completed + report.calibration_tasks, 4u);
+  ASSERT_GE(report.resilience.crashes_detected, 1u);
+
+  // Detection-latency bound: crash at 10, timeout 5, period 1 (+ slack for
+  // the tick that lands just after the suspicion threshold).
+  double detected_at = -1.0;
+  for (const auto& e : report.trace.events()) {
+    if (e.kind == gridsim::TraceEventKind::NodeCrashDetected) {
+      detected_at = e.at.value;
+      break;
+    }
+  }
+  ASSERT_GE(detected_at, 10.0);
+  EXPECT_LE(detected_at, 10.0 + 5.0 + 1.0 + 0.5);
+
+  // The huge chunk was re-run on the survivor, not waited out (outage ends
+  // at t=20010; node 0 needs ~200 s for the re-run).
+  EXPECT_GE(report.resilience.tasks_redispatched, 1u);
+  EXPECT_LT(report.makespan.value, 1000.0);
+}
+
+TEST(PipelineChurn, QuiescentPipelineFailsOverWithinTickBound) {
+  // The pipeline analogue: a single item is computing on the stage-1 node
+  // when that node crashes.  Nothing else is in flight, so without the
+  // liveness tick membership would only be polled when the stalled compute
+  // finally surfaced at the end of the outage.
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  for (int i = 0; i < 3; ++i) b.add_node(s, 120.0);
+  gridsim::Grid grid = b.build();
+  grid.node(NodeId{1}).add_downtime({Seconds{12.0}, Seconds{20012.0}});
+  grid.set_churn(gridsim::ChurnTimeline(
+      {{Seconds{12.0}, gridsim::ChurnEventKind::Crash, NodeId{1}}}));
+
+  // 2 stages over 3 nodes: stage 0 -> node 0 (also the source), stage 1 ->
+  // node 1, spare node 2.  One 5 s-per-stage item: calibration ends ~5 s,
+  // stage 0 computes until ~10 s, so at t=12 the item is mid-compute on
+  // node 1 and nothing else is in flight.
+  const auto spec = workloads::make_uniform_pipeline(2, 600.0, 1e3);
+  SimBackend backend(grid);
+  PipelineParams params;
+  params.monitor.period = Seconds{1.0};
+  params.membership_tick = Seconds{0.5};
+  const PipelineReport report =
+      Pipeline(params).run(backend, grid, grid.node_ids(), spec, 1);
+
+  EXPECT_EQ(report.items_completed, 1u);
+  EXPECT_GE(report.resilience.crashes_detected, 1u);
+  EXPECT_GE(report.resilience.tasks_redispatched, 1u);
+  for (const NodeId n : report.final_mapping) EXPECT_NE(n, NodeId{1});
+  // Failover within a tick of the crash, re-ship + 5 s recompute — not the
+  // 20000 s outage the completion-driven loop would have waited out.
+  EXPECT_LT(report.makespan.value, 60.0);
+}
+
+TEST(PipelineChurn, CalibrationToleratesPoolAlreadyChurning) {
+  // ForeignOps wiring for the *initial* calibration: node 5 crashes while
+  // its probe is in flight (t=0.1) and node 6 joins before the mapping
+  // exists (t=0.15).  The t=0 mapping must skip the corpse, admit the
+  // joiner as a spare, and a later crash of a mapped node must still fail
+  // over cleanly.
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  for (int i = 0; i < 7; ++i) b.add_node(s, 120.0);
+  gridsim::Grid grid = b.build();
+  grid.node(NodeId{5}).add_downtime({Seconds{0.1}, Seconds{20000.1}});
+  grid.node(NodeId{2}).add_downtime({Seconds{40.0}, Seconds{20040.0}});
+  grid.set_churn(gridsim::ChurnTimeline(
+      {{Seconds{0.1}, gridsim::ChurnEventKind::Crash, NodeId{5}},
+       {Seconds{0.15}, gridsim::ChurnEventKind::Join, NodeId{6}},
+       {Seconds{40.0}, gridsim::ChurnEventKind::Crash, NodeId{2}}},
+      {NodeId{6}}));
+
+  const auto spec = workloads::make_uniform_pipeline(4, 30.0, 1e4);
+  SimBackend backend(grid);
+  PipelineParams params;
+  params.monitor.period = Seconds{1.0};
+  const PipelineReport report =
+      Pipeline(params).run(backend, grid, grid.node_ids(), spec, 400);
+
+  EXPECT_EQ(report.items_completed, 400u);
+  EXPECT_TRUE(report.output_in_order);
+  EXPECT_GE(report.resilience.crashes_detected, 2u);  // node 5 + node 2
+  EXPECT_GE(report.resilience.joins, 1u);
+  for (const NodeId n : report.final_mapping) {
+    EXPECT_NE(n, NodeId{5});
+    EXPECT_NE(n, NodeId{2});
+  }
+  EXPECT_LT(report.makespan.value, 2000.0);
+}
+
+TEST(PipelineChurn, JoinerDyingMidCalibrationIsNotAdmitted) {
+  // A node that joins *and* crashes while calibration runs must not be
+  // parked for admission — its crash event is consumed by the calibration
+  // hook and would never be re-reported, so admitting it would hand later
+  // failovers a corpse.
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  for (int i = 0; i < 7; ++i) b.add_node(s, 120.0);
+  gridsim::Grid grid = b.build();
+  grid.node(NodeId{6}).add_downtime({Seconds{0.2}, Seconds{20000.2}});
+  grid.node(NodeId{2}).add_downtime({Seconds{40.0}, Seconds{20040.0}});
+  grid.set_churn(gridsim::ChurnTimeline(
+      {{Seconds{0.1}, gridsim::ChurnEventKind::Join, NodeId{6}},
+       {Seconds{0.2}, gridsim::ChurnEventKind::Crash, NodeId{6}},
+       {Seconds{40.0}, gridsim::ChurnEventKind::Crash, NodeId{2}}},
+      {NodeId{6}}));
+
+  const auto spec = workloads::make_uniform_pipeline(4, 30.0, 1e4);
+  SimBackend backend(grid);
+  PipelineParams params;
+  params.monitor.period = Seconds{1.0};
+  const PipelineReport report =
+      Pipeline(params).run(backend, grid, grid.node_ids(), spec, 400);
+
+  // The later crash fails over to the genuine spare, never onto node 6.
+  EXPECT_EQ(report.items_completed, 400u);
+  EXPECT_TRUE(report.output_in_order);
+  for (const NodeId n : report.final_mapping) {
+    EXPECT_NE(n, NodeId{6});
+    EXPECT_NE(n, NodeId{2});
+  }
+  EXPECT_LT(report.makespan.value, 2000.0);
+}
+
 TEST(PipelineChurn, LateJoinerCanBecomeFailoverTarget) {
   // Regression: a node absent at t=0 joins mid-run and must be usable as a
   // spare when a later crash needs one — including by estimate_spm, which
