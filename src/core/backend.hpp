@@ -66,6 +66,15 @@ class Backend {
   /// already delivered.
   virtual bool cancel_timer(OpToken token) = 0;
 
+  /// Fraction of an undelivered compute operation's modelled duration that
+  /// has elapsed by now(), in [0, 1].  This is the progress signal a
+  /// worker's periodic checkpoint message carries: the farmer samples it on
+  /// the checkpoint tick to learn how far into a chunk a node is.  Unknown
+  /// tokens — transfers, timers, never-submitted or already-delivered ops —
+  /// report 0; an op that has not started running yet (queued behind
+  /// another on the threaded backend) also reports 0.
+  [[nodiscard]] virtual double compute_progress(OpToken token) const = 0;
+
   /// Block (or advance virtual time) until the next operation completes or
   /// timer fires.  Returns nullopt when nothing is in flight and no timer
   /// is pending.

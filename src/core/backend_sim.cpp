@@ -1,5 +1,7 @@
 #include "core/backend_sim.hpp"
 
+#include <algorithm>
+
 namespace grasp::core {
 
 SimBackend::SimBackend(const gridsim::Grid& grid) : grid_(&grid) {}
@@ -14,9 +16,20 @@ void SimBackend::submit_compute(OpToken token, NodeId node, Mops work,
   const Seconds start = events_.now();
   const Seconds duration = grid_->node(node).compute_time(work, start);
   ++in_flight_;
+  computes_.emplace(token, ComputeWindow{node, work, start});
   events_.schedule_after(duration, [this, token, node, start] {
     ready_.push_back(Completion{token, node, start, events_.now()});
   });
+}
+
+double SimBackend::compute_progress(OpToken token) const {
+  const auto it = computes_.find(token);
+  if (it == computes_.end()) return 0.0;
+  const ComputeWindow& w = it->second;
+  if (w.work.value <= 0.0) return 1.0;
+  const Mops done =
+      grid_->node(w.node).work_done(w.start, events_.now());
+  return std::clamp(done.value / w.work.value, 0.0, 1.0);
 }
 
 void SimBackend::submit_transfer(OpToken token, NodeId from, NodeId to,
@@ -62,7 +75,10 @@ std::optional<Completion> SimBackend::wait_next() {
   }
   const Completion c = ready_.front();
   ready_.pop_front();
-  if (!c.is_timer) --in_flight_;
+  if (!c.is_timer) {
+    --in_flight_;
+    computes_.erase(c.token);
+  }
   return c;
 }
 

@@ -28,12 +28,19 @@ class SimBackend final : public Backend {
                        Bytes payload) override;
   void submit_timer(OpToken token, Seconds delay) override;
   bool cancel_timer(OpToken token) override;
+  [[nodiscard]] double compute_progress(OpToken token) const override;
   [[nodiscard]] std::optional<Completion> wait_next() override;
   [[nodiscard]] std::size_t in_flight() const override;
 
   [[nodiscard]] const gridsim::Grid& grid() const { return *grid_; }
 
  private:
+  struct ComputeWindow {
+    NodeId node;
+    Mops work;
+    Seconds start;
+  };
+
   const gridsim::Grid* grid_;
   gridsim::EventQueue events_;
   std::deque<Completion> ready_;
@@ -41,6 +48,10 @@ class SimBackend final : public Backend {
   // Armed timers: token -> scheduled event, so cancel_timer can remove the
   // event itself (a cancelled event neither runs nor advances the clock).
   std::unordered_map<OpToken, gridsim::EventQueue::EventId> timers_;
+  // Undelivered compute ops, so compute_progress can report the fraction of
+  // work the node's model has actually processed mid-op (stall-aware: spans
+  // inside downtime windows contribute nothing).
+  std::unordered_map<OpToken, ComputeWindow> computes_;
 };
 
 }  // namespace grasp::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 
 namespace grasp::core {
@@ -74,9 +75,28 @@ void ThreadBackend::enqueue(WorkerQueue& queue, Job job) {
 void ThreadBackend::submit_compute(OpToken token, NodeId node, Mops work,
                                    std::function<void()> body) {
   const Seconds duration = grid_->node(node).compute_time(work, now());
+  {
+    const std::lock_guard<std::mutex> lock(ready_mutex_);
+    computes_.emplace(token, ComputeState{duration, Seconds{-1.0}});
+  }
   Job job{token, node, duration,
           params_.run_bodies ? std::move(body) : std::function<void()>{}};
   enqueue(*node_queues_[node.value], std::move(job));
+}
+
+double ThreadBackend::compute_progress(OpToken token) const {
+  const std::lock_guard<std::mutex> lock(ready_mutex_);
+  const auto it = computes_.find(token);
+  if (it == computes_.end()) return 0.0;
+  if (it->second.started.value < 0.0) return 0.0;  // still queued
+  if (it->second.finished) return 1.0;
+  if (it->second.model_duration.value <= 0.0) return 0.0;
+  const double frac =
+      (now() - it->second.started).value / it->second.model_duration.value;
+  // Never report fully done while the op still runs: a real body may
+  // outlast its modelled duration, and claiming 1.0 would let a checkpoint
+  // salvage work whose side effects have not happened yet.
+  return std::clamp(frac, 0.0, std::nextafter(1.0, 0.0));
 }
 
 void ThreadBackend::submit_transfer(OpToken token, NodeId from, NodeId to,
@@ -171,6 +191,12 @@ void ThreadBackend::worker_loop(WorkerQueue& queue) {
     queue.jobs.pop_front();
     lock.unlock();
     const Seconds started = now();
+    {
+      // Transfers never registered a ComputeState; find() keeps them out.
+      const std::lock_guard<std::mutex> ready_lock(ready_mutex_);
+      const auto it = computes_.find(job.token);
+      if (it != computes_.end()) it->second.started = started;
+    }
     if (job.body) job.body();
     // Wait out whatever the model says remains after real work ran — on the
     // queue's condition variable, so the destructor can interrupt a stalled
@@ -194,6 +220,8 @@ void ThreadBackend::worker_loop(WorkerQueue& queue) {
 void ThreadBackend::complete(const Job& job, Seconds started) {
   {
     const std::lock_guard<std::mutex> lock(ready_mutex_);
+    const auto it = computes_.find(job.token);
+    if (it != computes_.end()) it->second.finished = true;
     ready_.push_back(Completion{job.token, job.report_node, started, now()});
   }
   ready_cv_.notify_one();
@@ -206,7 +234,13 @@ std::optional<Completion> ThreadBackend::wait_next() {
   ready_cv_.wait(lock, [&] { return !ready_.empty(); });
   const Completion c = ready_.front();
   ready_.pop_front();
-  if (!c.is_timer) --in_flight_;
+  if (!c.is_timer) {
+    --in_flight_;
+    // Progress stays queryable (clamped to 1) until the completion is
+    // delivered, matching SimBackend — a checkpoint tick racing a finished
+    // worker must not read 0 off a done-but-undrained op.
+    computes_.erase(c.token);
+  }
   return c;
 }
 

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/backend.hpp"
@@ -48,6 +49,7 @@ class ThreadBackend final : public Backend {
                        Bytes payload) override;
   void submit_timer(OpToken token, Seconds delay) override;
   bool cancel_timer(OpToken token) override;
+  [[nodiscard]] double compute_progress(OpToken token) const override;
   [[nodiscard]] std::optional<Completion> wait_next() override;
   [[nodiscard]] std::size_t in_flight() const override;
 
@@ -104,6 +106,18 @@ class ThreadBackend final : public Backend {
   std::deque<Completion> ready_;
   std::size_t in_flight_ = 0;
   std::size_t timers_pending_ = 0;  ///< armed but not yet in ready_
+
+  /// Undelivered compute ops, for compute_progress.  `started` is invalid
+  /// (negative) while the job still sits in its worker queue; `finished`
+  /// flips when the worker enqueues the completion (the real body and the
+  /// modelled wait are both done).  Guarded by ready_mutex_ (workers touch
+  /// it only at job start and completion).
+  struct ComputeState {
+    Seconds model_duration;
+    Seconds started{-1.0};
+    bool finished = false;
+  };
+  std::unordered_map<OpToken, ComputeState> computes_;
 };
 
 }  // namespace grasp::core

@@ -172,8 +172,10 @@ CalibrationResult Calibrator::run(Backend& backend,
         const double spm = elapsed.value / std::max(1e-9, op.task.work.value);
         spm_stats[op.node].add(spm);
         window_end[op.node] = backend.now();
-        if (!op.is_probe) {
-          tasks.mark_completed(op.task.id);
+        // First completion wins, same as the execution phase: a sample task
+        // may have been finished elsewhere meanwhile (a straggler twin, or
+        // checkpoint recovery of a lost chunk that also carried it).
+        if (!op.is_probe && tasks.mark_completed(op.task.id)) {
           ++result.tasks_consumed;
           if (trace)
             trace->record({backend.now(),

@@ -20,6 +20,13 @@ TaskFarm::TaskFarm(FarmParams params) : params_(std::move(params)),
     throw std::invalid_argument("TaskFarm: straggler_factor must exceed 1");
   if (params_.resilience.probe_tasks == 0)
     throw std::invalid_argument("TaskFarm: probe_tasks must be positive");
+  if (params_.resilience.checkpoint_period.value < 0.0)
+    throw std::invalid_argument(
+        "TaskFarm: checkpoint_period must be non-negative");
+  if (params_.resilience.checkpoint_period.value > 0.0 &&
+      params_.resilience.detector.heartbeat_period.value <= 0.0)
+    throw std::invalid_argument(
+        "TaskFarm: checkpointing needs a positive heartbeat_period to ride");
 }
 
 FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
@@ -29,6 +36,16 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
 
   const gridsim::ChurnTimeline* churn = grid.churn();
   const bool resil_on = params_.resilience.enabled && churn != nullptr;
+  // Checkpoints ride the heartbeat-aligned liveness tick (workers piggyback
+  // progress on their beats), every `ckpt_every`-th firing.
+  const bool ckpt_on =
+      resil_on && params_.resilience.checkpoint_period.value > 0.0;
+  const std::size_t ckpt_every =
+      ckpt_on ? std::max<std::size_t>(
+                    1, static_cast<std::size_t>(std::llround(
+                           params_.resilience.checkpoint_period.value /
+                           params_.resilience.detector.heartbeat_period.value)))
+              : 1;
 
   // The initial worker candidates: pool members present at t=0.  Absent
   // nodes (late joiners) enter through membership events.
@@ -76,6 +93,16 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   // Tokens of chunks surrendered to crash recovery; their completions (the
   // zombies) are swallowed when the backend eventually delivers them.
   std::unordered_set<OpToken> dead_tokens;
+  // The subset of dead_tokens abandoned by mid-chunk eviction: the holder
+  // is alive, so its eventual completion is discarded but must not count
+  // as a zombie (that counter means "completions discarded post-crash").
+  std::unordered_set<OpToken> evicted_tokens;
+  auto swallow_dead_token = [&](OpToken token) {
+    if (dead_tokens.erase(token) == 0) return false;
+    if (evicted_tokens.erase(token) == 0)
+      ++report.resilience.zombie_completions;
+    return true;
+  };
   // Deaths declared since the calibrator last polled (it abandons pending
   // samples on these nodes instead of stalling on their outage).
   std::vector<NodeId> newly_dead;
@@ -93,6 +120,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   // farm whose only in-flight chunk sits on the corpse no longer waits for
   // the zombie completion to notice.  Handler assigned below.
   OpToken tick_token = 0;
+  std::size_t ticks_seen = 0;
   std::function<void()> handle_tick;
   auto is_tick = [&](OpToken token) {
     return tick_token != 0 && token == tick_token;
@@ -106,10 +134,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       handle_tick();
       return true;
     }
-    if (dead_tokens.erase(token) > 0) {
-      ++report.resilience.zombie_completions;
-      return true;
-    }
+    if (swallow_dead_token(token)) return true;
     return absorb_engine_completion && absorb_engine_completion(token);
   };
   foreign.dead_nodes = [&](Seconds now) {
@@ -225,6 +250,27 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     }
   };
 
+  // Salvage the checkpointed prefix of a surrendered chunk: those tasks'
+  // partial results already sit at the farmer, so they are completed here
+  // rather than re-dispatched (the suffix-only re-dispatch rule).  Tasks a
+  // winning twin finished first stay with the twin — mark_completed dedupes.
+  auto recover_checkpointed = [&](const resil::ChunkLedger::Entry& entry) {
+    const std::size_t upto = std::min(entry.checkpointed, entry.tasks.size());
+    for (std::size_t i = 0; i < upto; ++i) {
+      const auto& t = entry.tasks[i];
+      if (!t.id.is_valid() || !source.mark_completed(t.id)) continue;
+      ++report.tasks_completed;
+      report.trace.record({backend.now(), gridsim::TraceEventKind::TaskRecovered,
+                           entry.node, t.id, t.work.value, "checkpoint"});
+      report.trace.record({backend.now(), gridsim::TraceEventKind::TaskCompleted,
+                           entry.node, t.id, 0.0, "recovered"});
+    }
+    if (!finished && source.all_done()) {
+      finished = true;
+      finish_time = backend.now();
+    }
+  };
+
   // Current live view the farmer holds: every node it still watches.
   auto farmer_live_view = [&]() -> std::vector<NodeId> {
     if (!resil_on) return initial_members;
@@ -253,6 +299,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
         in_flight.erase(it);
         dead_tokens.insert(token);
       }
+      recover_checkpointed(entry);
       requeue_pending(entry.tasks, node);
     }
     // The crash may have taken reissue twins with it: clear the duplicated
@@ -326,6 +373,81 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       declare_dead(n, "heartbeat timeout");
   };
 
+  // Checkpoint pass: absorb the progress reports workers piggybacked on
+  // their last heartbeats.  Progress is what the backend surfaces for the
+  // chunk's compute op; the shipped high-water mark is the longest task
+  // prefix whose work fits in the elapsed fraction.  With eviction enabled
+  // the same reports double as execution observations, so a chunk crawling
+  // far behind the baseline is abandoned mid-flight: the node is evicted,
+  // the checkpointed prefix salvaged, and only the suffix re-dispatched.
+  auto take_checkpoints = [&] {
+    if (!ckpt_on) return;
+    std::vector<OpToken> abandoned;
+    for (auto& [token, a] : in_flight) {
+      if (a.phase != Assignment::Phase::Compute) continue;
+      // A worker that crashed since this chunk was dispatched ships nothing
+      // more for it: the crash destroyed the chunk's in-memory state, so
+      // even after a rejoin there is no fresher partial result to report —
+      // whatever was checkpointed before the crash stays valid (it already
+      // reached the farmer), and the completion, when it surfaces, is a
+      // zombie.  Announced leavers keep reporting: they drain gracefully.
+      if (churn->crashed_during(a.node, a.dispatched, backend.now()))
+        continue;
+      const double frac = backend.compute_progress(token);
+      if (frac <= 0.0) continue;
+      const double budget = frac * a.work().value;
+      std::size_t done = 0;
+      double acc = 0.0;
+      for (const auto& t : a.chunk) {
+        acc += t.work.value;
+        if (acc > budget && frac < 1.0) break;
+        ++done;
+      }
+      if (done > 0 && ledger.checkpoint(token, done)) {
+        report.trace.record({backend.now(),
+                             gridsim::TraceEventKind::ChunkCheckpointed,
+                             a.node, TaskId::invalid(),
+                             static_cast<double>(done), ""});
+      }
+      // Mid-chunk degradation check (only meaningful once some progress
+      // exists to estimate speed from).  Measured from the compute phase's
+      // start so the input transfer does not inflate the estimate early in
+      // the chunk.  Reissue twins are exempt: their originals already
+      // cover the work, first completion wins.
+      if (params_.resilience.pool.evict_ratio > 0.0 && !a.is_reissue &&
+          elastic.contains(a.node)) {
+        const double est_spm = (backend.now() - a.compute_started).value /
+                               std::max(1e-9, budget);
+        if (elastic.observe(a.node, est_spm, exec_monitor.baseline_spm()))
+          abandoned.push_back(token);
+      }
+    }
+    const auto already_done =
+        [&](TaskId id) { return source.is_completed(id); };
+    for (const OpToken token : abandoned) {
+      const auto it = in_flight.find(token);
+      if (it == in_flight.end()) continue;
+      Assignment a = std::move(it->second);
+      in_flight.erase(it);
+      // Its straggling completion is discarded — but not as a zombie: the
+      // holder is alive.
+      dead_tokens.insert(token);
+      evicted_tokens.insert(token);
+      report.trace.record({backend.now(), gridsim::TraceEventKind::NodeEvicted,
+                           a.node, TaskId::invalid(), 0.0,
+                           "mid-chunk degradation"});
+      GRASP_LOG_INFO("farm") << "node " << a.node.value
+                             << " evicted mid-chunk at t="
+                             << backend.now().value;
+      const auto entry = ledger.invalidate(token, already_done);
+      if (entry) recover_checkpointed(*entry);
+      requeue_pending(a.chunk, a.node);
+      busy[a.node] = false;
+      exec_monitor.arm(exec_monitor.baseline_spm(), elastic.workers(),
+                       backend.now());
+    }
+  };
+
   auto arm_tick = [&] {
     if (!resil_on) return;
     tick_token = tokens.alloc();
@@ -347,6 +469,8 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   handle_tick = [&] {
     tick_token = 0;
     consume_membership(backend.now());
+    // Every ckpt_every-th beat carries the piggybacked progress reports.
+    if (ckpt_on && ++ticks_seen % ckpt_every == 0) take_checkpoints();
     arm_tick();
   };
 
@@ -454,9 +578,15 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       const double idle_cost = spm_estimate(target) * a.work().value + 1.0;
       const bool tail_steal = c.expected_finish > now_s + 1.5 * idle_cost;
       if (!c.straggler && !tail_steal) continue;
+      // Only the un-checkpointed, un-completed suffix needs a twin: the
+      // checkpointed prefix is salvageable from the farmer's copy even if
+      // the holder dies, so duplicating it would buy nothing.
+      std::size_t skip = 0;
+      if (ckpt_on && ledger.tracks(c.token))
+        skip = ledger.checkpointed(c.token);
       std::vector<workloads::TaskSpec> pending;
-      for (const auto& t : a.chunk)
-        if (!source.is_completed(t.id)) pending.push_back(t);
+      for (std::size_t i = skip; i < a.chunk.size(); ++i)
+        if (!source.is_completed(a.chunk[i].id)) pending.push_back(a.chunk[i]);
       if (pending.empty()) continue;
       a.duplicated = true;
       const bool as_probe = next_idle >= idle.size() - probation_targets;
@@ -475,10 +605,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   // zombie test: a completion whose dispatch-to-finish window straddles a
   // crash of its node never really happened.
   auto process_completion = [&](const Completion& c) {
-    if (dead_tokens.erase(c.token) > 0) {
-      ++report.resilience.zombie_completions;
-      return;
-    }
+    if (swallow_dead_token(c.token)) return;
     const auto it = in_flight.find(c.token);
     if (it == in_flight.end())
       throw std::logic_error("TaskFarm: unknown completion token");
@@ -490,10 +617,11 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       // Zombie chunk observed before the detector fired: the work is lost;
       // re-queue it here, exactly once (the ledger entry dies with it).
       ++report.resilience.zombie_completions;
-      if (resil_on)
-        ledger.invalidate(c.token,
-                          [&](TaskId id) { return source.is_completed(id); });
-      else {
+      if (resil_on) {
+        const auto entry = ledger.invalidate(
+            c.token, [&](TaskId id) { return source.is_completed(id); });
+        if (entry) recover_checkpointed(*entry);
+      } else {
         ++report.resilience.chunks_lost;
         report.resilience.wasted_mops += a.work().value;
       }
@@ -516,6 +644,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     switch (a.phase) {
       case Assignment::Phase::Input: {
         a.phase = Assignment::Phase::Compute;
+        a.compute_started = backend.now();
         const OpToken token = tokens.alloc();
         backend.submit_compute(token, a.node, a.work(),
                                 make_chunk_body(a.chunk));
@@ -723,6 +852,9 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     report.resilience.evictions = elastic.evictions();
     report.resilience.chunks_lost = ledger.chunks_lost();
     report.resilience.wasted_mops = ledger.wasted_mops();
+    report.resilience.checkpoints = ledger.checkpoints();
+    report.resilience.tasks_recovered = ledger.tasks_recovered();
+    report.resilience.recovered_mops = ledger.recovered_mops();
   }
   return report;
 }

@@ -48,6 +48,16 @@ struct FarmResilience {
   bool elastic_join = true;
   /// Tasks in a newcomer's fast-path calibration probe chunk.
   std::size_t probe_tasks = 1;
+  /// Partial-result checkpoint interval.  Workers ship (chunk, tasks_done)
+  /// progress piggybacked on the heartbeat path; the farmer records the
+  /// high-water mark per chunk and, on a crash, re-dispatches only the
+  /// unfinished suffix, charging only un-checkpointed tasks as wasted.
+  /// Rounded to the nearest multiple of the detector's heartbeat_period
+  /// (minimum one beat); zero disables checkpointing.  When checkpointing
+  /// is on and the pool's evict_ratio is set, progress reports double as
+  /// execution observations, so a persistently crawling chunk can trigger a
+  /// mid-chunk eviction whose work resumes from its last checkpoint.
+  Seconds checkpoint_period = Seconds::zero();
 };
 
 struct FarmParams {
@@ -118,6 +128,9 @@ class TaskFarm {
     std::vector<workloads::TaskSpec> chunk;
     NodeId node;
     Seconds dispatched;
+    /// When the compute phase began (the input transfer is excluded from
+    /// mid-chunk speed estimates; zero until the Input phase completes).
+    Seconds compute_started;
     enum class Phase { Input, Compute, Output } phase = Phase::Input;
     bool is_reissue = false;
     bool is_probe = false;   ///< newcomer fast-path calibration chunk

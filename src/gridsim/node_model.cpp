@@ -1,5 +1,6 @@
 #include "gridsim/node_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -106,6 +107,26 @@ Seconds NodeModel::compute_time(Mops work, Seconds start) const {
     t = slot_end;
   }
   return Seconds::infinity();
+}
+
+Mops NodeModel::work_done(Seconds start, Seconds until) const {
+  if (until <= start) return Mops::zero();
+  const Seconds slot = load_->slot_width();
+  const double step = slot.value > 0.0 ? slot.value : kContinuousStep;
+
+  double t = start.value;
+  double done = 0.0;
+  for (std::size_t iter = 0;
+       iter < kMaxIntegrationSlots && t < until.value; ++iter) {
+    const Seconds resumed = skip_downtime(Seconds{t});
+    t = resumed.value;
+    if (t >= until.value) break;
+    const double slot_end = (std::floor(t / step) + 1.0) * step;
+    const double speed = effective_speed(Seconds{t});
+    if (speed > 0.0) done += speed * (std::min(slot_end, until.value) - t);
+    t = slot_end;
+  }
+  return Mops{done};
 }
 
 void NodeModel::set_load_model(std::unique_ptr<LoadModel> load) {

@@ -64,6 +64,14 @@ class NodeModel {
   /// within the integration horizon.
   [[nodiscard]] Seconds compute_time(Mops work, Seconds start) const;
 
+  /// Work completed in [start, until): the inverse view of compute_time,
+  /// over the same slot-aligned integral, so
+  /// `work_done(s, s + compute_time(w, s)) == w`.  Stall-aware by
+  /// construction — spans inside downtime windows contribute nothing, which
+  /// is what makes checkpoint progress honest for a chunk whose modelled
+  /// duration straddles its node's crash.
+  [[nodiscard]] Mops work_done(Seconds start, Seconds until) const;
+
   /// Replace the load model (scenario scripting).
   void set_load_model(std::unique_ptr<LoadModel> load);
 

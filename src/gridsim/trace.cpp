@@ -26,6 +26,8 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::NodeAdmitted: return "node_admitted";
     case TraceEventKind::NodeEvicted: return "node_evicted";
     case TraceEventKind::ChunkRedispatched: return "chunk_redispatched";
+    case TraceEventKind::ChunkCheckpointed: return "chunk_checkpointed";
+    case TraceEventKind::TaskRecovered: return "task_recovered";
   }
   return "unknown";
 }

@@ -33,6 +33,8 @@ enum class TraceEventKind {
   NodeAdmitted,        ///< newcomer passed fast-path calibration
   NodeEvicted,         ///< persistent degradation shrank the worker set
   ChunkRedispatched,   ///< task lost to a crash returned to the queue
+  ChunkCheckpointed,   ///< progress message advanced a chunk's high-water mark
+  TaskRecovered,       ///< lost-chunk task salvaged from its checkpoint
 };
 
 [[nodiscard]] const char* to_string(TraceEventKind kind);

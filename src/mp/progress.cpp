@@ -1,0 +1,19 @@
+#include "mp/progress.hpp"
+
+namespace grasp::mp {
+
+void send_progress(Comm& comm, int farmer_rank, const ChunkProgress& update) {
+  comm.send(farmer_rank, kProgressTag, Message::pack(update));
+}
+
+std::size_t drain_progress(
+    Comm& comm, const std::function<void(const ChunkProgress&)>& sink) {
+  std::size_t drained = 0;
+  while (auto msg = comm.try_recv(kAnySource, kProgressTag)) {
+    sink(msg->unpack<ChunkProgress>());
+    ++drained;
+  }
+  return drained;
+}
+
+}  // namespace grasp::mp

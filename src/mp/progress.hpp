@@ -1,0 +1,46 @@
+// Chunk-progress messages: the wire format of partial-result checkpoints.
+//
+// Workers periodically tell the farmer how far into their current chunk
+// they are — (chunk token, tasks done, partial-state size) — piggybacked on
+// the heartbeat path so liveness and progress share one periodic send.  The
+// farmer folds each update into the ChunkLedger's checkpoint table; on a
+// crash only the unfinished suffix of a chunk is re-dispatched and only the
+// un-checkpointed tasks are charged as wasted work.  Like heartbeats, the
+// message rides a reserved tag just below the collectives' range so user
+// traffic never collides with it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "mp/communicator.hpp"
+#include "support/ids.hpp"
+
+namespace grasp::mp {
+
+/// Reserved progress tag (user tags stay below 1 << 27; heartbeats sit at
+/// (1 << 27) + 17; collectives are at and above kInternalTagBase == 1 << 28).
+inline constexpr int kProgressTag = (1 << 27) + 18;
+
+/// One partial-result checkpoint, trivially copyable for Message::pack.
+struct ChunkProgress {
+  /// Ledger token of the chunk's current-phase operation.
+  std::uint64_t chunk = 0;
+  /// The reporting worker.
+  NodeId::rep_type node = 0;
+  /// High-water mark: tasks of the chunk finished so far (prefix length).
+  std::uint64_t tasks_done = 0;
+  /// Size of the shipped partial state, for transfer accounting.
+  double state_bytes = 0.0;
+};
+
+/// Ship a progress update to the farmer rank.
+void send_progress(Comm& comm, int farmer_rank, const ChunkProgress& update);
+
+/// Drain every pending progress update into `sink`, in arrival order.
+/// Non-blocking; returns the number of updates consumed.
+std::size_t drain_progress(Comm& comm,
+                           const std::function<void(const ChunkProgress&)>& sink);
+
+}  // namespace grasp::mp

@@ -12,6 +12,17 @@ void ChunkLedger::record(core::OpToken token, Entry entry) {
     throw std::logic_error("ChunkLedger: token already registered");
 }
 
+bool ChunkLedger::checkpoint(core::OpToken token, std::size_t tasks_done) {
+  const auto it = entries_.find(token);
+  if (it == entries_.end()) return false;
+  Entry& entry = it->second;
+  tasks_done = std::min(tasks_done, entry.tasks.size());
+  if (tasks_done <= entry.checkpointed) return false;  // monotone high-water
+  entry.checkpointed = tasks_done;
+  ++checkpoints_;
+  return true;
+}
+
 void ChunkLedger::rekey(core::OpToken old_token, core::OpToken new_token) {
   const auto it = entries_.find(old_token);
   if (it == entries_.end()) return;
@@ -54,25 +65,26 @@ ChunkLedger::fail_node(NodeId node, const CompletedFn& completed) {
 }
 
 void ChunkLedger::count_loss(const Entry& entry, const CompletedFn& completed) {
-  if (!completed) {
-    ++chunks_lost_;
-    tasks_lost_ += entry.tasks.size();
-    wasted_mops_ += entry.work.value;
-    return;
+  // Three-way split.  Tasks a winning twin already finished were not lost
+  // to the crash; tasks inside the checkpointed prefix are recovered (their
+  // partial results sit at the farmer); only the rest must be redone.
+  std::size_t wasted = 0;
+  double wasted_mops = 0.0;
+  for (std::size_t i = 0; i < entry.tasks.size(); ++i) {
+    const auto& t = entry.tasks[i];
+    if (completed && t.id.is_valid() && completed(t.id)) continue;
+    if (i < entry.checkpointed) {
+      ++tasks_recovered_;
+      recovered_mops_ += t.work.value;
+      continue;
+    }
+    ++wasted;
+    wasted_mops += t.work.value;
   }
-  // Only work that must be redone counts: tasks a winning twin already
-  // finished were not lost to the crash.
-  std::size_t pending = 0;
-  double pending_mops = 0.0;
-  for (const auto& t : entry.tasks) {
-    if (t.id.is_valid() && completed(t.id)) continue;
-    ++pending;
-    pending_mops += t.work.value;
-  }
-  if (pending == 0) return;
+  if (wasted == 0) return;
   ++chunks_lost_;
-  tasks_lost_ += pending;
-  wasted_mops_ += pending_mops;
+  tasks_lost_ += wasted;
+  wasted_mops_ += wasted_mops;
 }
 
 }  // namespace grasp::resil

@@ -8,6 +8,15 @@
 // whose node crashed mid-flight) are settled through `invalidate`, which
 // removes the entry so a later `fail_node` cannot re-dispatch the same
 // work a second time.
+//
+// Checkpointing: workers periodically ship (chunk, tasks_done) progress
+// messages (mp/progress.hpp); `checkpoint` records the per-chunk high-water
+// mark — monotone, regressions are ignored.  A surrendered entry then
+// splits three ways: tasks a winning twin already finished are nobody's
+// loss, tasks inside the checkpointed prefix are *recovered* (their partial
+// results sit safely at the farmer; the caller marks them completed instead
+// of re-dispatching), and only the un-checkpointed suffix is charged as
+// wasted work and re-dispatched.
 #pragma once
 
 #include <cstddef>
@@ -29,10 +38,20 @@ class ChunkLedger {
     std::vector<workloads::TaskSpec> tasks;
     Seconds dispatched;
     Mops work;
+    /// Checkpoint high-water mark: the first `checkpointed` tasks have had
+    /// their partial results shipped to the farmer.  Monotone; survives
+    /// rekey because the entry moves wholesale.
+    std::size_t checkpointed = 0;
   };
 
   /// Register a freshly dispatched chunk.  The token must be unused.
   void record(core::OpToken token, Entry entry);
+
+  /// Record a progress message: the first `tasks_done` tasks of the chunk
+  /// are checkpointed at the farmer.  Returns true when the high-water mark
+  /// advanced; stale (non-increasing) updates and unknown tokens (the chunk
+  /// may have completed or been surrendered meanwhile) return false.
+  bool checkpoint(core::OpToken token, std::size_t tasks_done);
 
   /// Move an entry to the next phase's token.  No-op for unknown tokens
   /// (the chunk may have been surrendered to fail_node meanwhile).
@@ -62,12 +81,22 @@ class ChunkLedger {
   [[nodiscard]] bool tracks(core::OpToken token) const {
     return entries_.count(token) != 0;
   }
+  /// Checkpoint high-water mark of a tracked chunk; 0 for unknown tokens.
+  [[nodiscard]] std::size_t checkpointed(core::OpToken token) const {
+    const auto it = entries_.find(token);
+    return it == entries_.end() ? 0 : it->second.checkpointed;
+  }
   [[nodiscard]] std::size_t in_flight() const { return entries_.size(); }
 
-  // Loss accounting (drives the wasted-work experiment columns).
+  // Loss accounting (drives the wasted-work experiment columns).  Recovered
+  // work — tasks inside a lost chunk's checkpointed prefix — is counted
+  // separately and never folded into the wasted columns.
   [[nodiscard]] std::size_t chunks_lost() const { return chunks_lost_; }
   [[nodiscard]] std::size_t tasks_lost() const { return tasks_lost_; }
   [[nodiscard]] double wasted_mops() const { return wasted_mops_; }
+  [[nodiscard]] std::size_t checkpoints() const { return checkpoints_; }
+  [[nodiscard]] std::size_t tasks_recovered() const { return tasks_recovered_; }
+  [[nodiscard]] double recovered_mops() const { return recovered_mops_; }
 
  private:
   void count_loss(const Entry& entry, const CompletedFn& completed);
@@ -76,6 +105,9 @@ class ChunkLedger {
   std::size_t chunks_lost_ = 0;
   std::size_t tasks_lost_ = 0;
   double wasted_mops_ = 0.0;
+  std::size_t checkpoints_ = 0;       ///< accepted (advancing) checkpoints
+  std::size_t tasks_recovered_ = 0;   ///< checkpointed tasks of lost chunks
+  double recovered_mops_ = 0.0;
 };
 
 }  // namespace grasp::resil

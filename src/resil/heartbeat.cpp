@@ -6,6 +6,13 @@ void send_heartbeat(mp::Comm& comm, int detector_rank, NodeId node) {
   comm.send_value(detector_rank, kHeartbeatTag, node.value);
 }
 
+void send_heartbeat_with_progress(mp::Comm& comm, int detector_rank,
+                                  NodeId node, mp::ChunkProgress progress) {
+  progress.node = node.value;
+  send_heartbeat(comm, detector_rank, node);
+  mp::send_progress(comm, detector_rank, progress);
+}
+
 std::size_t drain_heartbeats(mp::Comm& comm, FailureDetector& detector,
                              Seconds now) {
   std::size_t drained = 0;
@@ -14,6 +21,14 @@ std::size_t drain_heartbeats(mp::Comm& comm, FailureDetector& detector,
     ++drained;
   }
   return drained;
+}
+
+std::size_t drain_checkpoints(mp::Comm& comm, ChunkLedger& ledger) {
+  std::size_t advanced = 0;
+  mp::drain_progress(comm, [&](const mp::ChunkProgress& p) {
+    if (ledger.checkpoint(p.chunk, p.tasks_done)) ++advanced;
+  });
+  return advanced;
 }
 
 }  // namespace grasp::resil

@@ -10,6 +10,8 @@
 #pragma once
 
 #include "mp/communicator.hpp"
+#include "mp/progress.hpp"
+#include "resil/chunk_ledger.hpp"
 #include "resil/failure_detector.hpp"
 
 namespace grasp::resil {
@@ -21,9 +23,21 @@ inline constexpr int kHeartbeatTag = (1 << 27) + 17;
 /// Announce liveness of `node` to the detector living on `detector_rank`.
 void send_heartbeat(mp::Comm& comm, int detector_rank, NodeId node);
 
+/// Heartbeat with a chunk checkpoint piggybacked: one periodic send carries
+/// both liveness and partial-result progress (mp::kProgressTag), so the
+/// checkpoint interval rides the heartbeat path instead of needing its own
+/// daemon.  The progress update's `node` field is overwritten with `node`.
+void send_heartbeat_with_progress(mp::Comm& comm, int detector_rank,
+                                  NodeId node, mp::ChunkProgress progress);
+
 /// Drain every pending heartbeat into `detector`, stamping arrival time
 /// `now`.  Non-blocking; returns the number of heartbeats consumed.
 std::size_t drain_heartbeats(mp::Comm& comm, FailureDetector& detector,
                              Seconds now);
+
+/// Drain every pending progress update into the ledger's checkpoint table.
+/// Non-blocking; returns the number of updates whose high-water mark
+/// advanced (stale/unknown-chunk updates are consumed but not counted).
+std::size_t drain_checkpoints(mp::Comm& comm, ChunkLedger& ledger);
 
 }  // namespace grasp::resil

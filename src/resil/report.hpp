@@ -15,7 +15,12 @@ struct ResilienceReport {
   std::size_t chunks_lost = 0;       ///< chunks invalidated by crashes
   std::size_t tasks_redispatched = 0;  ///< task re-queues caused by losses
   std::size_t zombie_completions = 0;  ///< completions discarded post-crash
-  double wasted_mops = 0.0;            ///< work dispatched but lost
+  /// Truly wasted work: dispatched, lost, and not covered by a checkpoint —
+  /// checkpoint-salvaged work is counted in recovered_mops, never here.
+  double wasted_mops = 0.0;
+  std::size_t checkpoints = 0;       ///< accepted checkpoint high-water moves
+  std::size_t tasks_recovered = 0;   ///< lost-chunk tasks salvaged from ckpts
+  double recovered_mops = 0.0;       ///< work salvaged from checkpoints
 };
 
 }  // namespace grasp::resil

@@ -185,5 +185,55 @@ TEST(SimBackend, NegativeTimerDelayThrows) {
   EXPECT_THROW(backend.submit_timer(1, Seconds{-1.0}), std::invalid_argument);
 }
 
+TEST(SimBackend, ComputeProgressTracksElapsedWork) {
+  // 100 Mops/s node, 200 Mops op: a timer firing at 0.5 s must observe a
+  // quarter of the work done; unknown tokens and transfers report 0.
+  const gridsim::Grid grid = gridsim::make_uniform_grid(2, 100.0);
+  SimBackend backend(grid);
+  backend.submit_compute(1, NodeId{0}, Mops{200.0});
+  EXPECT_DOUBLE_EQ(backend.compute_progress(1), 0.0);  // nothing elapsed yet
+  EXPECT_DOUBLE_EQ(backend.compute_progress(42), 0.0);
+  backend.submit_timer(9, Seconds{0.5});
+  const auto tick = backend.wait_next();
+  ASSERT_TRUE(tick.has_value() && tick->is_timer);
+  EXPECT_NEAR(backend.compute_progress(1), 0.25, 1e-9);
+  const auto c = backend.wait_next();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->token, 1u);
+  // Delivered ops no longer report progress.
+  EXPECT_DOUBLE_EQ(backend.compute_progress(1), 0.0);
+}
+
+TEST(SimBackend, ComputeProgressIsStallAwareDuringDowntime) {
+  // The node goes down mid-op: progress freezes at the work done by the
+  // crash instant rather than tracking the stall-inflated wall duration.
+  // This is what keeps checkpoint salvage honest — a chunk straddling its
+  // node's outage reports real work, not elapsed time.
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  b.add_node(s, 100.0);
+  gridsim::Grid grid = b.build();
+  grid.node(NodeId{0}).add_downtime({Seconds{0.5}, Seconds{10.5}});
+  SimBackend backend(grid);
+  backend.submit_compute(1, NodeId{0}, Mops{100.0});  // 0.5 s + 10 s stall
+  backend.submit_timer(8, Seconds{0.25});
+  ASSERT_TRUE(backend.wait_next().has_value());
+  EXPECT_NEAR(backend.compute_progress(1), 0.25, 1e-9);
+  backend.submit_timer(9, Seconds{5.75});  // t = 6, deep inside the outage
+  ASSERT_TRUE(backend.wait_next().has_value());
+  EXPECT_NEAR(backend.compute_progress(1), 0.5, 1e-9);  // frozen at 50 Mops
+  const auto c = backend.wait_next();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->duration().value, 11.0, 1e-9);  // outage included
+}
+
+TEST(SimBackend, TransferTokensReportNoComputeProgress) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(2, 100.0);
+  SimBackend backend(grid);
+  backend.submit_transfer(3, NodeId{0}, NodeId{1}, Bytes{1e6});
+  EXPECT_DOUBLE_EQ(backend.compute_progress(3), 0.0);
+  ASSERT_TRUE(backend.wait_next().has_value());
+}
+
 }  // namespace
 }  // namespace grasp::core

@@ -235,6 +235,44 @@ TEST(ThreadBackend, NegativeTimerDelayThrows) {
   EXPECT_THROW(backend.submit_timer(1, Seconds{-1.0}), std::invalid_argument);
 }
 
+TEST(ThreadBackend, ComputeProgressAdvancesWhileOpRuns) {
+  // A long modelled op (10 s virtual = 1 s wall at this scale): progress
+  // must become visible mid-run, stay within [0, 1], never decrease, and
+  // vanish once the completion is delivered.  Unknown tokens report 0.
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  ThreadBackend backend(grid, ThreadBackend::Params{0.1, true});
+  backend.submit_compute(1, NodeId{0}, Mops{1000.0});
+  EXPECT_DOUBLE_EQ(backend.compute_progress(99), 0.0);
+  double seen = 0.0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(20);
+  while (seen <= 0.0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    seen = backend.compute_progress(1);
+  }
+  EXPECT_GT(seen, 0.0);
+  EXPECT_LE(seen, 1.0);
+  const double later = backend.compute_progress(1);
+  EXPECT_GE(later, seen);  // monotone while running
+  const auto c = backend.wait_next();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->token, 1u);
+  EXPECT_DOUBLE_EQ(backend.compute_progress(1), 0.0);
+}
+
+TEST(ThreadBackend, QueuedComputeReportsZeroProgress) {
+  // Two ops on one node: the second sits in the worker queue and must
+  // report 0 until it actually starts.
+  const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
+  ThreadBackend backend(grid, ThreadBackend::Params{0.05, true});
+  backend.submit_compute(1, NodeId{0}, Mops{2000.0});  // ~1 s wall
+  backend.submit_compute(2, NodeId{0}, Mops{2000.0});
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_DOUBLE_EQ(backend.compute_progress(2), 0.0);
+  ASSERT_TRUE(backend.wait_next().has_value());
+  ASSERT_TRUE(backend.wait_next().has_value());
+}
+
 TEST(ThreadBackend, DestructorJoinsWithPendingTimer) {
   const gridsim::Grid grid = gridsim::make_uniform_grid(1, 100.0);
   const auto t0 = std::chrono::steady_clock::now();

@@ -122,6 +122,78 @@ TEST(EventQueue, RunUntilDoesNotOverrunPastACancelledTop) {
   EXPECT_EQ(order, (std::vector<int>{5}));
 }
 
+TEST(EventQueue, CancelAfterEventFiredReturnsFalse) {
+  EventQueue q;
+  bool ran = false;
+  const auto id = q.schedule_at(Seconds{1.0}, [&] { ran = true; });
+  EXPECT_TRUE(q.step());
+  EXPECT_TRUE(ran);
+  // The event already executed: cancel must decline and change nothing.
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_DOUBLE_EQ(q.now().value, 1.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DoubleCancelSecondCallIsHarmless) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.schedule_at(Seconds{1.0}, [&] { ++fired; });
+  q.schedule_at(Seconds{2.0}, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // idempotent, no tombstone corruption
+  EXPECT_EQ(q.run_all(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now().value, 2.0);
+}
+
+TEST(EventQueue, CancelFromWithinAHandler) {
+  // A handler cancels a later pending event: it must neither run nor
+  // advance the clock, and the queue must keep stepping past it cleanly.
+  EventQueue q;
+  std::vector<int> order;
+  EventQueue::EventId victim = 0;
+  q.schedule_at(Seconds{1.0}, [&] {
+    order.push_back(1);
+    EXPECT_TRUE(q.cancel(victim));
+    EXPECT_FALSE(q.cancel(victim));  // double-cancel inside the handler
+  });
+  victim = q.schedule_at(Seconds{2.0}, [&] { order.push_back(2); });
+  q.schedule_at(Seconds{3.0}, [&] { order.push_back(3); });
+  EXPECT_EQ(q.run_all(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_DOUBLE_EQ(q.now().value, 3.0);
+}
+
+TEST(EventQueue, HandlerCancellingItselfReturnsFalse) {
+  // By the time a handler runs, its own event has left the pending set: a
+  // self-cancel is a no-op that reports false, and rescheduling still works.
+  EventQueue q;
+  int fired = 0;
+  EventQueue::EventId self = 0;
+  self = q.schedule_at(Seconds{1.0}, [&] {
+    ++fired;
+    EXPECT_FALSE(q.cancel(self));
+    q.schedule_after(Seconds{1.0}, [&] { ++fired; });
+  });
+  EXPECT_EQ(q.run_all(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now().value, 2.0);
+}
+
+TEST(EventQueue, CancelTieBreaksOnlyTheNamedEvent) {
+  // Three events share one timestamp; cancelling the middle one must not
+  // disturb FIFO order of the survivors (tombstone pruning is by id).
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(Seconds{1.0}, [&] { order.push_back(0); });
+  const auto id = q.schedule_at(Seconds{1.0}, [&] { order.push_back(1); });
+  q.schedule_at(Seconds{1.0}, [&] { order.push_back(2); });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.run_all(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
 TEST(SimClock, NeverMovesBackwards) {
   SimClock c;
   c.advance_to(Seconds{5.0});

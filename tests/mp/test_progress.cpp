@@ -1,0 +1,105 @@
+// Progress messages over the in-process message-passing world: the wire
+// path a real deployment's checkpoints travel, piggybacked on heartbeats.
+#include "mp/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mp/communicator.hpp"
+#include "resil/chunk_ledger.hpp"
+#include "resil/heartbeat.hpp"
+
+namespace grasp::mp {
+namespace {
+
+resil::ChunkLedger::Entry entry(NodeId node, std::size_t tasks) {
+  resil::ChunkLedger::Entry e;
+  e.node = node;
+  for (std::size_t i = 0; i < tasks; ++i) {
+    workloads::TaskSpec t;
+    t.id = TaskId{i};
+    t.work = Mops{10.0};
+    e.tasks.push_back(t);
+  }
+  e.work = Mops{10.0 * static_cast<double>(tasks)};
+  return e;
+}
+
+TEST(Progress, SendAndDrainPreservesFieldsAndOrder) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 1) {
+      send_progress(comm, 0, ChunkProgress{7, 1, 2, 128.0});
+      send_progress(comm, 0, ChunkProgress{7, 1, 3, 256.0});
+    } else {
+      std::vector<ChunkProgress> got;
+      while (got.size() < 2) {
+        drain_progress(comm, [&](const ChunkProgress& p) {
+          got.push_back(p);
+        });
+      }
+      ASSERT_EQ(got.size(), 2u);
+      EXPECT_EQ(got[0].chunk, 7u);
+      EXPECT_EQ(got[0].node, 1u);
+      EXPECT_EQ(got[0].tasks_done, 2u);
+      EXPECT_DOUBLE_EQ(got[0].state_bytes, 128.0);
+      EXPECT_EQ(got[1].tasks_done, 3u);  // in-order, no overtaking
+    }
+  });
+}
+
+TEST(Progress, HeartbeatPiggybackFeedsDetectorAndLedger) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 1) {
+      // Worker side: one periodic send carries liveness + progress.
+      resil::send_heartbeat_with_progress(comm, 0, NodeId{1},
+                                          ChunkProgress{11, 0, 2, 64.0});
+      resil::send_heartbeat_with_progress(comm, 0, NodeId{1},
+                                          ChunkProgress{11, 0, 1, 64.0});
+      resil::send_heartbeat_with_progress(comm, 0, NodeId{1},
+                                          ChunkProgress{99, 0, 4, 64.0});
+    } else {
+      // Farmer side: drain beats into the detector, progress into the
+      // ledger's checkpoint table.
+      resil::FailureDetector::Params dp;
+      dp.heartbeat_period = Seconds{1.0};
+      dp.timeout = Seconds{5.0};
+      resil::FailureDetector detector(dp);
+      detector.watch(NodeId{1}, Seconds{0.0});
+      resil::ChunkLedger ledger;
+      ledger.record(11, entry(NodeId{1}, 4));
+
+      std::size_t beats = 0;
+      std::size_t advanced = 0;
+      while (beats < 3) {
+        beats += resil::drain_heartbeats(comm, detector, Seconds{1.0});
+        advanced += resil::drain_checkpoints(comm, ledger);
+      }
+      // Wait until every progress message has surely been delivered (the
+      // mailbox preserves order per sender, and the last send is chunk 99).
+      while (ledger.checkpoints() < 1 || advanced < 1) {
+        advanced += resil::drain_checkpoints(comm, ledger);
+      }
+      resil::drain_checkpoints(comm, ledger);
+      // The mark advanced once (to 2); the stale update (1) and the
+      // unknown chunk (99) were consumed without effect.
+      EXPECT_EQ(ledger.checkpointed(11), 2u);
+      EXPECT_EQ(advanced, 1u);
+    }
+  });
+}
+
+TEST(Progress, MessageRoundTripsThroughPack) {
+  const ChunkProgress p{42, 9, 17, 4096.0};
+  const Message m{0, kProgressTag, Message::pack(p)};
+  const auto q = m.unpack<ChunkProgress>();
+  EXPECT_EQ(q.chunk, 42u);
+  EXPECT_EQ(q.node, 9u);
+  EXPECT_EQ(q.tasks_done, 17u);
+  EXPECT_DOUBLE_EQ(q.state_bytes, 4096.0);
+}
+
+}  // namespace
+}  // namespace grasp::mp

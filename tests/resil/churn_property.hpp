@@ -1,0 +1,175 @@
+// Seeded churn property-test harness.
+//
+// Reusable fixture logic for running the adaptive farm under
+// randomized-but-seeded churn timelines on SimBackend (deterministic, so
+// every failure reproduces from its seed) and asserting the resilience
+// invariants that must survive any scheduling change to the re-dispatch hot
+// path:
+//
+//   * exactly-once results — every task completes exactly once, whether by
+//     normal completion, straggler twin, or checkpoint recovery;
+//   * ledger conservation — every task dispatched at least once, every
+//     re-dispatch/recovery surfaced in the trace matches the report
+//     counters, and salvage accounting (recovered vs wasted) adds up;
+//   * monotone checkpoint high-water marks (unit-level, see the
+//     ChunkLedger property test driving random operation sequences);
+//   * no zombie double-count — discarded completions never inflate the
+//     completed totals.
+//
+// The scenario generator derives pool shape, task mix and churn timeline
+// from one seed, so "run 100 seeds" sweeps 100 different grids.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/backend_sim.hpp"
+#include "core/baselines.hpp"
+#include "core/task_farm.hpp"
+#include "gridsim/scenarios.hpp"
+#include "workloads/generators.hpp"
+
+namespace grasp::testing {
+
+struct ChurnPropertyConfig {
+  std::size_t tasks = 240;
+  double mean_mops = 120.0;
+  std::size_t nodes = 10;
+  std::size_t spares = 2;
+  double mtbf = 120.0;       ///< harsh: several crashes per run
+  Seconds horizon{400.0};
+  Seconds checkpoint_period{0.0};  ///< 0 = checkpointing off
+  double evict_ratio = 0.0;        ///< 0 = eviction off
+};
+
+/// Pool + timeline derived from one seed (different seeds give different
+/// node speeds, task mixes and churn schedules).
+inline gridsim::Grid make_property_grid(std::uint64_t seed,
+                                        const ChurnPropertyConfig& cfg) {
+  gridsim::ChurnScenarioParams cp;
+  cp.grid.node_count = cfg.nodes;
+  cp.grid.sites = 2;
+  cp.grid.dynamics = gridsim::Dynamics::Stable;
+  cp.grid.seed = 1000 + seed;
+  cp.spare_nodes = cfg.spares;
+  cp.mtbf = cfg.mtbf;
+  cp.crash_fraction = 0.7;
+  cp.rejoin_probability = 0.6;
+  cp.rejoin_delay = Seconds{40.0};
+  cp.horizon = cfg.horizon;
+  cp.warmup = Seconds{15.0};
+  cp.churn_seed = 7919 * (seed + 1);
+  return gridsim::make_churn_grid(cp);
+}
+
+inline core::FarmParams make_property_params(const ChurnPropertyConfig& cfg) {
+  core::FarmParams p = core::make_adaptive_farm_params();
+  p.chunk_size = 3;
+  p.resilience.enabled = true;
+  p.resilience.detector.heartbeat_period = Seconds{1.0};
+  p.resilience.detector.timeout = Seconds{4.0};
+  p.resilience.checkpoint_period = cfg.checkpoint_period;
+  p.resilience.pool.evict_ratio = cfg.evict_ratio;
+  return p;
+}
+
+struct ChurnRun {
+  core::FarmReport report;
+  std::size_t total_tasks = 0;
+};
+
+inline ChurnRun run_churn_scenario(std::uint64_t seed,
+                                   const ChurnPropertyConfig& cfg) {
+  const gridsim::Grid grid = make_property_grid(seed, cfg);
+  workloads::TaskSetParams tp;
+  tp.count = cfg.tasks;
+  tp.mean_mops = cfg.mean_mops;
+  tp.cv = 0.6;
+  tp.seed = 31 * seed + 5;
+  const workloads::TaskSet tasks = workloads::make_task_set(tp);
+  core::SimBackend backend(grid);
+  core::FarmReport report = core::TaskFarm(make_property_params(cfg))
+                                .run(backend, grid, grid.node_ids(), tasks);
+  return {std::move(report), cfg.tasks};
+}
+
+/// The invariants themselves.  Every EXPECT names the seed so a red run
+/// reproduces immediately.
+inline void check_churn_invariants(const ChurnRun& run, std::uint64_t seed) {
+  using gridsim::TraceEventKind;
+  const auto& r = run.report;
+  const auto& res = r.resilience;
+  SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+
+  // ---- exactly-once results ------------------------------------------
+  EXPECT_EQ(r.tasks_completed + r.calibration_tasks, run.total_tasks);
+  EXPECT_EQ(r.trace.count(TraceEventKind::TaskCompleted), run.total_tasks);
+  std::unordered_map<std::uint64_t, std::size_t> completions;
+  std::unordered_map<std::uint64_t, std::size_t> dispatches;
+  std::unordered_map<std::uint64_t, std::size_t> redispatches;
+  std::size_t recovered_events = 0;
+  double recovered_mops_sum = 0.0;
+  for (const auto& e : r.trace.events()) {
+    switch (e.kind) {
+      case TraceEventKind::TaskCompleted:
+        ++completions[e.task.value];
+        break;
+      case TraceEventKind::TaskDispatched:
+      case TraceEventKind::TaskReissued:
+        ++dispatches[e.task.value];
+        break;
+      case TraceEventKind::ChunkRedispatched:
+        ++redispatches[e.task.value];
+        break;
+      case TraceEventKind::TaskRecovered:
+        ++recovered_events;
+        recovered_mops_sum += e.value;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(completions.size(), run.total_tasks);
+  for (const auto& [task, n] : completions) {
+    SCOPED_TRACE(::testing::Message() << "task=" << task);
+    EXPECT_EQ(n, 1u);  // first completion wins; twins and zombies discarded
+  }
+
+  // ---- ledger conservation -------------------------------------------
+  // Every completed task was dispatched at least once (recovered tasks were
+  // dispatched before their chunk was lost), and re-dispatches conserve
+  // work: a task returned to the queue n times still completes exactly
+  // once, so the redispatch counter must match the trace event-for-event.
+  for (const auto& [task, n] : completions) {
+    (void)n;
+    SCOPED_TRACE(::testing::Message() << "task=" << task);
+    EXPECT_GE(dispatches[task], 1u);
+  }
+  std::size_t redispatch_events = 0;
+  for (const auto& [task, n] : redispatches) {
+    (void)task;
+    redispatch_events += n;
+  }
+  EXPECT_EQ(res.tasks_redispatched, redispatch_events);
+  EXPECT_EQ(res.tasks_recovered, recovered_events);
+  EXPECT_NEAR(res.recovered_mops, recovered_mops_sum, 1e-6);
+
+  // ---- salvage accounting --------------------------------------------
+  // Recovered work is never also wasted, and nothing is salvaged without a
+  // checkpoint having been recorded first.
+  EXPECT_GE(res.wasted_mops, 0.0);
+  EXPECT_GE(res.recovered_mops, 0.0);
+  if (res.tasks_recovered > 0) {
+    EXPECT_GT(res.checkpoints, 0u);
+  }
+
+  // ---- no zombie double-count ----------------------------------------
+  // Already implied by the exactly-once map; additionally the farm must
+  // have actually finished in scenario time, not by waiting zombies out.
+  EXPECT_GT(r.makespan.value, 0.0);
+  EXPECT_LT(r.makespan.value, 2e4);
+}
+
+}  // namespace grasp::testing

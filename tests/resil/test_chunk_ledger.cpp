@@ -89,5 +89,81 @@ TEST(ChunkLedger, DuplicateTokenThrows) {
   EXPECT_THROW(ledger.record(1, entry(NodeId{1}, {2})), std::logic_error);
 }
 
+TEST(ChunkLedger, CheckpointAdvancesMonotonically) {
+  ChunkLedger ledger;
+  ledger.record(1, entry(NodeId{0}, {1, 2, 3, 4}));
+  EXPECT_EQ(ledger.checkpointed(1), 0u);
+  EXPECT_TRUE(ledger.checkpoint(1, 2));
+  EXPECT_EQ(ledger.checkpointed(1), 2u);
+  EXPECT_EQ(ledger.checkpoints(), 1u);
+  // Stale and repeated marks are ignored (the high-water mark only rises).
+  EXPECT_FALSE(ledger.checkpoint(1, 1));
+  EXPECT_FALSE(ledger.checkpoint(1, 2));
+  EXPECT_EQ(ledger.checkpointed(1), 2u);
+  EXPECT_EQ(ledger.checkpoints(), 1u);
+  EXPECT_TRUE(ledger.checkpoint(1, 3));
+  EXPECT_EQ(ledger.checkpointed(1), 3u);
+  // Marks beyond the chunk clamp to its size.
+  EXPECT_TRUE(ledger.checkpoint(1, 99));
+  EXPECT_EQ(ledger.checkpointed(1), 4u);
+  // Unknown tokens (completed/surrendered chunks) are consumed harmlessly.
+  EXPECT_FALSE(ledger.checkpoint(7, 1));
+  EXPECT_EQ(ledger.checkpointed(7), 0u);
+}
+
+TEST(ChunkLedger, CheckpointSurvivesRekey) {
+  ChunkLedger ledger;
+  ledger.record(1, entry(NodeId{0}, {1, 2, 3}));
+  EXPECT_TRUE(ledger.checkpoint(1, 2));
+  ledger.rekey(1, 2);  // compute -> output
+  EXPECT_EQ(ledger.checkpointed(2), 2u);
+  const auto e = ledger.complete(2);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->checkpointed, 2u);
+}
+
+TEST(ChunkLedger, FailNodeSplitsRecoveredAndWasted) {
+  ChunkLedger ledger;
+  ledger.record(1, entry(NodeId{0}, {1, 2, 3, 4}));
+  EXPECT_TRUE(ledger.checkpoint(1, 2));  // tasks 1, 2 salvageable
+
+  const auto lost = ledger.fail_node(NodeId{0});
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0].second.checkpointed, 2u);
+  // Prefix recovered, suffix wasted — never both for one task.
+  EXPECT_EQ(ledger.tasks_recovered(), 2u);
+  EXPECT_DOUBLE_EQ(ledger.recovered_mops(), 20.0);
+  EXPECT_EQ(ledger.tasks_lost(), 2u);
+  EXPECT_DOUBLE_EQ(ledger.wasted_mops(), 20.0);
+  EXPECT_EQ(ledger.chunks_lost(), 1u);
+}
+
+TEST(ChunkLedger, FullyCheckpointedChunkIsNotCountedLost) {
+  ChunkLedger ledger;
+  ledger.record(1, entry(NodeId{0}, {1, 2}));
+  EXPECT_TRUE(ledger.checkpoint(1, 2));
+  const auto e = ledger.invalidate(1);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(ledger.tasks_recovered(), 2u);
+  EXPECT_EQ(ledger.tasks_lost(), 0u);
+  EXPECT_EQ(ledger.chunks_lost(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.wasted_mops(), 0.0);
+}
+
+TEST(ChunkLedger, TwinCompletionTrumpsCheckpointRecovery) {
+  // A task both checkpointed here and already finished by a winning twin
+  // belongs to the twin: it is neither recovered nor wasted.
+  ChunkLedger ledger;
+  ledger.record(1, entry(NodeId{0}, {1, 2, 3}));
+  EXPECT_TRUE(ledger.checkpoint(1, 2));
+  const auto twin_done = [](TaskId id) { return id == TaskId{1}; };
+  const auto e = ledger.invalidate(1, twin_done);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(ledger.tasks_recovered(), 1u);  // task 2 only
+  EXPECT_EQ(ledger.tasks_lost(), 1u);       // task 3 only
+  EXPECT_DOUBLE_EQ(ledger.recovered_mops(), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.wasted_mops(), 10.0);
+}
+
 }  // namespace
 }  // namespace grasp::resil
