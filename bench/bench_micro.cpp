@@ -1,9 +1,14 @@
-// M1-M4: google-benchmark microbenchmarks of the hot substrate paths.
+// M1-M5: google-benchmark microbenchmarks of the hot substrate paths.
 //
 // These time the *implementation* (host wall clock), unlike bench_e1..e10
-// which report virtual-time results.  They guard against regressions in the
-// event queue, the OLS fit used by statistical calibration, forecaster
-// updates, and the end-to-end simulated farm step rate.
+// which report virtual-time results.  They guard against regressions in
+//   M1  event queue schedule+drain throughput,
+//   M2  the OLS fit used by statistical calibration,
+//   M3  forecaster observe+forecast updates,
+//   M4  the end-to-end simulated farm step rate,
+//   M5  NodeModel::compute_time load integration.
+// bench/run_micro.sh records them into BENCH_micro.json (the repo's
+// wall-clock perf baseline); CI gates M1/M4 against it.
 #include <benchmark/benchmark.h>
 
 #include "core/backend_sim.hpp"
@@ -66,7 +71,7 @@ void BM_ForecasterUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_ForecasterUpdate)->DenseRange(0, 4)->ArgNames({"forecaster"});
 
-// M4: NodeModel::compute_time integration across random-walk load slots.
+// M5: NodeModel::compute_time integration across random-walk load slots.
 void BM_ComputeTimeIntegration(benchmark::State& state) {
   gridsim::RandomWalkLoad::Params lp;
   lp.slot = Seconds{1.0};
@@ -85,7 +90,7 @@ void BM_ComputeTimeIntegration(benchmark::State& state) {
 }
 BENCHMARK(BM_ComputeTimeIntegration);
 
-// M5: whole simulated farm runs per second (the experiment engine's speed).
+// M4: whole simulated farm runs per second (the experiment engine's speed).
 void BM_SimulatedFarmRun(benchmark::State& state) {
   gridsim::ScenarioParams sp;
   sp.node_count = 16;

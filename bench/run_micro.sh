@@ -1,0 +1,171 @@
+#!/usr/bin/env bash
+# Run the bench_micro microbenchmarks (M1-M5, google-benchmark) and record
+# the results as BENCH_micro.json — the repository's wall-clock performance
+# baseline.  Every perf PR re-runs this and must keep M1 (event-queue
+# schedule+drain) and M4 (simulated farm step rate) within the regression
+# budget; M2/M3/M5 are tracked informationally.
+#
+# Usage:
+#   bench/run_micro.sh [--smoke] [--build-dir DIR] [--out FILE]
+#                      [--baseline FILE] [--check FILE]
+#
+#   --smoke          quick pass (min_time 0.05s) for CI smoke jobs
+#   --build-dir DIR  directory containing bench_micro (default: build-release,
+#                    falling back to build)
+#   --out FILE       write the results JSON here (default: BENCH_micro.json
+#                    in the repo root).  When --baseline names a previous
+#                    results file, its "after" column becomes this file's
+#                    "before" column, so the committed baseline always shows
+#                    the trend across the last substrate change.
+#   --baseline FILE  source of the "before" column (default: none — before
+#                    repeats the current numbers)
+#   --check FILE     do not write output; instead compare this run against
+#                    FILE's "after" column and exit non-zero when M1 or M4
+#                    regress by more than 20%.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR=""
+OUT="$ROOT/BENCH_micro.json"
+BASELINE=""
+CHECK=""
+MIN_TIME=0.2
+REPS=5   # median-of-5 absorbs background-load noise on shared machines
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) MIN_TIME=0.05; REPS=3; shift ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    --baseline) BASELINE="$2"; shift 2 ;;
+    --check) CHECK="$2"; shift 2 ;;
+    *) echo "run_micro.sh: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [[ -z "$BUILD_DIR" ]]; then
+  for candidate in "$ROOT/build-release" "$ROOT/build"; do
+    if [[ -x "$candidate/bench_micro" ]]; then BUILD_DIR="$candidate"; break; fi
+  done
+fi
+if [[ -z "$BUILD_DIR" || ! -x "$BUILD_DIR/bench_micro" ]]; then
+  echo "run_micro.sh: bench_micro not found (configure with google-benchmark" \
+       "installed and build the bench_micro target first)" >&2
+  exit 2
+fi
+
+RAW="$(mktemp /tmp/bench_micro_raw.XXXXXX.json)"
+trap 'rm -f "$RAW"' EXIT
+
+"$BUILD_DIR/bench_micro" \
+  --benchmark_out="$RAW" \
+  --benchmark_out_format=json \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true >&2
+
+python3 - "$RAW" "$OUT" "$BASELINE" "$CHECK" <<'PY'
+import json
+import sys
+
+raw_path, out_path, baseline_path, check_path = sys.argv[1:5]
+
+# The M-numbering the repo's docs use for the wall-clock trend line.
+GATED = {  # name prefix -> M label; these fail the --check gate on regression
+    "BM_EventQueueScheduleDrain": "M1",
+    "BM_SimulatedFarmRun": "M4",
+}
+LABELS = {
+    "BM_EventQueueScheduleDrain": "M1",
+    "BM_MultivariateFit": "M2",
+    "BM_ForecasterUpdate": "M3",
+    "BM_SimulatedFarmRun": "M4",
+    "BM_ComputeTimeIntegration": "M5",
+}
+REGRESSION_BUDGET = 0.20  # fail --check when > 20% slower than the baseline
+
+raw = json.load(open(raw_path))
+
+def family(name):
+    return name.split("/")[0]
+
+rows = []
+for b in raw["benchmarks"]:
+    # Repetitions are reported as aggregates; keep the median row per
+    # benchmark (robust against background-load spikes mid-suite).
+    if b.get("run_type") == "aggregate":
+        if b.get("aggregate_name") != "median":
+            continue
+        name = b["run_name"]
+    elif b.get("run_type") in (None, "iteration"):
+        name = b["name"]
+    else:
+        continue
+    row = {
+        "label": LABELS.get(family(name), ""),
+        "name": name,
+    }
+    if "items_per_second" in b:
+        row["metric"] = "items_per_s"
+        row["after"] = b["items_per_second"]
+    else:
+        row["metric"] = "ns_per_op"
+        row["after"] = b["real_time"] if b["time_unit"] == "ns" else (
+            b["real_time"] * {"us": 1e3, "ms": 1e6, "s": 1e9}[b["time_unit"]])
+    rows.append(row)
+
+def load_after(path):
+    doc = json.load(open(path))
+    return {r["name"]: r["after"] for r in doc["rows"]}
+
+if check_path:
+    committed = load_after(check_path)
+    failures = []
+    for row in rows:
+        if family(row["name"]) not in GATED or row["name"] not in committed:
+            continue
+        before, now = committed[row["name"]], row["after"]
+        # items_per_s: higher is better; ns_per_op: lower is better.
+        regressed = (now < before * (1.0 - REGRESSION_BUDGET)
+                     if row["metric"] == "items_per_s"
+                     else now > before * (1.0 + REGRESSION_BUDGET))
+        status = "REGRESSED" if regressed else "ok"
+        print(f"  {GATED[family(row['name'])]} {row['name']}: "
+              f"baseline {before:.3g} -> current {now:.3g} "
+              f"[{row['metric']}] {status}")
+        if regressed:
+            failures.append(row["name"])
+    if failures:
+        print(f"run_micro.sh: regression gate failed for: {', '.join(failures)}",
+              file=sys.stderr)
+        sys.exit(1)
+    print("run_micro.sh: M1/M4 within the regression budget")
+    sys.exit(0)
+
+before = load_after(baseline_path) if baseline_path else {}
+for row in rows:
+    row["before"] = before.get(row["name"], row["after"])
+    if row["metric"] == "items_per_s":
+        row["speedup"] = row["after"] / row["before"] if row["before"] else 1.0
+    else:
+        row["speedup"] = row["before"] / row["after"] if row["after"] else 1.0
+    row["speedup"] = round(row["speedup"], 3)
+    # Column order: label, name, metric, before, after, speedup.
+    row_sorted = {k: row[k] for k in
+                  ("label", "name", "metric", "before", "after", "speedup")}
+    row.clear()
+    row.update(row_sorted)
+
+doc = {
+    "generated_by": "bench/run_micro.sh",
+    "source": "bench/bench_micro.cpp (google-benchmark)",
+    "build": "CMAKE_BUILD_TYPE=Release",
+    "context": {k: raw["context"].get(k)
+                for k in ("num_cpus", "mhz_per_cpu")},
+    "gate": "CI fails when M1 or M4 regress > 20% against the after column",
+    "rows": rows,
+}
+json.dump(doc, open(out_path, "w"), indent=2)
+open(out_path, "a").write("\n")
+print(f"run_micro.sh: wrote {out_path}")
+PY

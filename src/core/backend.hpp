@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "support/ids.hpp"
 
@@ -31,6 +32,50 @@ struct Completion {
   bool is_timer = false;  ///< a submit_timer firing, not a compute/transfer
 
   [[nodiscard]] Seconds duration() const { return finished - started; }
+};
+
+/// One element of a batch submission (see Backend::submit_batch).  A tagged
+/// record rather than three overloads so a dispatch wave can mix computes,
+/// transfers and timers while preserving their relative order.
+struct OpRequest {
+  enum class Kind { Compute, Transfer, Timer };
+
+  Kind kind = Kind::Transfer;
+  OpToken token = 0;
+  NodeId node;                 ///< compute node
+  NodeId from, to;             ///< transfer endpoints
+  Mops work;                   ///< compute cost
+  Bytes payload;               ///< transfer size
+  Seconds delay;               ///< timer delay
+  std::function<void()> body;  ///< compute body (threaded backend only)
+
+  [[nodiscard]] static OpRequest compute(OpToken token, NodeId node, Mops work,
+                                         std::function<void()> body = {}) {
+    OpRequest r;
+    r.kind = Kind::Compute;
+    r.token = token;
+    r.node = node;
+    r.work = work;
+    r.body = std::move(body);
+    return r;
+  }
+  [[nodiscard]] static OpRequest transfer(OpToken token, NodeId from,
+                                          NodeId to, Bytes payload) {
+    OpRequest r;
+    r.kind = Kind::Transfer;
+    r.token = token;
+    r.from = from;
+    r.to = to;
+    r.payload = payload;
+    return r;
+  }
+  [[nodiscard]] static OpRequest timer(OpToken token, Seconds delay) {
+    OpRequest r;
+    r.kind = Kind::Timer;
+    r.token = token;
+    r.delay = delay;
+    return r;
+  }
 };
 
 class Backend {
@@ -65,6 +110,29 @@ class Backend {
   /// pending (or fired but undelivered); false when it was unknown or
   /// already delivered.
   virtual bool cancel_timer(OpToken token) = 0;
+
+  /// Submit a wave of operations in one call.  Semantically identical to
+  /// invoking the per-kind submit methods element-by-element in order —
+  /// completion ordering, timer FIFO ties and failure behaviour are all
+  /// preserved — but lets a backend resolve the whole wave with one bulk
+  /// insert into its scheduling structure.  The engines route their dispatch
+  /// rounds through this entry point; single operations (a tick re-arm, a
+  /// phase transition) keep the direct per-kind calls.
+  virtual void submit_batch(std::vector<OpRequest> requests) {
+    for (OpRequest& r : requests) {
+      switch (r.kind) {
+        case OpRequest::Kind::Compute:
+          submit_compute(r.token, r.node, r.work, std::move(r.body));
+          break;
+        case OpRequest::Kind::Transfer:
+          submit_transfer(r.token, r.from, r.to, r.payload);
+          break;
+        case OpRequest::Kind::Timer:
+          submit_timer(r.token, r.delay);
+          break;
+      }
+    }
+  }
 
   /// Fraction of an undelivered compute operation's modelled duration that
   /// has elapsed by now(), in [0, 1].  This is the progress signal a

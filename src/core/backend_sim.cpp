@@ -8,6 +8,16 @@ SimBackend::SimBackend(const gridsim::Grid& grid) : grid_(&grid) {}
 
 Seconds SimBackend::now() const { return events_.now(); }
 
+void SimBackend::push_ready(const Completion& c) {
+  // Recycle the vector once fully drained so steady-state delivery never
+  // reallocates: capacity reached during the run's widest wave is kept.
+  if (ready_head_ == ready_.size()) {
+    ready_.clear();
+    ready_head_ = 0;
+  }
+  ready_.push_back(c);
+}
+
 void SimBackend::submit_compute(OpToken token, NodeId node, Mops work,
                                 std::function<void()> body) {
   // Real payloads are the threaded backend's job; in simulation the model
@@ -18,18 +28,16 @@ void SimBackend::submit_compute(OpToken token, NodeId node, Mops work,
   ++in_flight_;
   computes_.emplace(token, ComputeWindow{node, work, start});
   events_.schedule_after(duration, [this, token, node, start] {
-    ready_.push_back(Completion{token, node, start, events_.now()});
+    push_ready(Completion{token, node, start, events_.now()});
   });
 }
 
 double SimBackend::compute_progress(OpToken token) const {
-  const auto it = computes_.find(token);
-  if (it == computes_.end()) return 0.0;
-  const ComputeWindow& w = it->second;
-  if (w.work.value <= 0.0) return 1.0;
-  const Mops done =
-      grid_->node(w.node).work_done(w.start, events_.now());
-  return std::clamp(done.value / w.work.value, 0.0, 1.0);
+  const ComputeWindow* w = computes_.find(token);
+  if (w == nullptr) return 0.0;
+  if (w->work.value <= 0.0) return 1.0;
+  const Mops done = grid_->node(w->node).work_done(w->start, events_.now());
+  return std::clamp(done.value / w->work.value, 0.0, 1.0);
 }
 
 void SimBackend::submit_transfer(OpToken token, NodeId from, NodeId to,
@@ -38,7 +46,7 @@ void SimBackend::submit_transfer(OpToken token, NodeId from, NodeId to,
   const Seconds duration = grid_->transfer_time(from, to, payload, start);
   ++in_flight_;
   events_.schedule_after(duration, [this, token, to, start] {
-    ready_.push_back(Completion{token, to, start, events_.now()});
+    push_ready(Completion{token, to, start, events_.now()});
   });
 }
 
@@ -46,23 +54,87 @@ void SimBackend::submit_timer(OpToken token, Seconds delay) {
   const Seconds start = events_.now();
   const auto id = events_.schedule_after(delay, [this, token, start] {
     timers_.erase(token);
-    ready_.push_back(
+    push_ready(
         Completion{token, NodeId::invalid(), start, events_.now(), true});
   });
   timers_.emplace(token, id);
 }
 
+void SimBackend::submit_batch(std::vector<OpRequest> requests) {
+  // Resolve every operation's duration first, then hand the whole wave to
+  // the event queue in one bulk insert.  Durations depend only on the
+  // current (unchanged) virtual time, and schedule_batch assigns insertion
+  // sequences in order, so this is bit-for-bit the same schedule as
+  // submitting one at a time.  All throwing work (model lookups, duration
+  // resolution, validation) happens before any backend state changes, so a
+  // bad request rejects the whole wave with no effect — in_flight_ and the
+  // flat tables never drift from what the event queue holds.
+  const Seconds start = events_.now();
+  std::vector<gridsim::EventQueue::BatchItem> items;
+  items.reserve(requests.size());
+  for (OpRequest& r : requests) {
+    switch (r.kind) {
+      case OpRequest::Kind::Compute: {
+        const Seconds duration = grid_->node(r.node).compute_time(r.work, start);
+        items.push_back({start + duration,
+                         [this, token = r.token, node = r.node, start] {
+                           push_ready(Completion{token, node, start,
+                                                 events_.now()});
+                         }});
+        break;
+      }
+      case OpRequest::Kind::Transfer: {
+        const Seconds duration =
+            grid_->transfer_time(r.from, r.to, r.payload, start);
+        items.push_back({start + duration,
+                         [this, token = r.token, to = r.to, start] {
+                           push_ready(Completion{token, to, start,
+                                                 events_.now()});
+                         }});
+        break;
+      }
+      case OpRequest::Kind::Timer: {
+        if (r.delay.value < 0.0)
+          throw std::invalid_argument("SimBackend: negative timer delay");
+        items.push_back({start + r.delay,
+                         [this, token = r.token, start] {
+                           timers_.erase(token);
+                           push_ready(Completion{token, NodeId::invalid(),
+                                                 start, events_.now(), true});
+                         }});
+        break;
+      }
+    }
+  }
+  std::vector<gridsim::EventQueue::EventId> ids(items.size());
+  events_.schedule_batch(items, ids.data());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const OpRequest& r = requests[i];
+    switch (r.kind) {
+      case OpRequest::Kind::Compute:
+        ++in_flight_;
+        computes_.emplace(r.token, ComputeWindow{r.node, r.work, start});
+        break;
+      case OpRequest::Kind::Transfer:
+        ++in_flight_;
+        break;
+      case OpRequest::Kind::Timer:
+        timers_.emplace(r.token, ids[i]);
+        break;
+    }
+  }
+}
+
 bool SimBackend::cancel_timer(OpToken token) {
-  const auto it = timers_.find(token);
-  if (it != timers_.end()) {
-    events_.cancel(it->second);
-    timers_.erase(it);
+  const auto [found, event] = timers_.take(token);
+  if (found) {
+    events_.cancel(event);
     return true;
   }
   // Fired but undelivered: scrub it from the ready queue.
-  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
-    if (it->is_timer && it->token == token) {
-      ready_.erase(it);
+  for (std::size_t i = ready_head_; i < ready_.size(); ++i) {
+    if (ready_[i].is_timer && ready_[i].token == token) {
+      ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
       return true;
     }
   }
@@ -70,11 +142,10 @@ bool SimBackend::cancel_timer(OpToken token) {
 }
 
 std::optional<Completion> SimBackend::wait_next() {
-  while (ready_.empty()) {
+  while (ready_head_ == ready_.size()) {
     if (!events_.step()) return std::nullopt;
   }
-  const Completion c = ready_.front();
-  ready_.pop_front();
+  const Completion c = ready_[ready_head_++];
   if (!c.is_timer) {
     --in_flight_;
     computes_.erase(c.token);

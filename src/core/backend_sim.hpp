@@ -6,14 +6,20 @@
 // do not contend with each other — the engines serialise per node by
 // construction (demand-driven farm, FIFO stages), which is noted in
 // DESIGN.md as the simulator's one simplification.
+//
+// Bookkeeping is allocation-free on the steady state: delivered completions
+// drain through a reusable ring over a flat vector (storage is recycled,
+// never reallocated once warm), and the in-flight compute/timer tables are
+// small flat vectors scanned linearly — both stay at pool size, where a
+// scan beats a hash table.
 #pragma once
 
-#include <deque>
-#include <unordered_map>
+#include <vector>
 
 #include "core/backend.hpp"
 #include "gridsim/event_queue.hpp"
 #include "gridsim/grid.hpp"
+#include "support/flat_map.hpp"
 
 namespace grasp::core {
 
@@ -28,6 +34,7 @@ class SimBackend final : public Backend {
                        Bytes payload) override;
   void submit_timer(OpToken token, Seconds delay) override;
   bool cancel_timer(OpToken token) override;
+  void submit_batch(std::vector<OpRequest> requests) override;
   [[nodiscard]] double compute_progress(OpToken token) const override;
   [[nodiscard]] std::optional<Completion> wait_next() override;
   [[nodiscard]] std::size_t in_flight() const override;
@@ -41,17 +48,22 @@ class SimBackend final : public Backend {
     Seconds start;
   };
 
+  void push_ready(const Completion& c);
+
   const gridsim::Grid* grid_;
   gridsim::EventQueue events_;
-  std::deque<Completion> ready_;
+  // Delivered-but-unconsumed completions: a FIFO over a flat vector whose
+  // storage is reused across drain cycles (head catches up, both reset).
+  std::vector<Completion> ready_;
+  std::size_t ready_head_ = 0;
   std::size_t in_flight_ = 0;
   // Armed timers: token -> scheduled event, so cancel_timer can remove the
   // event itself (a cancelled event neither runs nor advances the clock).
-  std::unordered_map<OpToken, gridsim::EventQueue::EventId> timers_;
+  FlatMap<OpToken, gridsim::EventQueue::EventId> timers_;
   // Undelivered compute ops, so compute_progress can report the fraction of
   // work the node's model has actually processed mid-op (stall-aware: spans
   // inside downtime windows contribute nothing).
-  std::unordered_map<OpToken, ComputeWindow> computes_;
+  FlatMap<OpToken, ComputeWindow> computes_;
 };
 
 }  // namespace grasp::core

@@ -1,6 +1,7 @@
 #include "core/execution_monitor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -29,7 +30,10 @@ const char* to_string(MonitorVerdict verdict) {
 
 ExecutionMonitor::ExecutionMonitor(SkeletonTraits traits,
                                    ThresholdPolicy policy)
-    : traits_(std::move(traits)), policy_(policy) {
+    : traits_(std::move(traits)),
+      policy_(policy),
+      round_times_(std::numeric_limits<double>::quiet_NaN()),
+      latest_(std::numeric_limits<double>::quiet_NaN()) {
   if (policy_.z <= 0.0)
     throw std::invalid_argument("ExecutionMonitor: threshold must be positive");
 }
@@ -46,6 +50,7 @@ void ExecutionMonitor::arm(double baseline_spm,
 
 void ExecutionMonitor::begin_round(Seconds now) {
   round_times_.clear();
+  round_reported_ = 0;
   round_started_ = now;
 }
 
@@ -54,7 +59,9 @@ void ExecutionMonitor::observe(NodeId node, double seconds_per_mop,
   (void)at;
   // Keep the *latest* time per node within the round, as Algorithm 2's
   // "collect t from Chosen nodes into T" implies one slot per node.
-  round_times_[node] = seconds_per_mop;
+  double& slot = round_times_[node];
+  if (std::isnan(slot)) ++round_reported_;
+  slot = seconds_per_mop;
   latest_[node] = seconds_per_mop;
 }
 
@@ -78,11 +85,13 @@ MonitorVerdict ExecutionMonitor::check(Seconds now) {
   // bottleneck.  Evaluate over the latest per-node observations instead.
   if (policy_.kind == ThresholdPolicy::Kind::RelativeMax) {
     const bool all_reported =
-        std::all_of(chosen_.begin(), chosen_.end(),
-                    [&](NodeId n) { return latest_.count(n) != 0; });
+        std::all_of(chosen_.begin(), chosen_.end(), [&](NodeId n) {
+          return !std::isnan(latest_.at_or_default(n));
+        });
     if (!all_reported) return MonitorVerdict::None;
     double max_t = 0.0;
-    for (const NodeId n : chosen_) max_t = std::max(max_t, latest_.at(n));
+    for (const NodeId n : chosen_)
+      max_t = std::max(max_t, latest_.at_or_default(n));
     ++rounds_;
     if (max_t > threshold_spm()) {
       ++triggers_;
@@ -98,12 +107,12 @@ MonitorVerdict ExecutionMonitor::check(Seconds now) {
   // Staleness: some chosen node has gone silent for the whole window.
   const bool round_complete =
       std::all_of(chosen_.begin(), chosen_.end(), [&](NodeId n) {
-        return round_times_.count(n) != 0;
+        return !std::isnan(round_times_.at_or_default(n));
       });
   if (!round_complete) {
     if (policy_.stale_after > 0.0 &&
         (now - round_started_).value > policy_.stale_after &&
-        !round_times_.empty()) {
+        round_reported_ > 0) {
       ++rounds_;
       ++triggers_;
       GRASP_LOG_INFO("monitor") << traits_.name << " round stale after "
@@ -119,7 +128,7 @@ MonitorVerdict ExecutionMonitor::check(Seconds now) {
   double max_t = 0.0;
   double sum = 0.0;
   for (const NodeId n : chosen_) {
-    const double t = round_times_.at(n);
+    const double t = round_times_.at_or_default(n);
     min_t = std::min(min_t, t);
     max_t = std::max(max_t, t);
     sum += t;

@@ -14,10 +14,10 @@
 #pragma once
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/skeleton_traits.hpp"
+#include "support/flat_map.hpp"
 #include "support/ids.hpp"
 
 namespace grasp::core {
@@ -64,9 +64,9 @@ class ExecutionMonitor {
   [[nodiscard]] std::size_t rounds_completed() const { return rounds_; }
   [[nodiscard]] std::size_t triggers() const { return triggers_; }
 
-  /// Latest observed seconds-per-Mop per chosen node (for reporting).
-  [[nodiscard]] const std::unordered_map<NodeId, double>& latest() const {
-    return latest_;
+  /// Latest observed seconds-per-Mop for `node`; NaN before any report.
+  [[nodiscard]] double latest(NodeId node) const {
+    return latest_.at_or_default(node);
   }
 
  private:
@@ -76,8 +76,12 @@ class ExecutionMonitor {
   ThresholdPolicy policy_;
   double baseline_spm_ = 0.0;
   std::vector<NodeId> chosen_;
-  std::unordered_map<NodeId, double> round_times_;  ///< this round
-  std::unordered_map<NodeId, double> latest_;       ///< across rounds
+  // Dense per-node slots (NaN marks "no observation"): check() runs on
+  // every completion and scans the chosen set, so these reads must be
+  // direct loads, not hash probes.
+  NodeMap<double> round_times_;  ///< this round
+  NodeMap<double> latest_;       ///< across rounds
+  std::size_t round_reported_ = 0;  ///< nodes heard from this round
   Seconds round_started_{0.0};
   std::size_t rounds_ = 0;
   std::size_t triggers_ = 0;

@@ -518,6 +518,12 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
     }
   };
 
+  // Submission wave of the current schedule() pass: every receive, compute
+  // and migration the pass decides, in decision order, shipped to the
+  // backend in one submit_batch call.  Only schedule() (and the remap
+  // helper it calls) touch it.
+  std::vector<OpRequest> submit_wave;
+
   auto apply_pending_remap = [&](std::size_t s) {
     StageState& st = stages[s];
     if (!st.pending_remap) return;
@@ -533,8 +539,8 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
       rep.received.pop_back();
     }
     const OpToken token = tokens.alloc();
-    backend.submit_transfer(token, rep.node, target,
-                            Bytes{params_.stage_state_bytes});
+    submit_wave.push_back(OpRequest::transfer(token, rep.node, target,
+                                              Bytes{params_.stage_state_bytes}));
     ops.emplace(token,
                 PendingOp{OpKind::Migration, s, st.pending_remap_replica, 0});
     report.trace.record({backend.now(), gridsim::TraceEventKind::StageRemapped,
@@ -554,6 +560,11 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
       items[id] = ItemState{source, backend.now()};
       first.waiting.push_back(id);
     }
+    // The pass stages every submission — migrations, receives and computes
+    // interleaved exactly as they are decided — and ships them in one
+    // submit_batch call (a single bulk event-queue insert on the
+    // simulator).  Batch order equals decision order, so completion
+    // ordering is unchanged.
     for (std::size_t s = 0; s < depth; ++s) {
       StageState& st = stages[s];
       apply_pending_remap(s);
@@ -569,8 +580,8 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
           st.waiting.pop_front();
           rep.receiving = id;
           const OpToken token = tokens.alloc();
-          backend.submit_transfer(token, items.at(id).location, rep.node,
-                                  bytes_into(s));
+          submit_wave.push_back(OpRequest::transfer(
+              token, items.at(id).location, rep.node, bytes_into(s)));
           ops.emplace(token, PendingOp{OpKind::StageIn, s, r, id});
         }
         if (!rep.computing && !rep.received.empty()) {
@@ -578,11 +589,15 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
           rep.received.pop_front();
           rep.computing = id;
           const OpToken token = tokens.alloc();
-          backend.submit_compute(token, rep.node,
-                                 spec.stages[s].work_per_item);
+          submit_wave.push_back(OpRequest::compute(
+              token, rep.node, spec.stages[s].work_per_item));
           ops.emplace(token, PendingOp{OpKind::StageCompute, s, r, id});
         }
       }
+    }
+    if (!submit_wave.empty()) {
+      backend.submit_batch(std::move(submit_wave));
+      submit_wave.clear();
     }
   };
 

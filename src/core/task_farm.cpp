@@ -8,6 +8,7 @@
 
 #include "resil/chunk_ledger.hpp"
 #include "resil/membership.hpp"
+#include "support/flat_map.hpp"
 #include "support/log.hpp"
 
 namespace grasp::core {
@@ -88,8 +89,11 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     for (const NodeId n : initial_members) detector->watch(n, backend.now());
   }
 
-  // Chunks currently travelling the input -> compute -> output chain.
-  std::unordered_map<OpToken, Assignment> in_flight;
+  // Chunks currently travelling the input -> compute -> output chain.  At
+  // most one per worker (plus reissue twins), so a flat insertion-ordered
+  // table: the per-completion find/erase that used to dominate profiles is
+  // a short linear scan, and iteration order is deterministic.
+  FlatMap<OpToken, Assignment> in_flight;
   // Tokens of chunks surrendered to crash recovery; their completions (the
   // zombies) are swallowed when the backend eventually delivers them.
   std::unordered_set<OpToken> dead_tokens;
@@ -164,13 +168,16 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
 
   // Per-node performance estimate (seconds per Mop), seeded by calibration
   // and refreshed by every completion; drives chunking and stragglers.
-  std::unordered_map<NodeId, double> node_spm;
+  // Dense-slot tables keyed by node id: these are read on every dispatch
+  // pass for every worker, where direct indexing beats hashing outright
+  // (0 means "no estimate yet" — real estimates are strictly positive).
+  NodeMap<double> node_spm;
   for (const auto& s : calibration.ranking) node_spm[s.node] = s.adjusted_spm;
   // Per-node current chunk size (adaptive chunking).
-  std::unordered_map<NodeId, std::size_t> node_chunk;
+  NodeMap<std::size_t> node_chunk;
   for (const NodeId n : pool) node_chunk[n] = params_.chunk_size;
 
-  std::unordered_map<NodeId, bool> busy;
+  NodeMap<char> busy;
   for (const NodeId n : pool) busy[n] = false;
 
   Seconds finish_time = Seconds::zero();
@@ -189,8 +196,8 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   };
 
   auto spm_estimate = [&](NodeId n) {
-    const auto it = node_spm.find(n);
-    if (it != node_spm.end() && it->second > 0.0) return it->second;
+    const double estimate = node_spm.at_or_default(n);
+    if (estimate > 0.0) return estimate;
     return std::max(1e-9, calibration.baseline_spm);
   };
 
@@ -213,8 +220,14 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     return clamped;
   };
 
-  auto dispatch_chunk = [&](NodeId node, std::vector<workloads::TaskSpec> chunk,
-                            bool is_reissue, bool is_probe = false) {
+  // Dispatch rounds hand a whole wave of chunk transfers to the backend in
+  // one submit_batch call (one bulk event-queue insert on the simulator).
+  // queue_chunk stages a chunk; flush_dispatches ships the wave.  Batch
+  // order equals call order, so completion ordering is identical to
+  // one-at-a-time submission.
+  std::vector<OpRequest> dispatch_wave;
+  auto queue_chunk = [&](NodeId node, std::vector<workloads::TaskSpec> chunk,
+                         bool is_reissue, bool is_probe = false) {
     Assignment a;
     a.chunk = std::move(chunk);
     a.node = node;
@@ -224,7 +237,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     Bytes input = Bytes::zero();
     for (const auto& t : a.chunk) input += t.input;
     const OpToken token = tokens.alloc();
-    backend.submit_transfer(token, root, node, input);
+    dispatch_wave.push_back(OpRequest::transfer(token, root, node, input));
     for (const auto& t : a.chunk)
       report.trace.record({backend.now(),
                            is_reissue ? gridsim::TraceEventKind::TaskReissued
@@ -234,6 +247,11 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     if (resil_on)
       ledger.record(token, {node, a.chunk, a.dispatched, a.work()});
     in_flight.emplace(token, std::move(a));
+  };
+  auto flush_dispatches = [&] {
+    if (dispatch_wave.empty()) return;
+    backend.submit_batch(std::move(dispatch_wave));
+    dispatch_wave.clear();
   };
 
   // Return the unfinished tasks of a lost chunk to the front of the queue
@@ -294,11 +312,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
                            << why << ") at t=" << backend.now().value;
     const auto already_done = [&](TaskId id) { return source.is_completed(id); };
     for (auto& [token, entry] : ledger.fail_node(node, already_done)) {
-      const auto it = in_flight.find(token);
-      if (it != in_flight.end()) {
-        in_flight.erase(it);
-        dead_tokens.insert(token);
-      }
+      if (in_flight.erase(token)) dead_tokens.insert(token);
       recover_checkpointed(entry);
       requeue_pending(entry.tasks, node);
     }
@@ -383,6 +397,9 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   auto take_checkpoints = [&] {
     if (!ckpt_on) return;
     std::vector<OpToken> abandoned;
+    // The pass stages every accepted progress report and applies them to
+    // the ledger in one checkpoint_batch call at the end.
+    std::vector<resil::ChunkLedger::CheckpointUpdate> updates;
     for (auto& [token, a] : in_flight) {
       if (a.phase != Assignment::Phase::Compute) continue;
       // A worker that crashed since this chunk was dispatched ships nothing
@@ -403,7 +420,16 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
         if (acc > budget && frac < 1.0) break;
         ++done;
       }
-      if (done > 0 && ledger.checkpoint(token, done)) {
+      const std::size_t prev = ledger.checkpointed(token);
+      if (done > prev && ledger.tracks(token)) {
+        // The newly checkpointed tasks' partial results ship to the farmer;
+        // their volume is what checkpoint shipping costs.  (The virtual-time
+        // farm accounts the bytes; the mp transport charges them through the
+        // world's send hook.)
+        double state_bytes = 0.0;
+        for (std::size_t i = prev; i < done && i < a.chunk.size(); ++i)
+          state_bytes += a.chunk[i].output.value;
+        updates.push_back({token, done, state_bytes});
         report.trace.record({backend.now(),
                              gridsim::TraceEventKind::ChunkCheckpointed,
                              a.node, TaskId::invalid(),
@@ -422,13 +448,14 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
           abandoned.push_back(token);
       }
     }
+    // Apply the pass's progress reports before processing evictions, so an
+    // evicted chunk salvages the prefix this very pass just checkpointed.
+    ledger.checkpoint_batch(updates);
     const auto already_done =
         [&](TaskId id) { return source.is_completed(id); };
     for (const OpToken token : abandoned) {
-      const auto it = in_flight.find(token);
-      if (it == in_flight.end()) continue;
-      Assignment a = std::move(it->second);
-      in_flight.erase(it);
+      auto [found, a] = in_flight.take(token);
+      if (!found) continue;
       // Its straggling completion is discarded — but not as a zombie: the
       // holder is alive.
       dead_tokens.insert(token);
@@ -475,8 +502,13 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   };
 
   auto dispatch_to_idle = [&] {
-    // Copy: declare_dead (via the liveness check) mutates the worker set.
-    const std::vector<NodeId> workers = elastic.workers();
+    // Copy only on churn runs, where declare_dead (via the liveness check)
+    // can mutate the worker set mid-loop; churn-free passes iterate the
+    // pool's own vector and never allocate.
+    std::vector<NodeId> workers_copy;
+    if (resil_on) workers_copy = elastic.workers();
+    const std::vector<NodeId>& workers =
+        resil_on ? workers_copy : elastic.workers();
     for (const NodeId n : workers) {
       if (source.empty()) break;
       if (busy[n]) continue;
@@ -491,7 +523,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       std::vector<workloads::TaskSpec> chunk;
       while (chunk.size() < want && !source.empty())
         chunk.push_back(source.pop());
-      if (!chunk.empty()) dispatch_chunk(n, std::move(chunk), false);
+      if (!chunk.empty()) queue_chunk(n, std::move(chunk), false);
     }
     // Fast-path calibration probes for newcomers in probation.
     if (resil_on) {
@@ -508,9 +540,11 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
                !source.empty())
           chunk.push_back(source.pop());
         if (!chunk.empty())
-          dispatch_chunk(n, std::move(chunk), false, /*is_probe=*/true);
+          queue_chunk(n, std::move(chunk), false, /*is_probe=*/true);
       }
     }
+    // One batched submission for the whole round's transfers.
+    flush_dispatches();
   };
 
   // Straggler scan: when the queue is dry, duplicate late chunks onto idle
@@ -539,7 +573,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       }
     }
     if (idle.empty()) return;
-    // Collect candidates first: dispatch_chunk inserts into in_flight and
+    // Collect candidates first: queue_chunk inserts into in_flight and
     // would invalidate the iteration otherwise.  Latest expected finish
     // first, so the fastest idle node relieves the worst chunk.
     struct Candidate {
@@ -574,7 +608,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     for (const Candidate& c : candidates) {
       if (next_idle >= idle.size()) break;
       const NodeId target = idle[next_idle];
-      Assignment& a = in_flight.at(c.token);
+      Assignment& a = *in_flight.find(c.token);
       const double idle_cost = spm_estimate(target) * a.work().value + 1.0;
       const bool tail_steal = c.expected_finish > now_s + 1.5 * idle_cost;
       if (!c.straggler && !tail_steal) continue;
@@ -596,8 +630,11 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
                              << " tasks from " << a.node.value << " to "
                              << target.value
                              << (as_probe ? " (probation probe)" : "");
-      dispatch_chunk(target, std::move(pending), true, as_probe);
+      queue_chunk(target, std::move(pending), true, as_probe);
     }
+    // One batched submission for the round's reissue twins, like
+    // dispatch_to_idle's waves.
+    flush_dispatches();
   };
 
   // Shared completion handling for the main loop and the drains.  Drives
@@ -606,11 +643,9 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   // crash of its node never really happened.
   auto process_completion = [&](const Completion& c) {
     if (swallow_dead_token(c.token)) return;
-    const auto it = in_flight.find(c.token);
-    if (it == in_flight.end())
+    auto [found, a] = in_flight.take(c.token);
+    if (!found)
       throw std::logic_error("TaskFarm: unknown completion token");
-    Assignment a = std::move(it->second);
-    in_flight.erase(it);
 
     if (churn != nullptr &&
         churn->crashed_during(a.node, a.dispatched, backend.now())) {
@@ -667,9 +702,8 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
         const double elapsed = (backend.now() - a.dispatched).value;
         const double spm = elapsed / std::max(1e-9, a.work().value);
         // Blend the observation into the node estimate (EWMA, alpha 0.5).
-        node_spm[a.node] = node_spm.count(a.node)
-                               ? 0.5 * node_spm[a.node] + 0.5 * spm
-                               : spm;
+        double& estimate = node_spm[a.node];
+        estimate = estimate > 0.0 ? 0.5 * estimate + 0.5 * spm : spm;
         busy[a.node] = false;
         for (const auto& t : a.chunk) {
           if (source.mark_completed(t.id)) {
@@ -786,7 +820,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   report.final_baseline_spm = calibration.baseline_spm;
   membership_hook = consume_membership;
   absorb_engine_completion = [&](OpToken token) {
-    if (in_flight.find(token) == in_flight.end()) return false;
+    if (in_flight.find(token) == nullptr) return false;
     Completion c;
     c.token = token;
     process_completion(c);
@@ -855,6 +889,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     report.resilience.checkpoints = ledger.checkpoints();
     report.resilience.tasks_recovered = ledger.tasks_recovered();
     report.resilience.recovered_mops = ledger.recovered_mops();
+    report.resilience.checkpoint_state_bytes = ledger.checkpoint_state_bytes();
   }
   return report;
 }

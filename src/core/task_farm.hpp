@@ -13,7 +13,6 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/backend.hpp"

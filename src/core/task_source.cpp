@@ -22,7 +22,17 @@ void TaskSource::push_front(const workloads::TaskSpec& task) {
 }
 
 bool TaskSource::mark_completed(TaskId id) {
-  return completed_.insert(id).second;
+  if (id.value < kDenseLimit) {
+    const std::size_t index = static_cast<std::size_t>(id.value);
+    if (index >= dense_.size()) dense_.resize(index + 1, 0);
+    if (dense_[index] != 0) return false;
+    dense_[index] = 1;
+    ++completed_count_;
+    return true;
+  }
+  if (!sparse_.insert(id).second) return false;
+  ++completed_count_;
+  return true;
 }
 
 }  // namespace grasp::core

@@ -6,8 +6,10 @@
 // reissue (first completion wins; late twins are discarded).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <unordered_set>
+#include <vector>
 
 #include "workloads/task.hpp"
 
@@ -20,8 +22,8 @@ class TaskSource {
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::size_t remaining() const { return queue_.size(); }
   [[nodiscard]] std::size_t total() const { return total_; }
-  [[nodiscard]] std::size_t completed() const { return completed_.size(); }
-  [[nodiscard]] bool all_done() const { return completed_.size() == total_; }
+  [[nodiscard]] std::size_t completed() const { return completed_count_; }
+  [[nodiscard]] bool all_done() const { return completed_count_ == total_; }
 
   /// Pop the next task.  Precondition: !empty().
   [[nodiscard]] workloads::TaskSpec pop();
@@ -35,12 +37,24 @@ class TaskSource {
   bool mark_completed(TaskId id);
 
   [[nodiscard]] bool is_completed(TaskId id) const {
-    return completed_.count(id) != 0;
+    if (id.value < kDenseLimit) {
+      const std::size_t index = static_cast<std::size_t>(id.value);
+      return index < dense_.size() && dense_[index] != 0;
+    }
+    return sparse_.count(id) != 0;
   }
 
  private:
+  /// Task ids are assigned contiguously from zero by the generators, so
+  /// completion tracking is a flat bitmap probed on every completion and
+  /// requeue scan; ids outside the dense range (or the invalid sentinel)
+  /// fall back to a hash set so exotic callers keep exact semantics.
+  static constexpr std::uint64_t kDenseLimit = 1u << 22;
+
   std::deque<workloads::TaskSpec> queue_;
-  std::unordered_set<TaskId> completed_;
+  std::vector<char> dense_;             ///< 1 = completed, index = id
+  std::unordered_set<TaskId> sparse_;   ///< ids outside the dense range
+  std::size_t completed_count_ = 0;
   std::size_t total_;
 };
 

@@ -1,16 +1,106 @@
 #include "gridsim/event_queue.hpp"
 
-#include <utility>
+#include <algorithm>
+#include <bit>
+#include <limits>
 
 namespace grasp::gridsim {
+
+namespace {
+// 4-ary heap layout: children of i are kArity*i + 1 .. kArity*i + kArity.
+// A wider node halves the tree depth relative to a binary heap, and with
+// 16-byte entries the four children of a node share one cache line.
+constexpr std::size_t kArity = 4;
+
+// Order-preserving integer image of a timestamp.  For non-negative IEEE-754
+// doubles the raw bit pattern compares like the value; `+ 0.0` folds -0.0
+// into +0.0 so the sign bit never lies.  (Infinity orders after every
+// finite timestamp, exactly like the double it encodes.)
+std::uint64_t time_key(Seconds when) {
+  return std::bit_cast<std::uint64_t>(when.value + 0.0);
+}
+}  // namespace
+
+void EventQueue::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  // Hole-based sift-up: shift later parents down, drop the entry once.
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!later(heap_[parent], entry)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::heap_pop_root() {
+  const std::size_t n = heap_.size() - 1;
+  const HeapEntry last = heap_[n];
+  heap_.pop_back();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t limit = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < limit; ++c)
+      if (later(heap_[best], heap_[c])) best = c;
+    if (!later(last, heap_[best])) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+void EventQueue::renumber_sequences() {
+  // The pending entries keep their relative (when, seq) order but are
+  // renumbered 0..n-1.  A fully sorted array is a valid d-ary min-heap, so
+  // sorting doubles as the rebuild.  Runs once per 2^32 insertions —
+  // amortised free — and keeps the heap entry at 16 bytes.
+  std::sort(heap_.begin(), heap_.end(),
+            [](const HeapEntry& a, const HeapEntry& b) { return later(b, a); });
+  for (std::size_t i = 0; i < heap_.size(); ++i)
+    heap_[i].seq = static_cast<std::uint32_t>(i);
+  next_seq_ = heap_.size();
+}
+
+std::uint32_t EventQueue::acquire_slot(Callback&& fn) {
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (slots_.size() > std::numeric_limits<std::uint32_t>::max())
+      throw std::length_error("EventQueue: slot table exhausted");
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.live = true;
+  return index;
+}
+
+void EventQueue::release_slot(std::uint32_t index) noexcept {
+  Slot& slot = slots_[index];
+  slot.fn.reset();
+  slot.live = false;
+  ++slot.generation;  // invalidate every outstanding EventId for this slot
+  free_slots_.push_back(index);
+}
 
 EventQueue::EventId EventQueue::schedule_at(Seconds when, Callback fn) {
   if (when < clock_.now())
     throw std::invalid_argument("EventQueue: scheduling into the past");
-  const EventId id = next_seq_++;
-  heap_.push(Entry{when, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+  if (next_seq_ > std::numeric_limits<std::uint32_t>::max())
+    renumber_sequences();
+  const std::uint32_t slot = acquire_slot(std::move(fn));
+  heap_push(HeapEntry{time_key(when),
+                      static_cast<std::uint32_t>(next_seq_++), slot});
+  ++live_count_;
+  return make_id(slot, slots_[slot].generation);
 }
 
 EventQueue::EventId EventQueue::schedule_after(Seconds delay, Callback fn) {
@@ -19,27 +109,52 @@ EventQueue::EventId EventQueue::schedule_after(Seconds delay, Callback fn) {
   return schedule_at(clock_.now() + delay, std::move(fn));
 }
 
+void EventQueue::schedule_batch(std::span<BatchItem> items, EventId* ids_out) {
+  heap_.reserve(heap_.size() + items.size());
+  std::size_t i = 0;
+  for (BatchItem& item : items) {
+    const EventId id = schedule_at(item.when, std::move(item.fn));
+    if (ids_out != nullptr) ids_out[i] = id;
+    ++i;
+  }
+}
+
 bool EventQueue::cancel(EventId id) {
-  if (live_.erase(id) == 0) return false;
-  cancelled_.insert(id);
+  const auto index = static_cast<std::uint32_t>(id >> 32);
+  const auto generation = static_cast<std::uint32_t>(id);
+  if (index >= slots_.size()) return false;
+  Slot& slot = slots_[index];
+  if (!slot.live || slot.generation != generation) return false;
+  slot.live = false;
+  slot.fn.reset();  // release captures eagerly; the heap entry dies lazily
+  --live_count_;
+  ++cancelled_in_heap_;
   prune_cancelled_top();
   return true;
 }
 
 void EventQueue::prune_cancelled_top() {
-  while (!heap_.empty() && cancelled_.erase(heap_.top().seq) > 0) heap_.pop();
+  if (cancelled_in_heap_ == 0) return;  // common case: one register test
+  while (!heap_.empty() && !slots_[heap_.front().slot].live) {
+    release_slot(heap_.front().slot);
+    heap_pop_root();
+    if (--cancelled_in_heap_ == 0) break;
+  }
 }
 
 bool EventQueue::step() {
   prune_cancelled_top();
   if (heap_.empty()) return false;
-  // priority_queue::top returns const&; the callback must be moved out
-  // before pop, so copy the entry (callbacks are cheap shared closures).
-  Entry entry = heap_.top();
-  heap_.pop();
-  live_.erase(entry.seq);
-  clock_.advance_to(entry.when);
-  entry.fn();
+  const HeapEntry top = heap_.front();
+  heap_pop_root();
+  // Move the handler out and free the slot *before* invoking: the handler
+  // may schedule (reusing the slot) or try to cancel itself (its id is
+  // already stale, so that reports false — documented semantics).
+  Callback fn = std::move(slots_[top.slot].fn);
+  release_slot(top.slot);
+  --live_count_;
+  clock_.advance_to(Seconds{std::bit_cast<double>(top.when_bits)});
+  fn();
   return true;
 }
 
@@ -50,15 +165,16 @@ std::size_t EventQueue::run_all() {
 }
 
 std::size_t EventQueue::run_until(Seconds until) {
-  std::size_t executed = 0;
-  for (;;) {
+  if (until.value < 0.0) return 0;  // clock never moves backwards anyway
+  const std::uint64_t until_key = time_key(until);
+  for (std::size_t executed = 0;; ++executed) {
     prune_cancelled_top();
-    if (heap_.empty() || heap_.top().when > until) break;
+    if (heap_.empty() || heap_.front().when_bits > until_key) {
+      clock_.advance_to(until);
+      return executed;
+    }
     step();
-    ++executed;
   }
-  clock_.advance_to(until);
-  return executed;
 }
 
 }  // namespace grasp::gridsim

@@ -25,7 +25,7 @@ Comm::Comm(World& world, int rank) : world_(&world), rank_(rank) {
 
 int Comm::size() const { return world_->size(); }
 
-void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
+void Comm::send(int dest, int tag, Payload payload) {
   if (dest < 0 || dest >= size())
     throw std::out_of_range("Comm::send: bad destination rank");
   if (tag < 0) throw std::invalid_argument("Comm::send: negative tag");
@@ -36,6 +36,13 @@ void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
   msg.tag = tag;
   msg.payload = std::move(payload);
   world_->mailbox(dest).deliver(std::move(msg));
+}
+
+void Comm::charge(int dest, std::size_t bytes) {
+  if (dest < 0 || dest >= size())
+    throw std::out_of_range("Comm::charge: bad destination rank");
+  if (bytes == 0) return;
+  if (const auto& hook = world_->send_hook(); hook) hook(rank_, dest, bytes);
 }
 
 Message Comm::recv(int source, int tag) {
@@ -118,30 +125,16 @@ double Comm::scatter(const std::vector<double>& values, int root) {
   return world_->mailbox(rank_).receive(root, kTagScatter).unpack<double>();
 }
 
-double Comm::reduce(double value,
-                    const std::function<double(double, double)>& op,
-                    int root) {
-  if (rank_ == root) {
-    double acc = value;
-    for (int r = 0; r < size(); ++r) {
-      if (r == root) continue;
-      const Message msg = world_->mailbox(rank_).receive(r, kTagReduce);
-      acc = op(acc, msg.unpack<double>());
-    }
-    return acc;
-  }
+double Comm::recv_reduce_contribution(int from) {
+  return world_->mailbox(rank_).receive(from, kTagReduce).unpack<double>();
+}
+
+void Comm::send_reduce_contribution(int root, double value) {
   Message msg;
   msg.source = rank_;
   msg.tag = kTagReduce;
   msg.payload = Message::pack(value);
   world_->mailbox(root).deliver(std::move(msg));
-  return 0.0;
-}
-
-double Comm::allreduce(double value,
-                       const std::function<double(double, double)>& op) {
-  const double reduced = reduce(value, op, 0);
-  return broadcast(rank_ == 0 ? reduced : 0.0, 0);
 }
 
 World::World(int size) {

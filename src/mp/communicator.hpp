@@ -4,7 +4,9 @@
 // `Comm` (its rank plus a handle on the world) exposing MPI-flavoured
 // point-to-point operations and collectives.  Collectives are built from
 // point-to-point messages with reserved tags, so user tags never collide
-// with internal traffic.
+// with internal traffic.  Reductions are templated on the combining op —
+// the functor inlines into the receive loop instead of paying a
+// std::function indirection per element.
 #pragma once
 
 #include <functional>
@@ -26,8 +28,8 @@ class Comm {
   [[nodiscard]] int size() const;
 
   // ------------------------------------------------------------- pt2pt
-  /// Send a raw payload to `dest` with `tag` (asynchronous, never blocks).
-  void send(int dest, int tag, std::vector<std::byte> payload);
+  /// Send a payload to `dest` with `tag` (asynchronous, never blocks).
+  void send(int dest, int tag, Payload payload);
 
   /// Send a trivially copyable value.
   template <typename T>
@@ -39,6 +41,13 @@ class Comm {
   void send_vector(int dest, int tag, const std::vector<T>& values) {
     send(dest, tag, Message::pack_vector(values));
   }
+
+  /// Account `bytes` of out-of-band application state travelling to `dest`
+  /// alongside the regular envelope, through the world's send hook (no
+  /// message is enqueued).  Checkpoint shipping uses this to charge the
+  /// partial-state payload whose size is only described, not carried, by
+  /// the progress message.
+  void charge(int dest, std::size_t bytes);
 
   /// Blocking receive with wildcard support.
   [[nodiscard]] Message recv(int source = kAnySource, int tag = kAnyTag);
@@ -70,16 +79,37 @@ class Comm {
   [[nodiscard]] double scatter(const std::vector<double>& values,
                                int root = 0);
 
-  /// Reduce with a binary op; result valid on root only (0 elsewhere).
-  [[nodiscard]] double reduce(double value,
-                              const std::function<double(double, double)>& op,
-                              int root = 0);
+  /// Reduce with a binary op (any callable `double(double, double)`);
+  /// result valid on root only (0 elsewhere).  Contributions are combined
+  /// in rank order, so the result is deterministic for non-associative
+  /// floating-point ops.
+  template <typename Op>
+  [[nodiscard]] double reduce(double value, Op&& op, int root = 0) {
+    if (rank_ == root) {
+      double acc = value;
+      for (int r = 0; r < size(); ++r) {
+        if (r == root) continue;
+        acc = op(acc, recv_reduce_contribution(r));
+      }
+      return acc;
+    }
+    send_reduce_contribution(root, value);
+    return 0.0;
+  }
 
   /// Reduce + broadcast.
-  [[nodiscard]] double allreduce(
-      double value, const std::function<double(double, double)>& op);
+  template <typename Op>
+  [[nodiscard]] double allreduce(double value, Op&& op) {
+    const double reduced = reduce(value, std::forward<Op>(op), 0);
+    return broadcast(rank_ == 0 ? reduced : 0.0, 0);
+  }
 
  private:
+  /// Reduce plumbing (tag handling lives in the .cpp with the other
+  /// collective tags; the templated loops above stay header-only).
+  [[nodiscard]] double recv_reduce_contribution(int from);
+  void send_reduce_contribution(int root, double value);
+
   World* world_;
   int rank_;
 };
@@ -98,6 +128,8 @@ class World {
   /// Optional hook invoked on every send with (source, dest, bytes);
   /// the threaded backend uses it to charge transfer costs (sleep) or to
   /// account traffic.  Called on the sender's thread before delivery.
+  /// Out-of-band state shipped via Comm::charge flows through the same
+  /// hook, so transfer accounting sees checkpoint payloads too.
   using SendHook = std::function<void(int, int, std::size_t)>;
   void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
   [[nodiscard]] const SendHook& send_hook() const { return send_hook_; }

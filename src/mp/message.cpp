@@ -1,46 +1,108 @@
 #include "mp/message.hpp"
 
-#include <algorithm>
-
 namespace grasp::mp {
 
 void Mailbox::deliver(Message msg) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(msg));
+    int slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<int>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    const std::uint64_t key = key_of(msg.source, msg.tag);
+    s.msg = std::move(msg);
+    // Append to the global arrival-order list.
+    s.prev_global = global_tail_;
+    s.next_global = kNil;
+    if (global_tail_ != kNil)
+      slots_[static_cast<std::size_t>(global_tail_)].next_global = slot;
+    else
+      global_head_ = slot;
+    global_tail_ = slot;
+    // Append to the exact (source, tag) list.
+    KeyList& list = by_key_[key];
+    s.prev_key = list.tail;
+    s.next_key = kNil;
+    if (list.tail != kNil)
+      slots_[static_cast<std::size_t>(list.tail)].next_key = slot;
+    else
+      list.head = slot;
+    list.tail = slot;
+    ++count_;
   }
   cv_.notify_all();
+}
+
+int Mailbox::find_match(int source, int tag) const {
+  if (source != kAnySource && tag != kAnyTag) {
+    // Non-wildcard: O(1) via the per-key list.  Arrival order within one
+    // (source, tag) equals global arrival order, so no-overtaking holds.
+    const auto it = by_key_.find(key_of(source, tag));
+    return it == by_key_.end() ? kNil : it->second.head;
+  }
+  // Wildcard: walk the global list so matches surface in arrival order
+  // across sources and tags.
+  for (int slot = global_head_; slot != kNil;
+       slot = slots_[static_cast<std::size_t>(slot)].next_global) {
+    if (matches(slots_[static_cast<std::size_t>(slot)].msg, source, tag))
+      return slot;
+  }
+  return kNil;
+}
+
+Message Mailbox::extract(int slot) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  // Unlink from the global list.
+  if (s.prev_global != kNil)
+    slots_[static_cast<std::size_t>(s.prev_global)].next_global =
+        s.next_global;
+  else
+    global_head_ = s.next_global;
+  if (s.next_global != kNil)
+    slots_[static_cast<std::size_t>(s.next_global)].prev_global =
+        s.prev_global;
+  else
+    global_tail_ = s.prev_global;
+  // Unlink from its key list.
+  KeyList& list = by_key_[key_of(s.msg.source, s.msg.tag)];
+  if (s.prev_key != kNil)
+    slots_[static_cast<std::size_t>(s.prev_key)].next_key = s.next_key;
+  else
+    list.head = s.next_key;
+  if (s.next_key != kNil)
+    slots_[static_cast<std::size_t>(s.next_key)].prev_key = s.prev_key;
+  else
+    list.tail = s.prev_key;
+  Message msg = std::move(s.msg);
+  free_slots_.push_back(slot);
+  --count_;
+  return msg;
 }
 
 Message Mailbox::receive(int source, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    const auto it = std::find_if(
-        queue_.begin(), queue_.end(),
-        [&](const Message& m) { return matches(m, source, tag); });
-    if (it != queue_.end()) {
-      Message msg = std::move(*it);
-      queue_.erase(it);
-      return msg;
-    }
+    const int slot = find_match(source, tag);
+    if (slot != kNil) return extract(slot);
     cv_.wait(lock);
   }
 }
 
 std::optional<Message> Mailbox::try_receive(int source, int tag) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it =
-      std::find_if(queue_.begin(), queue_.end(),
-                   [&](const Message& m) { return matches(m, source, tag); });
-  if (it == queue_.end()) return std::nullopt;
-  Message msg = std::move(*it);
-  queue_.erase(it);
-  return msg;
+  const int slot = find_match(source, tag);
+  if (slot == kNil) return std::nullopt;
+  return extract(slot);
 }
 
 std::size_t Mailbox::pending() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return count_;
 }
 
 }  // namespace grasp::mp

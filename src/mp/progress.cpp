@@ -4,6 +4,10 @@ namespace grasp::mp {
 
 void send_progress(Comm& comm, int farmer_rank, const ChunkProgress& update) {
   comm.send(farmer_rank, kProgressTag, Message::pack(update));
+  // The envelope above carries only the progress record; the partial state
+  // it describes ships alongside and is charged as real transfer traffic.
+  if (update.state_bytes > 0.0)
+    comm.charge(farmer_rank, static_cast<std::size_t>(update.state_bytes));
 }
 
 std::size_t drain_progress(

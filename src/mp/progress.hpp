@@ -35,7 +35,10 @@ struct ChunkProgress {
   double state_bytes = 0.0;
 };
 
-/// Ship a progress update to the farmer rank.
+/// Ship a progress update to the farmer rank.  The update's `state_bytes`
+/// (the partial results travelling with it) are charged through the
+/// world's send hook as transfer traffic — checkpoints do not ride the
+/// heartbeat path for free.
 void send_progress(Comm& comm, int farmer_rank, const ChunkProgress& update);
 
 /// Drain every pending progress update into `sink`, in arrival order.

@@ -19,12 +19,14 @@ MonitorDaemon::MonitorDaemon(const gridsim::Grid& grid,
   if (params_.period.value <= 0.0)
     throw std::invalid_argument("MonitorDaemon: period must be positive");
   if (!params_.root.is_valid() && !watched_.empty()) params_.root = watched_.front();
-  for (const NodeId n : watched_) state_.emplace(n, PerNode(params_.history));
-  for (auto& [node, per] : state_) {
-    (void)node;
-    per.load_forecast = make_forecaster(params_.forecaster);
-    per.bw_forecast = make_forecaster(params_.forecaster);
-  }
+  for (const NodeId n : watched_) state_[n] = make_state();
+}
+
+std::unique_ptr<MonitorDaemon::PerNode> MonitorDaemon::make_state() const {
+  auto per = std::make_unique<PerNode>(params_.history);
+  per->load_forecast = make_forecaster(params_.forecaster);
+  per->bw_forecast = make_forecaster(params_.forecaster);
+  return per;
 }
 
 void MonitorDaemon::advance_to(Seconds t) {
@@ -41,7 +43,7 @@ void MonitorDaemon::advance_to(Seconds t) {
 
 void MonitorDaemon::sample_all(Seconds t) {
   for (const NodeId node : watched_) {
-    PerNode& per = state_.at(node);
+    PerNode& per = *state_[node];
     const Sample load = cpu_sensor_.sample(node, t);
     per.load_history.push(load);
     per.load_forecast->observe(load);
@@ -55,17 +57,15 @@ void MonitorDaemon::sample_all(Seconds t) {
 }
 
 MonitorDaemon::PerNode& MonitorDaemon::state_for(NodeId node) {
-  const auto it = state_.find(node);
-  if (it == state_.end())
-    throw std::out_of_range("MonitorDaemon: node not watched");
-  return it->second;
+  const std::unique_ptr<PerNode>& per = state_.at_or_default(node);
+  if (!per) throw std::out_of_range("MonitorDaemon: node not watched");
+  return *per;
 }
 
 const MonitorDaemon::PerNode& MonitorDaemon::state_for(NodeId node) const {
-  const auto it = state_.find(node);
-  if (it == state_.end())
-    throw std::out_of_range("MonitorDaemon: node not watched");
-  return it->second;
+  const std::unique_ptr<PerNode>& per = state_.at_or_default(node);
+  if (!per) throw std::out_of_range("MonitorDaemon: node not watched");
+  return *per;
 }
 
 double MonitorDaemon::last_load(NodeId node) const {
@@ -120,17 +120,10 @@ double MonitorDaemon::mean_bandwidth_between(NodeId node, Seconds from,
 }
 
 void MonitorDaemon::rewatch(std::vector<NodeId> watched) {
-  std::unordered_map<NodeId, PerNode> kept;
+  NodeMap<std::unique_ptr<PerNode>> kept;
   for (const NodeId n : watched) {
-    auto it = state_.find(n);
-    if (it != state_.end()) {
-      kept.emplace(n, std::move(it->second));
-    } else {
-      PerNode per(params_.history);
-      per.load_forecast = make_forecaster(params_.forecaster);
-      per.bw_forecast = make_forecaster(params_.forecaster);
-      kept.emplace(n, std::move(per));
-    }
+    std::unique_ptr<PerNode>& old = state_[n];
+    kept[n] = old ? std::move(old) : make_state();
   }
   state_ = std::move(kept);
   watched_ = std::move(watched);

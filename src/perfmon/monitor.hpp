@@ -8,11 +8,11 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "perfmon/forecaster.hpp"
 #include "perfmon/sensor.hpp"
+#include "support/flat_map.hpp"
 #include "support/ring_buffer.hpp"
 
 namespace grasp::perfmon {
@@ -95,7 +95,11 @@ class MonitorDaemon {
   Params params_;
   CpuLoadSensor cpu_sensor_;
   BandwidthSensor bw_sensor_;
-  std::unordered_map<NodeId, PerNode> state_;
+  [[nodiscard]] std::unique_ptr<PerNode> make_state() const;
+
+  /// Dense per-node state: sample_all touches every watched node each
+  /// period tick, so the lookup is a direct index, not a hash probe.
+  NodeMap<std::unique_ptr<PerNode>> state_;
   Seconds last_tick_{0.0};
   std::size_t samples_taken_ = 0;
 };

@@ -6,36 +6,40 @@
 namespace grasp::resil {
 
 void ChunkLedger::record(core::OpToken token, Entry entry) {
-  const auto [it, inserted] = entries_.emplace(token, std::move(entry));
-  (void)it;
-  if (!inserted)
+  if (entries_.contains(token))
     throw std::logic_error("ChunkLedger: token already registered");
+  entries_.emplace(token, std::move(entry));
 }
 
-bool ChunkLedger::checkpoint(core::OpToken token, std::size_t tasks_done) {
-  const auto it = entries_.find(token);
-  if (it == entries_.end()) return false;
-  Entry& entry = it->second;
-  tasks_done = std::min(tasks_done, entry.tasks.size());
-  if (tasks_done <= entry.checkpointed) return false;  // monotone high-water
-  entry.checkpointed = tasks_done;
+bool ChunkLedger::checkpoint(core::OpToken token, std::size_t tasks_done,
+                             double state_bytes) {
+  Entry* entry = entries_.find(token);
+  if (entry == nullptr) return false;
+  tasks_done = std::min(tasks_done, entry->tasks.size());
+  if (tasks_done <= entry->checkpointed) return false;  // monotone high-water
+  entry->checkpointed = tasks_done;
   ++checkpoints_;
+  if (state_bytes > 0.0) checkpoint_state_bytes_ += state_bytes;
   return true;
 }
 
+std::size_t ChunkLedger::checkpoint_batch(
+    std::span<const CheckpointUpdate> updates) {
+  std::size_t advanced = 0;
+  for (const CheckpointUpdate& u : updates)
+    if (checkpoint(u.token, u.tasks_done, u.state_bytes)) ++advanced;
+  return advanced;
+}
+
 void ChunkLedger::rekey(core::OpToken old_token, core::OpToken new_token) {
-  const auto it = entries_.find(old_token);
-  if (it == entries_.end()) return;
-  Entry entry = std::move(it->second);
-  entries_.erase(it);
+  auto [found, entry] = entries_.take(old_token);
+  if (!found) return;
   record(new_token, std::move(entry));
 }
 
 std::optional<ChunkLedger::Entry> ChunkLedger::complete(core::OpToken token) {
-  const auto it = entries_.find(token);
-  if (it == entries_.end()) return std::nullopt;
-  Entry entry = std::move(it->second);
-  entries_.erase(it);
+  auto [found, entry] = entries_.take(token);
+  if (!found) return std::nullopt;
   return entry;
 }
 
@@ -50,15 +54,19 @@ std::vector<std::pair<core::OpToken, ChunkLedger::Entry>>
 ChunkLedger::fail_node(NodeId node, const CompletedFn& completed) {
   std::vector<std::pair<core::OpToken, Entry>> out;
   for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.node == node) {
-      count_loss(it->second, completed);
-      out.emplace_back(it->first, std::move(it->second));
+    if (it->value.node == node) {
+      count_loss(it->value, completed);
+      out.emplace_back(it->key, std::move(it->value));
       it = entries_.erase(it);
     } else {
       ++it;
     }
   }
-  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+  // Oldest dispatch first.  The table iterates in insertion (dispatch)
+  // order already, so the stable sort only reorders entries whose
+  // timestamps genuinely differ — equal-timestamp dispatches keep their
+  // dispatch order deterministically.
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.second.dispatched < b.second.dispatched;
   });
   return out;

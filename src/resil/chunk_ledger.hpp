@@ -17,16 +17,24 @@
 // results sit safely at the farmer; the caller marks them completed instead
 // of re-dispatching), and only the un-checkpointed suffix is charged as
 // wasted work and re-dispatched.
+//
+// Storage is a flat insertion-ordered table (support/flat_map.hpp): the
+// live set is at most one entry per worker, where a linear scan beats a
+// hash table, and insertion order makes fail_node's surrender order — and
+// therefore re-dispatch order — deterministic.  The per-tick checkpoint
+// pass applies all of a tick's progress reports through `checkpoint_batch`
+// in one call.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <optional>
-#include <unordered_map>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "core/backend.hpp"
+#include "support/flat_map.hpp"
 #include "workloads/task.hpp"
 
 namespace grasp::resil {
@@ -44,6 +52,15 @@ class ChunkLedger {
     std::size_t checkpointed = 0;
   };
 
+  /// One progress report of a checkpoint pass (see checkpoint_batch).
+  struct CheckpointUpdate {
+    core::OpToken token = 0;
+    std::size_t tasks_done = 0;
+    /// Size of the partial state shipped with this report, accumulated into
+    /// checkpoint_state_bytes() when the high-water mark advances.
+    double state_bytes = 0.0;
+  };
+
   /// Register a freshly dispatched chunk.  The token must be unused.
   void record(core::OpToken token, Entry entry);
 
@@ -51,7 +68,15 @@ class ChunkLedger {
   /// are checkpointed at the farmer.  Returns true when the high-water mark
   /// advanced; stale (non-increasing) updates and unknown tokens (the chunk
   /// may have completed or been surrendered meanwhile) return false.
-  bool checkpoint(core::OpToken token, std::size_t tasks_done);
+  /// `state_bytes` is the shipped partial state, accounted only when the
+  /// mark advances.
+  bool checkpoint(core::OpToken token, std::size_t tasks_done,
+                  double state_bytes = 0.0);
+
+  /// Apply a whole checkpoint pass — every progress report piggybacked on
+  /// the current heartbeat round — in one call.  Returns the number of
+  /// reports whose high-water mark advanced.
+  std::size_t checkpoint_batch(std::span<const CheckpointUpdate> updates);
 
   /// Move an entry to the next phase's token.  No-op for unknown tokens
   /// (the chunk may have been surrendered to fail_node meanwhile).
@@ -79,12 +104,12 @@ class ChunkLedger {
       NodeId node, const CompletedFn& completed = {});
 
   [[nodiscard]] bool tracks(core::OpToken token) const {
-    return entries_.count(token) != 0;
+    return entries_.contains(token);
   }
   /// Checkpoint high-water mark of a tracked chunk; 0 for unknown tokens.
   [[nodiscard]] std::size_t checkpointed(core::OpToken token) const {
-    const auto it = entries_.find(token);
-    return it == entries_.end() ? 0 : it->second.checkpointed;
+    const Entry* entry = entries_.find(token);
+    return entry == nullptr ? 0 : entry->checkpointed;
   }
   [[nodiscard]] std::size_t in_flight() const { return entries_.size(); }
 
@@ -97,17 +122,22 @@ class ChunkLedger {
   [[nodiscard]] std::size_t checkpoints() const { return checkpoints_; }
   [[nodiscard]] std::size_t tasks_recovered() const { return tasks_recovered_; }
   [[nodiscard]] double recovered_mops() const { return recovered_mops_; }
+  /// Total partial-state bytes shipped by accepted checkpoints.
+  [[nodiscard]] double checkpoint_state_bytes() const {
+    return checkpoint_state_bytes_;
+  }
 
  private:
   void count_loss(const Entry& entry, const CompletedFn& completed);
 
-  std::unordered_map<core::OpToken, Entry> entries_;
+  FlatMap<core::OpToken, Entry> entries_;
   std::size_t chunks_lost_ = 0;
   std::size_t tasks_lost_ = 0;
   double wasted_mops_ = 0.0;
   std::size_t checkpoints_ = 0;       ///< accepted (advancing) checkpoints
   std::size_t tasks_recovered_ = 0;   ///< checkpointed tasks of lost chunks
   double recovered_mops_ = 0.0;
+  double checkpoint_state_bytes_ = 0.0;  ///< shipped partial-state volume
 };
 
 }  // namespace grasp::resil

@@ -1,12 +1,12 @@
 #include "resil/failure_detector.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace grasp::resil {
 
-FailureDetector::FailureDetector(Params params) : params_(params) {
+FailureDetector::FailureDetector(Params params)
+    : params_(params), last_(Seconds{kUnwatched}) {
   if (params_.heartbeat_period.value <= 0.0)
     throw std::invalid_argument(
         "FailureDetector: heartbeat_period must be positive");
@@ -14,18 +14,26 @@ FailureDetector::FailureDetector(Params params) : params_(params) {
     throw std::invalid_argument("FailureDetector: timeout must be positive");
 }
 
-void FailureDetector::watch(NodeId node, Seconds now) { last_[node] = now; }
+void FailureDetector::watch(NodeId node, Seconds now) {
+  Seconds& last = last_[node];
+  if (last.value == kUnwatched) ++watched_count_;
+  last = now;
+}
 
-void FailureDetector::unwatch(NodeId node) { last_.erase(node); }
+void FailureDetector::unwatch(NodeId node) {
+  if (!watching(node)) return;
+  last_[node] = Seconds{kUnwatched};
+  --watched_count_;
+}
 
 bool FailureDetector::watching(NodeId node) const {
-  return last_.count(node) != 0;
+  return last_.at_or_default(node).value != kUnwatched;
 }
 
 void FailureDetector::heartbeat(NodeId node, Seconds at) {
-  const auto it = last_.find(node);
-  if (it == last_.end()) return;  // not watched; drop
-  if (at > it->second) it->second = at;
+  if (!watching(node)) return;  // not watched; drop
+  Seconds& last = last_[node];
+  if (at > last) last = at;
 }
 
 void FailureDetector::advance(
@@ -36,13 +44,16 @@ void FailureDetector::advance(
       static_cast<long long>(std::floor(last_advance_.value / period)) + 1;
   const auto last_tick = static_cast<long long>(std::floor(now.value / period));
   if (first_tick <= last_tick) {
-    for (auto& [node, last] : last_) {
+    const std::size_t slots = last_.values().size();
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      if (last_.values()[slot].value == kUnwatched) continue;
+      const NodeId node{slot};
       // Latest alive tick wins; scan backwards and stop at the first hit so
       // large clock jumps stay cheap for healthy nodes.
       for (long long k = last_tick; k >= first_tick; --k) {
         const Seconds tick{static_cast<double>(k) * period};
         if (alive(node, tick)) {
-          if (tick > last) last = tick;
+          if (tick > last_.values()[slot]) last_[node] = tick;
           break;
         }
       }
@@ -52,27 +63,26 @@ void FailureDetector::advance(
 }
 
 std::vector<NodeId> FailureDetector::suspects(Seconds now) const {
+  // The dense table is walked in id order, so the output needs no sort.
   std::vector<NodeId> out;
-  for (const auto& [node, last] : last_)
-    if (now - last > params_.timeout) out.push_back(node);
-  std::sort(out.begin(), out.end());
+  for (std::size_t slot = 0; slot < last_.values().size(); ++slot) {
+    const Seconds last = last_.values()[slot];
+    if (last.value != kUnwatched && now - last > params_.timeout)
+      out.push_back(NodeId{slot});
+  }
   return out;
 }
 
 std::vector<NodeId> FailureDetector::watched() const {
   std::vector<NodeId> out;
-  out.reserve(last_.size());
-  for (const auto& [node, last] : last_) {
-    (void)last;
-    out.push_back(node);
-  }
-  std::sort(out.begin(), out.end());
+  out.reserve(watched_count_);
+  for (std::size_t slot = 0; slot < last_.values().size(); ++slot)
+    if (last_.values()[slot].value != kUnwatched) out.push_back(NodeId{slot});
   return out;
 }
 
 Seconds FailureDetector::last_heartbeat(NodeId node) const {
-  const auto it = last_.find(node);
-  return it == last_.end() ? Seconds{-1.0} : it->second;
+  return last_.at_or_default(node);  // kUnwatched doubles as "not watched"
 }
 
 }  // namespace grasp::resil

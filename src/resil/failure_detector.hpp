@@ -12,9 +12,9 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "support/flat_map.hpp"
 #include "support/ids.hpp"
 
 namespace grasp::resil {
@@ -34,7 +34,7 @@ class FailureDetector {
   void watch(NodeId node, Seconds now);
   void unwatch(NodeId node);
   [[nodiscard]] bool watching(NodeId node) const;
-  [[nodiscard]] std::size_t watched_count() const { return last_.size(); }
+  [[nodiscard]] std::size_t watched_count() const { return watched_count_; }
 
   /// Record a heartbeat received from `node` at time `at`.  Stale stamps
   /// (older than the latest) are ignored.
@@ -58,8 +58,17 @@ class FailureDetector {
   [[nodiscard]] const Params& params() const { return params_; }
 
  private:
+  /// Sentinel for "slot not watched".  Legitimate heartbeat stamps are
+  /// non-negative, so this never collides with a real timestamp (and it is
+  /// exactly what last_heartbeat reports for unwatched nodes).
+  static constexpr double kUnwatched = -1.0;
+
   Params params_;
-  std::unordered_map<NodeId, Seconds> last_;
+  /// Per-tick state, indexed directly by node id (NodeMap): the suspect
+  /// scan and heartbeat credit walk a flat array in id order — no hashing,
+  /// and id-ordered output falls out free.
+  NodeMap<Seconds> last_;
+  std::size_t watched_count_ = 0;
   Seconds last_advance_{0.0};
 };
 

@@ -26,7 +26,7 @@ std::size_t drain_heartbeats(mp::Comm& comm, FailureDetector& detector,
 std::size_t drain_checkpoints(mp::Comm& comm, ChunkLedger& ledger) {
   std::size_t advanced = 0;
   mp::drain_progress(comm, [&](const mp::ChunkProgress& p) {
-    if (ledger.checkpoint(p.chunk, p.tasks_done)) ++advanced;
+    if (ledger.checkpoint(p.chunk, p.tasks_done, p.state_bytes)) ++advanced;
   });
   return advanced;
 }

@@ -1,0 +1,156 @@
+// Flat associative containers for the hot paths.
+//
+// The engines key state by two kinds of identifiers: operation tokens
+// (dense, monotonically allocated, a handful in flight at once) and node
+// ids (small integers assigned contiguously by the grid builder).  At those
+// sizes a contiguous vector beats a node-based hash table on every axis —
+// no per-element allocation, no hashing, one cache line per probe — so the
+// per-event map lookups that used to dominate simulation profiles become
+// linear scans over a few dozen bytes.
+//
+//   * FlatMap<K, V>  — insertion-ordered vector of (key, value) pairs with
+//     linear find.  Intended for small live sets (in-flight operations,
+//     armed timers, ledger entries).  Erase preserves insertion order, so
+//     iteration is deterministic — a property the resilience layer relies
+//     on for reproducible re-dispatch order.
+//   * NodeMap<V>     — direct-indexed vector keyed by NodeId, auto-growing,
+//     with a default value for untouched nodes.  O(1) access, no hashing;
+//     relies on grid node ids being small and dense (they are: the grid
+//     builder numbers nodes contiguously from zero).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace grasp {
+
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  struct Item {
+    Key key;
+    Value value;
+  };
+  using iterator = typename std::vector<Item>::iterator;
+  using const_iterator = typename std::vector<Item>::const_iterator;
+
+  [[nodiscard]] Value* find(const Key& key) {
+    for (Item& item : items_)
+      if (item.key == key) return &item.value;
+    return nullptr;
+  }
+  [[nodiscard]] const Value* find(const Key& key) const {
+    for (const Item& item : items_)
+      if (item.key == key) return &item.value;
+    return nullptr;
+  }
+  [[nodiscard]] bool contains(const Key& key) const {
+    return find(key) != nullptr;
+  }
+
+  /// Insert a new mapping.  The key must not be present.
+  Value& emplace(const Key& key, Value value) {
+    items_.push_back(Item{key, std::move(value)});
+    return items_.back().value;
+  }
+
+  /// Remove the item at `pos`, preserving the insertion order of the
+  /// survivors; returns the iterator to the next item.
+  iterator erase(iterator pos) { return items_.erase(pos); }
+
+  /// Remove `key`, preserving the insertion order of the survivors.
+  /// Returns true when the key was present.
+  bool erase(const Key& key) {
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (it->key == key) {
+        items_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Remove `key` and return its value.
+  std::pair<bool, Value> take(const Key& key) {
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (it->key == key) {
+        Value value = std::move(it->value);
+        items_.erase(it);
+        return {true, std::move(value)};
+      }
+    }
+    return {false, Value{}};
+  }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  void clear() { items_.clear(); }
+  void reserve(std::size_t n) { items_.reserve(n); }
+
+  [[nodiscard]] iterator begin() { return items_.begin(); }
+  [[nodiscard]] iterator end() { return items_.end(); }
+  [[nodiscard]] const_iterator begin() const { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const { return items_.end(); }
+
+ private:
+  std::vector<Item> items_;
+};
+
+template <typename Value>
+class NodeMap {
+ public:
+  NodeMap() = default;
+  /// A custom default requires a copyable Value (untouched slots are filled
+  /// with copies); move-only Values use the value-initialized default.
+  explicit NodeMap(Value default_value) : default_(std::move(default_value)) {
+    static_assert(std::is_copy_constructible_v<Value>,
+                  "NodeMap: custom default needs a copyable Value");
+  }
+
+  /// Mutable access; grows the table to cover `node`.
+  Value& operator[](NodeId node) {
+    const std::size_t index = check(node);
+    if (index >= values_.size()) {
+      if constexpr (std::is_copy_constructible_v<Value>) {
+        values_.resize(index + 1, default_);
+      } else {
+        values_.resize(index + 1);  // value-init == default_ (see ctor)
+      }
+    }
+    return values_[index];
+  }
+
+  /// Read-only access; untouched nodes — and ids outside the dense range,
+  /// including the invalid sentinel — read as the default value.
+  [[nodiscard]] const Value& at_or_default(NodeId node) const {
+    if (!node.is_valid() || node.value >= kMaxDirectIndex) return default_;
+    const auto index = static_cast<std::size_t>(node.value);
+    return index < values_.size() ? values_[index] : default_;
+  }
+
+  /// Dense slot storage, index == node id (for full-table scans).
+  [[nodiscard]] const std::vector<Value>& values() const { return values_; }
+
+  void clear() { values_.clear(); }
+
+ private:
+  /// Grid node ids are dense small integers; the ceiling only guards
+  /// against an invalid/sentinel id blowing up the table.
+  static constexpr std::size_t kMaxDirectIndex = 1u << 22;
+
+  static std::size_t check(NodeId node) {
+    if (!node.is_valid() || node.value >= kMaxDirectIndex)
+      throw std::out_of_range("NodeMap: node id outside dense range");
+    return static_cast<std::size_t>(node.value);
+  }
+
+  std::vector<Value> values_;
+  Value default_{};
+};
+
+}  // namespace grasp

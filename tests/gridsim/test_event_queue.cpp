@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
+
+#include "support/rng.hpp"
 
 namespace grasp::gridsim {
 namespace {
@@ -192,6 +196,140 @@ TEST(EventQueue, CancelTieBreaksOnlyTheNamedEvent) {
   EXPECT_TRUE(q.cancel(id));
   EXPECT_EQ(q.run_all(), 2u);
   EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(EventQueue, ScheduleBatchMatchesSequentialScheduling) {
+  // schedule_batch is documented as bit-for-bit equivalent to element-wise
+  // schedule_at: same FIFO tie-break, same execution order.
+  Rng rng(11);
+  std::vector<double> whens;
+  for (int i = 0; i < 64; ++i)
+    whens.push_back(std::floor(rng.uniform(0.0, 8.0) * 2.0) / 2.0);
+
+  EventQueue sequential;
+  std::vector<int> seq_order;
+  for (int i = 0; i < 64; ++i)
+    sequential.schedule_at(Seconds{whens[static_cast<std::size_t>(i)]},
+                           [&seq_order, i] { seq_order.push_back(i); });
+
+  EventQueue batched;
+  std::vector<int> batch_order;
+  std::vector<EventQueue::BatchItem> items;
+  for (int i = 0; i < 64; ++i)
+    items.push_back({Seconds{whens[static_cast<std::size_t>(i)]},
+                     [&batch_order, i] { batch_order.push_back(i); }});
+  batched.schedule_batch(items);
+
+  EXPECT_EQ(sequential.run_all(), 64u);
+  EXPECT_EQ(batched.run_all(), 64u);
+  EXPECT_EQ(batch_order, seq_order);
+  EXPECT_DOUBLE_EQ(batched.now().value, sequential.now().value);
+}
+
+TEST(EventQueue, BatchInterleavedWithCancelKeepsFifoOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventQueue::BatchItem> first;
+  std::vector<EventQueue::EventId> ids(6);
+  for (int i = 0; i < 6; ++i)
+    first.push_back({Seconds{1.0}, [&order, i] { order.push_back(i); }});
+  q.schedule_batch(first, ids.data());
+  EXPECT_EQ(q.pending(), 6u);
+  EXPECT_TRUE(q.cancel(ids[1]));
+  EXPECT_TRUE(q.cancel(ids[4]));
+  // A second batch at the same timestamp lands behind the first (FIFO even
+  // across batches), and its members are individually cancellable too.
+  std::vector<EventQueue::BatchItem> second;
+  std::vector<EventQueue::EventId> ids2(3);
+  for (int i = 6; i < 9; ++i)
+    second.push_back({Seconds{1.0}, [&order, i] { order.push_back(i); }});
+  q.schedule_batch(second, ids2.data());
+  EXPECT_TRUE(q.cancel(ids2[0]));
+  EXPECT_EQ(q.run_all(), 6u);
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 5, 7, 8}));
+}
+
+TEST(EventQueue, BatchRejectsPastTimestamps) {
+  EventQueue q;
+  q.schedule_at(Seconds{5.0}, [] {});
+  q.run_all();
+  std::vector<EventQueue::BatchItem> items;
+  items.push_back({Seconds{4.0}, [] {}});
+  EXPECT_THROW(q.schedule_batch(items), std::invalid_argument);
+}
+
+TEST(EventQueue, RecycledSlotsInvalidateStaleIds) {
+  // Generation stamping: once a cancelled event's slot is reclaimed and
+  // handed to a new event, the old handle must not cancel the new tenant.
+  EventQueue q;
+  std::vector<EventQueue::EventId> stale;
+  for (int i = 0; i < 8; ++i) stale.push_back(q.schedule_at(Seconds{1.0}, [] {}));
+  for (const auto id : stale) EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.run_all(), 0u);
+
+  int fired = 0;
+  for (int i = 0; i < 8; ++i)
+    (void)q.schedule_at(Seconds{2.0}, [&fired] { ++fired; });
+  for (const auto id : stale) EXPECT_FALSE(q.cancel(id));  // stale generation
+  EXPECT_EQ(q.run_all(), 8u);
+  EXPECT_EQ(fired, 8);
+}
+
+TEST(EventQueue, SeededCancelHeavyStressMatchesReferenceModel) {
+  // Random interleaving of schedules (with deliberate timestamp ties),
+  // cancels and steps, checked against a brute-force reference: survivors
+  // must fire exactly once, in (timestamp, insertion) order.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    EventQueue q;
+    struct Ref {
+      double when;
+      int label;
+      EventQueue::EventId id;
+      bool cancelled = false;
+    };
+    std::vector<Ref> refs;
+    std::vector<int> fired;
+    int next_label = 0;
+    for (int round = 0; round < 30; ++round) {
+      const auto burst = 1 + rng.uniform_index(6);
+      for (std::uint64_t i = 0; i < burst; ++i) {
+        // Quantise to half-seconds so equal timestamps are common.
+        double when =
+            std::floor((q.now().value + rng.uniform(0.0, 6.0)) * 2.0) / 2.0;
+        if (when < q.now().value) when = q.now().value;
+        const int label = next_label++;
+        const auto id = q.schedule_at(
+            Seconds{when}, [&fired, label] { fired.push_back(label); });
+        refs.push_back({when, label, id, false});
+      }
+      const auto cancels = rng.uniform_index(4);
+      for (std::uint64_t c = 0; c < cancels; ++c) {
+        Ref& victim = refs[rng.uniform_index(refs.size())];
+        // The queue's verdict is authoritative: cancel succeeds iff the
+        // event is still pending, and says so.
+        if (q.cancel(victim.id)) victim.cancelled = true;
+      }
+      const auto steps = rng.uniform_index(4);
+      for (std::uint64_t s = 0; s < steps; ++s) (void)q.step();
+    }
+    q.run_all();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+
+    std::vector<Ref> expected(refs);
+    expected.erase(std::remove_if(expected.begin(), expected.end(),
+                                  [](const Ref& r) { return r.cancelled; }),
+                   expected.end());
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const Ref& a, const Ref& b) { return a.when < b.when; });
+    std::vector<int> expected_labels;
+    for (const Ref& r : expected) expected_labels.push_back(r.label);
+    EXPECT_EQ(fired, expected_labels) << "seed " << seed;
+
+    // Every handle — executed or cancelled — is now stale.
+    for (const Ref& r : refs) EXPECT_FALSE(q.cancel(r.id));
+  }
 }
 
 TEST(SimClock, NeverMovesBackwards) {

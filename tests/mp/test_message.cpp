@@ -2,10 +2,76 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <thread>
+#include <vector>
 
 namespace grasp::mp {
 namespace {
+
+/// Byte buffer 0..n-1, for boundary round-trips.
+std::vector<std::byte> pattern(std::size_t n) {
+  std::vector<std::byte> bytes(n);
+  for (std::size_t i = 0; i < n; ++i)
+    bytes[i] = static_cast<std::byte>(i & 0xff);
+  return bytes;
+}
+
+TEST(Payload, InlineVersusHeapBoundarySizes) {
+  // The inline capacity covers every control message; one past it must
+  // transparently fall back to the heap with identical observable content.
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, Payload::kInlineCapacity - 1,
+        Payload::kInlineCapacity, Payload::kInlineCapacity + 1,
+        std::size_t{64}, std::size_t{4096}}) {
+    const std::vector<std::byte> bytes = pattern(n);
+    Payload p(bytes.data(), bytes.size());
+    EXPECT_EQ(p.size(), n);
+    EXPECT_EQ(p.is_inline(), n <= Payload::kInlineCapacity) << n;
+    if (n > 0) {
+      EXPECT_EQ(std::memcmp(p.data(), bytes.data(), n), 0) << n;
+    }
+
+    // Copy and move preserve contents on both sides of the boundary.
+    Payload copy(p);
+    EXPECT_EQ(copy.size(), n);
+    if (n > 0) {
+      EXPECT_EQ(std::memcmp(copy.data(), bytes.data(), n), 0) << n;
+    }
+    Payload moved(std::move(p));
+    EXPECT_EQ(moved.size(), n);
+    if (n > 0) {
+      EXPECT_EQ(std::memcmp(moved.data(), bytes.data(), n), 0) << n;
+    }
+    EXPECT_EQ(p.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+
+    // Assignment over an existing payload of the other storage class.
+    Payload target(pattern(Payload::kInlineCapacity * 2));
+    target = moved;
+    EXPECT_EQ(target.size(), n);
+    if (n > 0) {
+      EXPECT_EQ(std::memcmp(target.data(), bytes.data(), n), 0) << n;
+    }
+    Payload target2(pattern(3));
+    target2 = std::move(moved);
+    EXPECT_EQ(target2.size(), n);
+    if (n > 0) {
+      EXPECT_EQ(std::memcmp(target2.data(), bytes.data(), n), 0) << n;
+    }
+  }
+}
+
+TEST(Payload, MessagePacksStayInline) {
+  // The substrate's control traffic must never heap-allocate: heartbeats
+  // (a node id), collective doubles, and ChunkProgress all fit inline.
+  EXPECT_TRUE(Message::pack(std::uint64_t{7}).is_inline());
+  EXPECT_TRUE(Message::pack(3.25).is_inline());
+  struct ProgressSized {
+    std::uint64_t a, b, c;
+    double d;
+  };
+  EXPECT_TRUE(Message::pack(ProgressSized{1, 2, 3, 4.0}).is_inline());
+}
 
 TEST(Message, PackUnpackRoundTrip) {
   const double value = 3.25;
@@ -80,6 +146,61 @@ TEST(Mailbox, TryReceiveNonBlocking) {
   box.deliver(std::move(m));
   EXPECT_FALSE(box.try_receive(0, 2).has_value());  // wrong tag
   EXPECT_TRUE(box.try_receive(0, 1).has_value());
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Mailbox, WildcardReceiveDrainsInGlobalArrivalOrder) {
+  // Fairness regression: recv(kAnySource) must return messages in global
+  // arrival order, never grouped per source — an indexed mailbox that
+  // served whole per-source chains would starve late senders.
+  Mailbox box;
+  const int sources[] = {2, 1, 2, 0, 1, 0, 2, 0};
+  for (int i = 0; i < 8; ++i) {
+    Message m;
+    m.source = sources[i];
+    m.tag = 7;
+    m.payload = Message::pack(i);
+    box.deliver(std::move(m));
+  }
+  for (int i = 0; i < 8; ++i) {
+    const Message got = box.receive(kAnySource, 7);
+    EXPECT_EQ(got.unpack<int>(), i);
+    EXPECT_EQ(got.source, sources[i]);
+  }
+}
+
+TEST(Mailbox, WildcardTagAlsoPreservesArrivalOrder) {
+  Mailbox box;
+  const int tags[] = {5, 9, 5, 3, 9};
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.source = 4;
+    m.tag = tags[i];
+    m.payload = Message::pack(i);
+    box.deliver(std::move(m));
+  }
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(box.receive(4, kAnyTag).unpack<int>(), i);
+}
+
+TEST(Mailbox, ExactMatchingInterleavedWithWildcardsKeepsOrder) {
+  // Mixing indexed (exact) and scanned (wildcard) receives must agree on
+  // one arrival order: an exact receive removes its message from the
+  // global chain too, and vice versa.
+  Mailbox box;
+  for (int i = 0; i < 6; ++i) {
+    Message m;
+    m.source = i % 2;      // sources 0 and 1 alternate
+    m.tag = 11;
+    m.payload = Message::pack(i);
+    box.deliver(std::move(m));
+  }
+  EXPECT_EQ(box.receive(1, 11).unpack<int>(), 1);          // exact
+  EXPECT_EQ(box.receive(kAnySource, 11).unpack<int>(), 0);  // global head
+  EXPECT_EQ(box.receive(1, 11).unpack<int>(), 3);          // next of source 1
+  EXPECT_EQ(box.receive(kAnySource, 11).unpack<int>(), 2);
+  EXPECT_EQ(box.receive(kAnySource, kAnyTag).unpack<int>(), 4);
+  EXPECT_EQ(box.receive(5 % 2, 11).unpack<int>(), 5);
   EXPECT_EQ(box.pending(), 0u);
 }
 

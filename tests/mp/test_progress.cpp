@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <vector>
 
 #include "mp/communicator.hpp"
@@ -89,6 +90,57 @@ TEST(Progress, HeartbeatPiggybackFeedsDetectorAndLedger) {
       EXPECT_EQ(advanced, 1u);
     }
   });
+}
+
+TEST(Progress, StateBytesAreChargedThroughTheSendHook) {
+  // Checkpoint shipping is not free: the progress envelope AND the
+  // partial state it describes must both flow through the world's
+  // transfer-cost hook (the threaded backend charges real time there).
+  World world(2);
+  std::mutex mutex;
+  std::size_t charged = 0;
+  std::size_t sends = 0;
+  world.set_send_hook([&](int, int, std::size_t bytes) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    charged += bytes;
+    ++sends;
+  });
+  world.run([](Comm& comm) {
+    if (comm.rank() == 1) {
+      send_progress(comm, 0, ChunkProgress{5, 1, 2, 4096.0});
+      send_progress(comm, 0, ChunkProgress{5, 1, 3, 0.0});  // nothing extra
+    } else {
+      std::size_t got = 0;
+      while (got < 2) got += drain_progress(comm, [](const ChunkProgress&) {});
+    }
+  });
+  // Two envelopes plus one out-of-band state charge (zero-byte state ships
+  // nothing and must not invoke the hook).
+  EXPECT_EQ(sends, 3u);
+  EXPECT_EQ(charged, 2 * sizeof(ChunkProgress) + 4096u);
+}
+
+TEST(Progress, LedgerAccumulatesShippedStateBytes) {
+  // drain_checkpoints forwards state_bytes into the ledger, which counts
+  // only accepted (advancing) updates toward checkpoint_state_bytes —
+  // stale re-sends must not inflate the shipped-volume accounting.
+  resil::ChunkLedger ledger;
+  ledger.record(31, entry(NodeId{4}, 4));
+  World world(2);
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 1) {
+      send_progress(comm, 0, ChunkProgress{31, 4, 2, 100.0});
+      send_progress(comm, 0, ChunkProgress{31, 4, 2, 100.0});  // stale
+      send_progress(comm, 0, ChunkProgress{31, 4, 3, 50.0});
+    } else {
+      // In-order delivery from one sender: once the high-water mark hits 3,
+      // the stale middle update has necessarily been consumed too.
+      while (ledger.checkpointed(31) < 3)
+        (void)resil::drain_checkpoints(comm, ledger);
+    }
+  });
+  EXPECT_EQ(ledger.checkpointed(31), 3u);
+  EXPECT_DOUBLE_EQ(ledger.checkpoint_state_bytes(), 150.0);
 }
 
 TEST(Progress, MessageRoundTripsThroughPack) {
