@@ -23,10 +23,18 @@
 // churn effect) + 4 spares joining mid-run; crashes stall in-flight work
 // until the node returns (or 2e4 s for nodes that never do).
 //
+// A third sweep drops the farmer's protection entirely: worker churn held
+// at mtbf 300 s, the coordinator's own MTBF swept with one hot standby
+// shadowing it (the replicated-farmer subsystem).  `--smoke` runs a reduced
+// farmer sweep and exits non-zero if any row loses conservation — the CI
+// guard on the failover re-dispatch paths.
+//
 // Writes BENCH_e13.json next to the working directory for trend tracking.
+#include <cstring>
 #include <fstream>
 
 #include "bench/common.hpp"
+#include "gridsim/churn.hpp"
 
 using namespace grasp;
 
@@ -87,9 +95,126 @@ gridsim::Grid make_scenario(double mtbf) {
   return gridsim::make_churn_grid(cp);
 }
 
+/// The farmer sweep scenario: the usual worker churn (mtbf 300, protected
+/// node 0) overlaid with a failure schedule on node 0 itself at
+/// `farmer_mtbf` (0 = the farmer stays reliable, the control row).
+gridsim::Grid make_farmer_scenario(double farmer_mtbf) {
+  gridsim::Grid grid = make_scenario(300.0);
+  if (farmer_mtbf <= 0.0) return grid;
+  gridsim::ChurnModel::Params fp;
+  fp.mtbf = farmer_mtbf;
+  fp.crash_fraction = 0.75;
+  fp.rejoin_probability = 0.7;
+  fp.mean_rejoin_delay = Seconds{60.0};
+  fp.horizon = Seconds{600.0};
+  fp.warmup = Seconds{30.0};
+  fp.seed = 17;
+  const gridsim::ChurnTimeline farmer_tl =
+      gridsim::ChurnModel::generate({NodeId{0}}, fp);
+
+  std::vector<gridsim::ChurnEvent> events = grid.churn()->events();
+  std::vector<NodeId> absent;
+  for (const NodeId n : grid.node_ids())
+    if (!grid.churn()->initially_member(n)) absent.push_back(n);
+  for (const gridsim::ChurnEvent& e : farmer_tl.events()) events.push_back(e);
+  // Crashed farmers stall like any other corpse — the same downtime rule
+  // make_churn_grid applies, restricted to the overlaid farmer events.
+  gridsim::apply_crash_downtime(grid, farmer_tl);
+  grid.set_churn(gridsim::ChurnTimeline(std::move(events), std::move(absent)));
+  return grid;
+}
+
+core::FarmParams with_failover(core::FarmParams p) {
+  p.resilience.failover.standby_count = 1;
+  p.resilience.failover.handshake = Seconds{2.0};
+  return p;
+}
+
+/// Task conservation: every task completes exactly once, through normal
+/// completion, calibration, checkpoint recovery or post-failover re-run —
+/// retracted results excluded.  The --smoke CI gate.
+bool conserves(const core::FarmReport& r, std::size_t total) {
+  return r.tasks_completed + r.calibration_tasks == total &&
+         r.trace.count(gridsim::TraceEventKind::TaskCompleted) ==
+             total + r.trace.count(gridsim::TraceEventKind::TaskResultLost);
+}
+
+/// Farmer-MTBF sweep rows; returns false when any row loses conservation.
+bool run_farmer_sweep(const workloads::TaskSet& tasks, Table& table,
+                      std::ostream* json) {
+  // The farm finishes in ~200 virtual seconds, so the interesting farmer
+  // MTBFs sit below that: 300 rarely fails inside a run, 75 usually fails
+  // once or twice.  0 is the farmer-reliable control row.
+  const std::vector<double> farmer_mtbfs = {0.0, 300.0, 150.0, 75.0};
+  bool conserved = true;
+  bool first = true;
+  for (const double farmer_mtbf : farmer_mtbfs) {
+    double makespan[2] = {0, 0};
+    core::FarmReport grasp_report;
+    const core::FarmParams variants[2] = {with_failover(elastic_params()),
+                                          with_failover(static_params())};
+    for (int v = 0; v < 2; ++v) {
+      gridsim::Grid grid = make_farmer_scenario(farmer_mtbf);
+      core::SimBackend backend(grid);
+      core::FarmReport r = core::TaskFarm(variants[v])
+                               .run(backend, grid, grid.node_ids(), tasks);
+      makespan[v] = r.makespan.value;
+      if (!conserves(r, tasks.size())) {
+        conserved = false;
+        std::cerr << "CONSERVATION VIOLATED: farmer_mtbf=" << farmer_mtbf
+                  << " variant=" << (v == 0 ? "grasp" : "static") << "\n";
+      }
+      if (v == 0) grasp_report = std::move(r);
+    }
+    const auto& res = grasp_report.resilience;
+    table.add_row(
+        {farmer_mtbf > 0.0 ? Table::num(farmer_mtbf, 0) : "none",
+         Table::num(makespan[0], 1), Table::num(makespan[1], 1),
+         Table::num(static_cast<long long>(res.failovers)),
+         Table::num(res.failover_latency_s, 1),
+         Table::num(static_cast<long long>(res.results_rolled_back)),
+         Table::num(static_cast<long long>(res.standby_recruits)),
+         Table::num(res.replication_bytes / 1024.0, 0)});
+    if (json != nullptr) {
+      *json << (first ? "" : ",\n")
+            << "    {\"farmer_mtbf_s\": " << farmer_mtbf
+            << ", \"grasp_s\": " << makespan[0]
+            << ", \"static_s\": " << makespan[1]
+            << ", \"failovers\": " << res.failovers
+            << ", \"failover_latency_s\": " << res.failover_latency_s
+            << ", \"results_rolled_back\": " << res.results_rolled_back
+            << ", \"standby_recruits\": " << res.standby_recruits
+            << ", \"replication_records\": " << res.replication_records
+            << ", \"replication_bytes\": " << res.replication_bytes << "}";
+    }
+    first = false;
+  }
+  return conserved;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (smoke) {
+    // CI gate: reduced farmer-churn rows, conservation checked, no JSON
+    // written (the committed baseline stays untouched).  The workload must
+    // outlive the farmer's first failure (warmup 30 s + Exp(mtbf)) or the
+    // gate exercises nothing — 1400 tasks run ~140 virtual seconds.
+    const workloads::TaskSet smoke_tasks =
+        bench::irregular_tasks(1400, 120.0, 29);
+    Table t({"farmer_mtbf_s", "grasp_s", "static_s", "failovers",
+             "failover_lat_s", "rolled_back", "recruits", "repl_kb"});
+    const bool ok = run_farmer_sweep(smoke_tasks, t, nullptr);
+    std::cout << t.to_string();
+    if (!ok) {
+      std::cerr << "bench_e13 --smoke: conservation FAILED\n";
+      return 1;
+    }
+    std::cout << "bench_e13 --smoke: conservation holds on every "
+                 "farmer-churn row\n";
+    return 0;
+  }
   bench::print_experiment_header(
       "E13 — farm resilience under node churn",
       "16 heterogeneous nodes + 4 late-joining spares; Poisson crash/leave/"
@@ -189,6 +314,15 @@ int main() {
          << ", \"tasks_redispatched\": " << res.tasks_redispatched << "}";
     first_sweep = false;
   }
+  json << "\n  ],\n";
+
+  // ---- farmer-MTBF sweep: the coordinator itself churns, one standby.
+  Table farmer_table({"farmer_mtbf_s", "grasp_s", "static_s", "failovers",
+                      "failover_lat_s", "rolled_back", "recruits",
+                      "repl_kb"});
+  json << "  \"farmer_sweep_worker_mtbf_s\": 300,\n"
+       << "  \"farmer_sweep_standbys\": 1,\n  \"farmer_sweep\": [\n";
+  const bool conserved = run_farmer_sweep(tasks, farmer_table, &json);
   json << "\n  ]\n}\n";
 
   std::cout << table.to_string()
@@ -199,6 +333,13 @@ int main() {
                "shrinks\nbut stays below the un-checkpointed baseline.\n\n"
             << "checkpoint_period sweep (mtbf=" << sweep_mtbf << " s):\n"
             << sweep.to_string()
-            << "\nbaseline written to BENCH_e13.json\n";
-  return 0;
+            << "\nfarmer-MTBF sweep (worker mtbf=300 s, 1 hot standby, "
+               "protected_prefix=0):\n"
+            << farmer_table.to_string()
+            << "\nexpected shape: grasp_s at or ahead of static_s per row; "
+               "failovers grow as the\nfarmer's MTBF shrinks; rolled-back "
+               "results stay a small fraction of the total\n(the replication "
+               "flush rides every heartbeat).\n\nbaseline written to "
+               "BENCH_e13.json\n";
+  return conserved ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "resil/membership.hpp"
+#include "support/flat_map.hpp"
 #include "support/log.hpp"
 #include "support/stats.hpp"
 
@@ -286,8 +287,19 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
   arm_monitor();
 
   // ---- Streaming state. -------------------------------------------------
-  std::unordered_map<std::uint64_t, ItemState> items;
-  std::unordered_map<OpToken, PendingOp> ops;
+  // Flat insertion-ordered tables (support/flat_map.hpp): the live sets are
+  // bounded by the stage count and the source window, where a linear scan
+  // beats hashing on every per-event lookup — the same conversion the farm's
+  // in-flight table got in the hot-path overhaul — and iteration order is
+  // deterministic, which the loss-handling sweeps below rely on.
+  FlatMap<std::uint64_t, ItemState> items;
+  FlatMap<OpToken, PendingOp> ops;
+  auto item_at = [&](std::uint64_t id) -> ItemState& {
+    ItemState* state = items.find(id);
+    if (state == nullptr)
+      throw std::logic_error("Pipeline: unknown item id");
+    return *state;
+  };
   std::uint64_t injected = 0;
   std::vector<double> latencies;
   std::vector<std::uint64_t> emission_order;  // delivered order at the sink
@@ -344,17 +356,17 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
         Replica& rep = st.replicas[r];
         if (rep.node != node || rep.down) continue;
         for (auto op_it = ops.begin(); op_it != ops.end();) {
-          const PendingOp& op = op_it->second;
+          const PendingOp& op = op_it->value;
           if (op.kind != OpKind::SinkOut && op.stage == s &&
               op.replica == r) {
-            dead_tokens.insert(op_it->first);
+            dead_tokens.insert(op_it->key);
             op_it = ops.erase(op_it);
           } else {
             ++op_it;
           }
         }
         auto requeue = [&](std::uint64_t id) {
-          items.at(id).location = upstream_holder(s);
+          item_at(id).location = upstream_holder(s);
           st.waiting.push_front(id);
           ++report.resilience.tasks_redispatched;
         };
@@ -398,23 +410,23 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
     for (std::size_t s = 0; s < depth; ++s) {
       StageState& st = stages[s];
       for (const std::uint64_t id : st.waiting) {
-        if (items.at(id).location == node)
-          items.at(id).location = upstream_holder(s);
+        if (item_at(id).location == node)
+          item_at(id).location = upstream_holder(s);
       }
       for (std::size_t r = 0; r < st.replicas.size(); ++r) {
         Replica& rep = st.replicas[r];
-        if (!rep.receiving || items.at(*rep.receiving).location != node)
+        if (!rep.receiving || item_at(*rep.receiving).location != node)
           continue;
         for (auto op_it = ops.begin(); op_it != ops.end();) {
-          if (op_it->second.kind == OpKind::StageIn &&
-              op_it->second.stage == s && op_it->second.replica == r) {
-            dead_tokens.insert(op_it->first);
+          if (op_it->value.kind == OpKind::StageIn &&
+              op_it->value.stage == s && op_it->value.replica == r) {
+            dead_tokens.insert(op_it->key);
             op_it = ops.erase(op_it);
           } else {
             ++op_it;
           }
         }
-        items.at(*rep.receiving).location = upstream_holder(s);
+        item_at(*rep.receiving).location = upstream_holder(s);
         st.waiting.push_front(*rep.receiving);
         rep.receiving.reset();
         ++report.resilience.tasks_redispatched;
@@ -425,15 +437,15 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
     // emission is retracted; late re-delivery is honestly reported through
     // output_in_order).
     for (auto op_it = ops.begin(); op_it != ops.end();) {
-      const PendingOp& op = op_it->second;
-      if (op.kind == OpKind::SinkOut && items.count(op.item) != 0 &&
-          items.at(op.item).location == node) {
-        dead_tokens.insert(op_it->first);
+      const PendingOp& op = op_it->value;
+      if (op.kind == OpKind::SinkOut && items.contains(op.item) &&
+          item_at(op.item).location == node) {
+        dead_tokens.insert(op_it->key);
         const auto emitted = std::find(emission_order.rbegin(),
                                        emission_order.rend(), op.item);
         if (emitted != emission_order.rend())
           emission_order.erase(std::prev(emitted.base()));
-        items.at(op.item).location = upstream_holder(depth - 1);
+        item_at(op.item).location = upstream_holder(depth - 1);
         stages[depth - 1].waiting.push_front(op.item);
         ++report.resilience.tasks_redispatched;
         op_it = ops.erase(op_it);
@@ -512,7 +524,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
     } else {
       emission_order.push_back(item);
       const OpToken token = tokens.alloc();
-      backend.submit_transfer(token, items.at(item).location, source,
+      backend.submit_transfer(token, item_at(item).location, source,
                               spec.stages.back().output_bytes);
       ops.emplace(token, PendingOp{OpKind::SinkOut, s, 0, item});
     }
@@ -557,7 +569,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
     while (injected < item_count &&
            first.waiting.size() < params_.source_window) {
       const std::uint64_t id = injected++;
-      items[id] = ItemState{source, backend.now()};
+      items.emplace(id, ItemState{source, backend.now()});
       first.waiting.push_back(id);
     }
     // The pass stages every submission — migrations, receives and computes
@@ -581,7 +593,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
           rep.receiving = id;
           const OpToken token = tokens.alloc();
           submit_wave.push_back(OpRequest::transfer(
-              token, items.at(id).location, rep.node, bytes_into(s)));
+              token, item_at(id).location, rep.node, bytes_into(s)));
           ops.emplace(token, PendingOp{OpKind::StageIn, s, r, id});
         }
         if (!rep.computing && !rep.received.empty()) {
@@ -773,18 +785,18 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
       ++report.resilience.zombie_completions;
       continue;
     }
-    const auto it = ops.find(completion->token);
-    if (it == ops.end())
+    const PendingOp* found = ops.find(completion->token);
+    if (found == nullptr)
       throw std::logic_error("Pipeline: unknown completion token");
-    const PendingOp op = it->second;
-    ops.erase(it);
+    const PendingOp op = *found;
+    ops.erase(completion->token);
 
     switch (op.kind) {
       case OpKind::StageIn: {
         Replica& rep = stages[op.stage].replicas[op.replica];
         rep.receiving.reset();
         rep.received.push_back(op.item);
-        items.at(op.item).location = rep.node;
+        item_at(op.item).location = rep.node;
         break;
       }
       case OpKind::StageCompute: {
@@ -821,7 +833,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
       case OpKind::SinkOut: {
         ++report.items_completed;
         last_done = backend.now();
-        latencies.push_back((backend.now() - items.at(op.item).entered).value);
+        latencies.push_back((backend.now() - item_at(op.item).entered).value);
         report.trace.record({backend.now(),
                              gridsim::TraceEventKind::ItemCompleted, source,
                              TaskId{op.item}, latencies.back(), ""});

@@ -28,6 +28,14 @@ TaskFarm::TaskFarm(FarmParams params) : params_(std::move(params)),
       params_.resilience.detector.heartbeat_period.value <= 0.0)
     throw std::invalid_argument(
         "TaskFarm: checkpointing needs a positive heartbeat_period to ride");
+  if (params_.resilience.failover.standby_count > 0) {
+    if (params_.resilience.detector.heartbeat_period.value <= 0.0)
+      throw std::invalid_argument(
+          "TaskFarm: farmer failover needs a positive heartbeat_period");
+    if (params_.resilience.failover.handshake.value < 0.0)
+      throw std::invalid_argument(
+          "TaskFarm: failover handshake must be non-negative");
+  }
 }
 
 FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
@@ -88,6 +96,47 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     detector.emplace(params_.resilience.detector);
     for (const NodeId n : initial_members) detector->watch(n, backend.now());
   }
+
+  // Replicated-farmer failover.  `farmer` is the current coordinator: the
+  // endpoint every dispatch ships from and every result returns to.  With
+  // the subsystem off it never changes and the farmer is assumed reliable,
+  // exactly the pre-failover contract.
+  const bool failover_on =
+      resil_on && params_.resilience.failover.standby_count > 0;
+  NodeId farmer = root;
+  std::optional<resil::FailoverCoordinator> failover;
+  if (failover_on) {
+    resil::FailoverCoordinator::Params fp = params_.resilience.failover;
+    fp.detector = params_.resilience.detector;  // ride the same heartbeats
+    failover.emplace(fp, root, backend.now());
+  }
+  // Promotion-in-progress state: the reconnect handshake timer, the chosen
+  // successor, and completions that raced the outage (physically: results
+  // parked at their workers until the new farmer is reachable).
+  OpToken handshake_token = 0;
+  NodeId pending_farmer = NodeId::invalid();
+  bool pending_is_recovery = false;  ///< old farmer rejoined, state intact
+  bool promotion_waited = false;  ///< successor not available at detection
+  std::vector<Completion> parked;
+  bool in_calibration = false;
+  auto is_handshake = [&](OpToken token) {
+    return handshake_token != 0 && token == handshake_token;
+  };
+  auto farmer_down = [&] { return failover_on && failover->farmer_down(); };
+  auto live_member_now = [&](NodeId n) {
+    return churn != nullptr && churn->is_member(n, backend.now());
+  };
+  auto replicate_baseline = [&] {
+    if (!failover_on) return;
+    failover->log().append(
+        {resil::ReplicaRecordKind::Baseline, 0, farmer, 0, 0, 0.0, {}});
+    // A calibration ends in a pool-wide collective; its dissemination
+    // doubles as a synchronous log flush, so a rollback never spans one
+    // (sample results live distributed at the workers that produced them
+    // and are re-delivered on the reconnect handshake).
+    if (live_member_now(farmer))
+      failover->account_flush(failover->log().flush(live_member_now));
+  };
 
   // Chunks currently travelling the input -> compute -> output chain.  At
   // most one per worker (plus reissue twins), so a flat insertion-ordered
@@ -158,13 +207,16 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   };
 
   // ---- Phase: calibration (Algorithm 1) -------------------------------
+  in_calibration = true;
   CalibrationResult calibration =
       calibrator.run(backend, initial_members, source, &monitor,
                      &report.trace, tokens, &foreign);
+  in_calibration = false;
   report.calibration_tasks += calibration.tasks_consumed;
   exec_monitor.arm(calibration.baseline_spm, calibration.chosen,
                    backend.now());
   elastic.reset(calibration.chosen);
+  replicate_baseline();
 
   // Per-node performance estimate (seconds per Mop), seeded by calibration
   // and refreshed by every completion; drives chunking and stragglers.
@@ -237,7 +289,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     Bytes input = Bytes::zero();
     for (const auto& t : a.chunk) input += t.input;
     const OpToken token = tokens.alloc();
-    dispatch_wave.push_back(OpRequest::transfer(token, root, node, input));
+    dispatch_wave.push_back(OpRequest::transfer(token, farmer, node, input));
     for (const auto& t : a.chunk)
       report.trace.record({backend.now(),
                            is_reissue ? gridsim::TraceEventKind::TaskReissued
@@ -246,6 +298,9 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     busy[node] = true;
     if (resil_on)
       ledger.record(token, {node, a.chunk, a.dispatched, a.work()});
+    if (failover_on)
+      failover->log().append(
+          {resil::ReplicaRecordKind::Assign, token, node, 0, 0, 0.0, {}});
     in_flight.emplace(token, std::move(a));
   };
   auto flush_dispatches = [&] {
@@ -274,14 +329,25 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   // winning twin finished first stay with the twin — mark_completed dedupes.
   auto recover_checkpointed = [&](const resil::ChunkLedger::Entry& entry) {
     const std::size_t upto = std::min(entry.checkpointed, entry.tasks.size());
+    std::vector<workloads::TaskSpec> marked;
     for (std::size_t i = 0; i < upto; ++i) {
       const auto& t = entry.tasks[i];
       if (!t.id.is_valid() || !source.mark_completed(t.id)) continue;
       ++report.tasks_completed;
+      if (failover_on) marked.push_back(t);
       report.trace.record({backend.now(), gridsim::TraceEventKind::TaskRecovered,
                            entry.node, t.id, t.work.value, "checkpoint"});
       report.trace.record({backend.now(), gridsim::TraceEventKind::TaskCompleted,
                            entry.node, t.id, 0.0, "recovered"});
+    }
+    if (!marked.empty()) {
+      // Recovered results are freshly authoritative farmer state: the next
+      // flush must replicate them like any other accepted completion.
+      double result_bytes = 0.0;
+      for (const auto& t : marked) result_bytes += t.output.value;
+      failover->log().append({resil::ReplicaRecordKind::Complete, 0,
+                              entry.node, 0, 0, result_bytes,
+                              std::move(marked)});
     }
     if (!finished && source.all_done()) {
       finished = true;
@@ -304,6 +370,11 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     elastic.remove(node);
     busy[node] = false;
     newly_dead.push_back(node);
+    if (failover_on) {
+      failover->log().append(
+          {resil::ReplicaRecordKind::Membership, 0, node, 0, 0, 0.0, {}});
+      if (failover->is_standby(node)) failover->standby_lost(node);
+    }
     ++report.resilience.crashes_detected;
     report.trace.record({backend.now(),
                          gridsim::TraceEventKind::NodeCrashDetected, node,
@@ -326,7 +397,12 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     monitor.rewatch(farmer_live_view());
     exec_monitor.arm(exec_monitor.baseline_spm(), elastic.workers(),
                      backend.now());
-    if (params_.resilience.recalibrate_on_crash) pending_recalibration = true;
+    // A dead coordinator cannot usefully re-run Algorithm 1 — and letting
+    // it try would stall the promotion behind a calibration rooted at a
+    // corpse.  The promotion path schedules its own recalibration.
+    if (params_.resilience.recalibrate_on_crash &&
+        !(failover_on && node == farmer))
+      pending_recalibration = true;
   };
 
   // Consume membership events and heartbeat silence up to `now`.
@@ -345,6 +421,22 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
           if (detector->watching(e.node)) {
             detector->unwatch(e.node);
             elastic.remove(e.node);
+            if (failover_on) {
+              failover->log().append({resil::ReplicaRecordKind::Membership, 0,
+                                      e.node, 0, 0, 0.0, {}});
+              if (failover->is_standby(e.node))
+                failover->standby_lost(e.node);
+              if (e.node == farmer && failover->farmer_leaving(now)) {
+                // A graceful departure ships its unflushed suffix on the
+                // way out: the successor starts from complete state and
+                // nothing rolls back.
+                failover->account_flush(
+                    failover->log().flush(live_member_now));
+                report.trace.record(
+                    {now, gridsim::TraceEventKind::FarmerCrashDetected,
+                     e.node, TaskId::invalid(), 0.0, "announced departure"});
+              }
+            }
             ++report.resilience.leaves;
             // A calibration running right now must abandon this node's
             // samples (it can no longer be chosen); execution-phase chunks
@@ -366,6 +458,9 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
                                    ? "rejoin"
                                    : "join"});
           detector->watch(e.node, now);
+          if (failover_on)
+            failover->log().append({resil::ReplicaRecordKind::Membership, 0,
+                                    e.node, 0, 0, 0.0, {}});
           // Clear a stale busy flag only when nothing is actually in flight
           // there: a node rejoining before its stalled chunk surfaced as a
           // zombie is still occupied, and dispatching a second chunk would
@@ -430,6 +525,9 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
         for (std::size_t i = prev; i < done && i < a.chunk.size(); ++i)
           state_bytes += a.chunk[i].output.value;
         updates.push_back({token, done, state_bytes});
+        if (failover_on)
+          failover->log().append({resil::ReplicaRecordKind::Checkpoint, token,
+                                  a.node, prev, done, state_bytes, {}});
         report.trace.record({backend.now(),
                              gridsim::TraceEventKind::ChunkCheckpointed,
                              a.node, TaskId::invalid(),
@@ -475,6 +573,76 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     }
   };
 
+  // ---- Farmer failover machinery (replicated-farmer runs) --------------
+  // Undo one unflushed log record at promotion time: the state it
+  // describes died with the old farmer before any standby received it.
+  auto undo_record = [&](const resil::ReplicaLog::Record& r) {
+    switch (r.kind) {
+      case resil::ReplicaRecordKind::Checkpoint:
+        // The partial state above prev_mark only ever reached the corpse.
+        ledger.revert_checkpoint(r.token, r.prev_mark);
+        break;
+      case resil::ReplicaRecordKind::Complete:
+        // Accepted results that were never replicated: retract the marks
+        // and re-queue the tasks (front, reverse order, like any other
+        // loss path) so they run again under the new farmer.
+        for (auto it = r.tasks.rbegin(); it != r.tasks.rend(); ++it) {
+          if (!it->id.is_valid() || !source.unmark_completed(it->id))
+            continue;
+          --report.tasks_completed;
+          ++report.resilience.results_rolled_back;
+          source.push_front(*it);
+          ++report.resilience.tasks_redispatched;
+          report.trace.record({backend.now(),
+                               gridsim::TraceEventKind::TaskResultLost,
+                               r.node, it->id, it->work.value, ""});
+          report.trace.record({backend.now(),
+                               gridsim::TraceEventKind::ChunkRedispatched,
+                               r.node, it->id, 0.0, "failover"});
+        }
+        if (finished && !source.all_done()) finished = false;
+        break;
+      case resil::ReplicaRecordKind::Assign:
+      case resil::ReplicaRecordKind::Membership:
+      case resil::ReplicaRecordKind::Baseline:
+        // Re-learned on the reconnect handshake: live workers re-register
+        // their in-flight chunks and the broadcast-heartbeat mirror
+        // re-derives membership, so these records need no rollback.
+        break;
+    }
+  };
+
+  // Keep the standby set at strength while the farmer is alive: the
+  // lowest-id live members outside the coordinator role receive a state
+  // snapshot and start applying the log from its current end.
+  auto snapshot_and_recruit = [&] {
+    if (!failover_on || failover->farmer_down()) return;
+    // Standbys that died during a past outage were kept registered so a
+    // rejoin could resume; with the farmer alive again they are dead
+    // weight and make room for live recruits.
+    failover->prune_dead_standbys(live_member_now);
+    while (failover->standby_deficit() > 0) {
+      NodeId pick = NodeId::invalid();
+      for (const NodeId n : detector->watched()) {
+        if (n == farmer || failover->is_standby(n) || !live_member_now(n))
+          continue;
+        pick = n;
+        break;
+      }
+      if (!pick.is_valid()) return;  // nobody to recruit right now
+      const double snapshot_bytes = 256.0 + ledger.snapshot_bytes();
+      failover->recruit(pick, snapshot_bytes);
+      report.trace.record({backend.now(),
+                           gridsim::TraceEventKind::StandbyRecruited, pick,
+                           TaskId::invalid(), snapshot_bytes, ""});
+      GRASP_LOG_INFO("farm") << "standby " << pick.value
+                             << " recruited at t=" << backend.now().value;
+    }
+  };
+  // Per-tick failover pass; assigned below (it cancels the liveness tick
+  // on the unrecoverable path, so it must see cancel_tick).
+  std::function<void()> failover_step;
+
   auto arm_tick = [&] {
     if (!resil_on) return;
     tick_token = tokens.alloc();
@@ -493,15 +661,81 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       tick_token = 0;
     }
   };
+  failover_step = [&] {
+    if (!failover_on) return;
+    const Seconds now = backend.now();
+    if (!failover->farmer_down()) {
+      if (!in_calibration && live_member_now(farmer)) {
+        // Healthy farmer: ship the unflushed log suffix to every live
+        // standby, piggybacked on this tick's heartbeat round, and keep
+        // the standby set at strength.
+        failover->account_flush(failover->log().flush(live_member_now));
+        snapshot_and_recruit();
+      }
+      // Standby side: watch the farmer's own beats for silence.
+      if (!failover->advance(now, [&](NodeId n, Seconds t) {
+            return churn->is_member(n, t);
+          }))
+        return;
+      report.trace.record({now, gridsim::TraceEventKind::FarmerCrashDetected,
+                           farmer, TaskId::invalid(), 0.0,
+                           "heartbeat timeout"});
+      GRASP_LOG_INFO("farm") << "farmer " << farmer.value
+                             << " declared dead at t=" << now.value;
+      declare_dead(farmer, "farmer silent");  // its worker-side chunks
+    }
+    // Promotion waits out an in-flight Algorithm 1 pass: the calibration
+    // collective must land (or abandon the corpse) before the coordinator
+    // role moves.  Detection above is never deferred, so the crash is
+    // still declared within timeout + heartbeat_period.
+    if (in_calibration) return;
+    if (handshake_token != 0) return;  // reconnect handshake under way
+    if (const auto s = failover->successor(live_member_now)) {
+      // Deterministic promotion: lowest-id live standby wins.  Its
+      // watermark divides history — roll back everything it never
+      // received before it starts acting on the replicated state.
+      promotion_waited = (now - failover->down_since()).value > 1e-9;
+      pending_is_recovery = false;
+      pending_farmer = *s;
+      failover->log().rollback_to(failover->log().watermark(*s),
+                                  undo_record);
+      handshake_token = tokens.alloc();
+      backend.submit_timer(handshake_token,
+                           params_.resilience.failover.handshake);
+    } else if (live_member_now(farmer)) {
+      // No standby reachable but the old farmer rejoined: it resumes with
+      // its own intact state (nothing to roll back), paying the same
+      // reconnect handshake.
+      promotion_waited = true;
+      pending_is_recovery = true;
+      pending_farmer = farmer;
+      handshake_token = tokens.alloc();
+      backend.submit_timer(handshake_token,
+                           params_.resilience.failover.handshake);
+    } else if ((now - failover->down_since()) >
+               params_.resilience.failover.patience) {
+      cancel_tick();
+      throw std::runtime_error(
+          "TaskFarm: farmer lost with no standby, rejoin or recruit within "
+          "failover patience");
+    }
+  };
   handle_tick = [&] {
     tick_token = 0;
     consume_membership(backend.now());
-    // Every ckpt_every-th beat carries the piggybacked progress reports.
-    if (ckpt_on && ++ticks_seen % ckpt_every == 0) take_checkpoints();
+    // Every ckpt_every-th beat carries the piggybacked progress reports —
+    // unless the farm is farmerless, in which case nobody collects them.
+    if (ckpt_on && ++ticks_seen % ckpt_every == 0 && !farmer_down())
+      take_checkpoints();
+    failover_step();
     arm_tick();
   };
 
   auto dispatch_to_idle = [&] {
+    // A farmerless farm dispatches nothing: work resumes when the
+    // reconnect handshake of the promoted coordinator closes.
+    if (failover_on && (failover->farmer_down() || handshake_token != 0))
+      return;
     // Copy only on churn runs, where declare_dead (via the liveness check)
     // can mutate the worker set mid-loop; churn-free passes iterate the
     // pool's own vector and never allocate.
@@ -550,6 +784,8 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   // Straggler scan: when the queue is dry, duplicate late chunks onto idle
   // chosen workers (first completion wins).
   auto maybe_reissue = [&] {
+    if (failover_on && (failover->farmer_down() || handshake_token != 0))
+      return;
     if (!params_.reissue_stragglers || !source.empty()) return;
     if ((traits_.actions & kActionReissueTask) == 0) return;
     // Idle chosen workers, fastest first.
@@ -684,6 +920,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
         backend.submit_compute(token, a.node, a.work(),
                                 make_chunk_body(a.chunk));
         if (resil_on) ledger.rekey(c.token, token);
+        if (failover_on) failover->log().retarget(c.token, token);
         in_flight.emplace(token, std::move(a));
         break;
       }
@@ -692,8 +929,9 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
         Bytes output = Bytes::zero();
         for (const auto& t : a.chunk) output += t.output;
         const OpToken token = tokens.alloc();
-        backend.submit_transfer(token, a.node, root, output);
+        backend.submit_transfer(token, a.node, farmer, output);
         if (resil_on) ledger.rekey(c.token, token);
+        if (failover_on) failover->log().retarget(c.token, token);
         in_flight.emplace(token, std::move(a));
         break;
       }
@@ -705,13 +943,25 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
         double& estimate = node_spm[a.node];
         estimate = estimate > 0.0 ? 0.5 * estimate + 0.5 * spm : spm;
         busy[a.node] = false;
+        std::vector<workloads::TaskSpec> marked;
         for (const auto& t : a.chunk) {
           if (source.mark_completed(t.id)) {
             ++report.tasks_completed;
+            if (failover_on) marked.push_back(t);
             report.trace.record({backend.now(),
                                  gridsim::TraceEventKind::TaskCompleted,
                                  a.node, t.id, elapsed, ""});
           }
+        }
+        if (!marked.empty()) {
+          // The accepted results become authoritative farmer state the
+          // next tick's flush replicates; until then they are exactly what
+          // a promotion must roll back.
+          double result_bytes = 0.0;
+          for (const auto& t : marked) result_bytes += t.output.value;
+          failover->log().append({resil::ReplicaRecordKind::Complete,
+                                  c.token, a.node, 0, 0, result_bytes,
+                                  std::move(marked)});
         }
         if (a.is_probe) {
           // Fast-path calibration verdict for a newcomer.
@@ -748,6 +998,50 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     }
   };
 
+  // Close a reconnect handshake: either commit the promotion (the new
+  // farmer takes the endpoints, parked completions re-deliver, the standby
+  // set is replenished) or abandon it because the successor died
+  // mid-handshake (the next tick re-runs the successor rule).
+  auto finish_handshake = [&] {
+    handshake_token = 0;
+    const Seconds now = backend.now();
+    const NodeId chosen = std::exchange(pending_farmer, NodeId::invalid());
+    if (!live_member_now(chosen)) {
+      // Crash during promotion.  The registry keeps the corpse — it may
+      // rejoin and resume from its watermark.
+      report.trace.record({now, gridsim::TraceEventKind::FarmerCrashDetected,
+                           chosen, TaskId::invalid(), 0.0,
+                           "died during promotion"});
+      GRASP_LOG_INFO("farm") << "successor " << chosen.value
+                             << " died during promotion at t=" << now.value;
+      return;
+    }
+    if (pending_is_recovery)
+      failover->farmer_recovered(now);
+    else
+      failover->complete_promotion(chosen, now);
+    farmer = chosen;
+    report.trace.record({now, gridsim::TraceEventKind::FarmerPromoted, farmer,
+                         TaskId::invalid(),
+                         (now - failover->down_since()).value,
+                         pending_is_recovery  ? "self-recovery"
+                         : promotion_waited   ? "waited"
+                                              : "prompt"});
+    GRASP_LOG_INFO("farm") << "farmer promoted: node " << farmer.value
+                           << " at t=" << now.value;
+    // Re-root the support daemons on the new coordinator.
+    monitor.reroot(farmer);
+    cal_params.root = farmer;
+    calibrator = Calibrator(traits_, cal_params);
+    // Workers reconnect and re-deliver the results that raced the outage;
+    // the zombie test inside judges each against the full window, so a
+    // holder that died while parked is still caught.
+    for (const Completion& parked_c : std::exchange(parked, {}))
+      process_completion(parked_c);
+    snapshot_and_recruit();
+    if (params_.resilience.recalibrate_on_crash) pending_recalibration = true;
+  };
+
   // Drain live operations.  Chunks surrendered to crash recovery are
   // deliberately left pending: their zombie completions sit in the backend
   // until (long-)after the node's outage, and waiting for them would stall
@@ -762,7 +1056,10 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
         continue;
       }
       consume_membership(backend.now());
-      process_completion(*c);
+      if (farmer_down())
+        parked.push_back(*c);
+      else
+        process_completion(*c);
     }
   };
 
@@ -770,7 +1067,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     ++recalibrations;
     report.trace.record({backend.now(),
                          gridsim::TraceEventKind::RecalibrationTriggered,
-                         root, TaskId::invalid(),
+                         farmer, TaskId::invalid(),
                          static_cast<double>(recalibrations), ""});
     GRASP_LOG_INFO("farm") << "recalibration #" << recalibrations << " at t="
                            << backend.now().value;
@@ -796,9 +1093,11 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     // node they name is already outside recal_pool (or back in it after a
     // rejoin, in which case its fresh samples must not be abandoned).
     newly_dead.clear();
+    in_calibration = true;
     CalibrationResult recal =
         calibrator.run(backend, recal_pool, source, &monitor, &report.trace,
                        tokens, &foreign);
+    in_calibration = false;
     report.calibration_tasks += recal.tasks_consumed;
     if (!finished && source.all_done()) {
       finished = true;
@@ -808,6 +1107,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     for (const auto& s : recal.ranking) node_spm[s.node] = s.adjusted_spm;
     elastic.reset(recal.chosen);
     exec_monitor.arm(recal.baseline_spm, recal.chosen, backend.now());
+    replicate_baseline();
     report.final_baseline_spm = recal.baseline_spm;
     for (const NodeId n : recal.chosen) {
       if (std::find(previous.begin(), previous.end(), n) == previous.end())
@@ -823,10 +1123,14 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     if (in_flight.find(token) == nullptr) return false;
     Completion c;
     c.token = token;
-    process_completion(c);
+    if (farmer_down())
+      parked.push_back(c);
+    else
+      process_completion(c);
     return true;
   };
   consume_membership(backend.now());
+  snapshot_and_recruit();  // initial standbys shadow from t=0 of execution
   arm_tick();
 
   // ---- Phase: execution (Algorithm 2 loop) ----------------------------
@@ -843,27 +1147,43 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     monitor.advance_to(backend.now());
     if (completion->is_timer) {
       if (is_tick(completion->token)) handle_tick();
+      else if (is_handshake(completion->token)) finish_handshake();
       // A tick with no real work in flight and nobody left to dispatch to
       // is the dead end the nullopt branch reports on tick-free runs;
-      // without this check the farm would re-arm and spin forever.
+      // without this check the farm would re-arm and spin forever.  A
+      // farmerless farm is exempt: promotion (or the failover patience
+      // bound) decides its fate.
       if (!source.all_done() && backend.in_flight() == 0 &&
-          elastic.workers().empty() && elastic.probationers().empty()) {
+          elastic.workers().empty() && elastic.probationers().empty() &&
+          !farmer_down()) {
         cancel_tick();
         throw std::logic_error("TaskFarm: deadlock — tasks remain but "
                                "nothing in flight (all workers lost?)");
       }
     } else {
       consume_membership(backend.now());
-      process_completion(*completion);
-      // The adaptation threshold is judged on work observations only; ticks
-      // exist for liveness and must not perturb Algorithm 2's cadence.
-      if (params_.adaptation_enabled && !source.all_done() &&
-          recalibrations < params_.max_recalibrations) {
-        const MonitorVerdict verdict = exec_monitor.check(backend.now());
-        if (verdict != MonitorVerdict::None) pending_recalibration = true;
+      if (farmer_down()) {
+        // The completion's destination is a corpse: the worker parks its
+        // result and re-delivers it after the reconnect handshake.
+        parked.push_back(*completion);
+      } else {
+        process_completion(*completion);
+        // The adaptation threshold is judged on work observations only;
+        // ticks exist for liveness and must not perturb Algorithm 2's
+        // cadence.
+        if (params_.adaptation_enabled && !source.all_done() &&
+            recalibrations < params_.max_recalibrations) {
+          const MonitorVerdict verdict = exec_monitor.check(backend.now());
+          if (verdict != MonitorVerdict::None) pending_recalibration = true;
+        }
       }
     }
-    if (pending_recalibration) {
+    // A recalibration is a collective rooted at the farmer: opening it
+    // against a dead coordinator fails at connection time, so the verdict
+    // stays pending until the promoted farmer can host the pass.
+    if (pending_recalibration &&
+        !(failover_on &&
+          (failover->farmer_down() || !live_member_now(farmer)))) {
       pending_recalibration = false;
       if (params_.adaptation_enabled && !source.all_done() &&
           recalibrations < params_.max_recalibrations)
@@ -872,6 +1192,10 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   }
 
   cancel_tick();  // liveness no longer matters once every task is done
+  if (handshake_token != 0) {  // a promotion the finished run no longer needs
+    backend.cancel_timer(handshake_token);
+    handshake_token = 0;
+  }
   if (!finished) finish_time = backend.now();
   report.monitor_samples = monitor.samples_taken();
   drain();  // late duplicates / abandoned twins / zombies, off the clock
@@ -890,6 +1214,13 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     report.resilience.tasks_recovered = ledger.tasks_recovered();
     report.resilience.recovered_mops = ledger.recovered_mops();
     report.resilience.checkpoint_state_bytes = ledger.checkpoint_state_bytes();
+  }
+  if (failover_on) {
+    report.resilience.failovers = failover->failovers();
+    report.resilience.failover_latency_s = failover->failover_latency_s();
+    report.resilience.standby_recruits = failover->recruits();
+    report.resilience.replication_records = failover->replication_records();
+    report.resilience.replication_bytes = failover->replication_bytes();
   }
   return report;
 }

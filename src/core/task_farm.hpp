@@ -24,6 +24,7 @@
 #include "gridsim/trace.hpp"
 #include "perfmon/monitor.hpp"
 #include "resil/elastic_pool.hpp"
+#include "resil/failover.hpp"
 #include "resil/failure_detector.hpp"
 #include "resil/report.hpp"
 
@@ -57,6 +58,14 @@ struct FarmResilience {
   /// execution observations, so a persistently crawling chunk can trigger a
   /// mid-chunk eviction whose work resumes from its last checkpoint.
   Seconds checkpoint_period = Seconds::zero();
+  /// Replicated-farmer failover.  With standby_count > 0 the farmer is no
+  /// longer assumed reliable: hot standbys shadow its state through a
+  /// replication log flushed on every heartbeat tick, and when the farmer
+  /// dies the lowest-id live standby is promoted within
+  /// timeout + heartbeat_period + handshake of the crash.  The `detector`
+  /// member of these params is ignored — the farmer-watch always rides the
+  /// same heartbeat settings as the worker detector above.
+  resil::FailoverCoordinator::Params failover;
 };
 
 struct FarmParams {

@@ -35,4 +35,17 @@ bool TaskSource::mark_completed(TaskId id) {
   return true;
 }
 
+bool TaskSource::unmark_completed(TaskId id) {
+  if (id.value < kDenseLimit) {
+    const std::size_t index = static_cast<std::size_t>(id.value);
+    if (index >= dense_.size() || dense_[index] == 0) return false;
+    dense_[index] = 0;
+    --completed_count_;
+    return true;
+  }
+  if (sparse_.erase(id) == 0) return false;
+  --completed_count_;
+  return true;
+}
+
 }  // namespace grasp::core

@@ -36,6 +36,11 @@ class TaskSource {
   /// of the task (duplicates from straggler reissue return false).
   bool mark_completed(TaskId id);
 
+  /// Retract a completion (farmer failover: the result died un-replicated
+  /// with the coordinator, so the task must run again).  Returns true when
+  /// the task was marked; the caller re-queues it via push_front.
+  bool unmark_completed(TaskId id);
+
   [[nodiscard]] bool is_completed(TaskId id) const {
     if (id.value < kDenseLimit) {
       const std::size_t index = static_cast<std::size_t>(id.value);

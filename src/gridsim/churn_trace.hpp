@@ -1,0 +1,43 @@
+// Trace-driven churn: FTA-style availability traces as ChurnTimelines.
+//
+// The synthetic ChurnModel draws Poisson schedules; real volunteer-grid
+// studies (the Failure Trace Archive, SETI@home host logs) publish per-node
+// *availability intervals* instead.  This loader turns a simple textual
+// interval format into the explicit join/leave/crash event list a
+// ChurnTimeline is built from — the first step of replaying real traces
+// through the resilience experiments, sitting next to gridsim's TraceLoad
+// (the load-dimension twin).
+//
+// Format: one availability interval per line, whitespace-separated.
+//
+//   # comment / blank lines ignored
+//   <node-id>  <up-at>  <down-at | '-'>  [crash|leave]
+//
+// A node whose first interval opens after t=0 is initially absent and
+// Joins then; later intervals Rejoin.  '-' means the interval never closes
+// inside the trace.  The end kind defaults to crash (abrupt loss, the FTA
+// convention for unannounced unavailability).  Intervals of one node must
+// be disjoint and listed in increasing order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gridsim/churn.hpp"
+
+namespace grasp::gridsim {
+
+/// Parse an availability trace.  Throws std::runtime_error on malformed
+/// lines, overlapping or unordered intervals, and down < up.
+[[nodiscard]] ChurnTimeline load_availability_trace(std::istream& in);
+[[nodiscard]] ChurnTimeline load_availability_trace(const std::string& path);
+
+/// Write `timeline` back out as availability intervals for every node in
+/// `pool` (a node without events is one open interval from t=0).  The
+/// output round-trips: loading it reproduces the timeline's events and
+/// initial-membership verdicts for those nodes.
+void save_availability_trace(const ChurnTimeline& timeline,
+                             const std::vector<NodeId>& pool,
+                             std::ostream& out);
+
+}  // namespace grasp::gridsim

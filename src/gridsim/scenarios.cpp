@@ -191,27 +191,31 @@ Grid make_churn_grid(const ChurnScenarioParams& params) {
 
   ChurnTimeline timeline(std::move(events), std::move(absent));
 
-  if (params.stall_during_crash) {
-    // Crashed nodes stop computing: register a downtime window from each
-    // crash to the matching rejoin (or `gone_downtime` for permanent ones)
-    // so in-flight work physically stalls instead of finishing on a corpse.
-    std::unordered_map<std::uint64_t, Seconds> open_crash;
-    for (const ChurnEvent& e : timeline.events()) {
-      if (e.kind == ChurnEventKind::Crash) {
-        open_crash[e.node.value] = e.at;
-      } else if (e.kind == ChurnEventKind::Rejoin) {
-        const auto it = open_crash.find(e.node.value);
-        if (it == open_crash.end()) continue;  // leave -> rejoin: no stall
-        grid.node(e.node).add_downtime({it->second, e.at});
-        open_crash.erase(it);
-      }
-    }
-    for (const auto& [node, at] : open_crash)
-      grid.node(NodeId{node}).add_downtime({at, at + params.gone_downtime});
-  }
+  if (params.stall_during_crash)
+    apply_crash_downtime(grid, timeline, params.gone_downtime);
 
   grid.set_churn(std::move(timeline));
   return grid;
+}
+
+void apply_crash_downtime(Grid& grid, const ChurnTimeline& timeline,
+                          Seconds gone_downtime) {
+  // Crashed nodes stop computing: register a downtime window from each
+  // crash to the matching rejoin (or `gone_downtime` for permanent ones)
+  // so in-flight work physically stalls instead of finishing on a corpse.
+  std::unordered_map<std::uint64_t, Seconds> open_crash;
+  for (const ChurnEvent& e : timeline.events()) {
+    if (e.kind == ChurnEventKind::Crash) {
+      open_crash[e.node.value] = e.at;
+    } else if (e.kind == ChurnEventKind::Rejoin) {
+      const auto it = open_crash.find(e.node.value);
+      if (it == open_crash.end()) continue;  // leave -> rejoin: no stall
+      grid.node(e.node).add_downtime({it->second, e.at});
+      open_crash.erase(it);
+    }
+  }
+  for (const auto& [node, at] : open_crash)
+    grid.node(NodeId{node}).add_downtime({at, at + gone_downtime});
 }
 
 void inject_load_step(Grid& grid, double victim_fraction, Seconds at,

@@ -96,4 +96,13 @@ struct ChurnScenarioParams {
 /// Heterogeneous grid with Poisson node churn and late-joining spares.
 [[nodiscard]] Grid make_churn_grid(const ChurnScenarioParams& params);
 
+/// Register NodeModel downtime windows for every crash in `timeline`: each
+/// crash stalls until its matching rejoin, or for `gone_downtime` when the
+/// node never returns.  make_churn_grid applies this under
+/// `stall_during_crash`; callers composing their own timelines (e.g. the
+/// farmer-MTBF sweep overlaying failures on a protected node) reuse it so
+/// their fault model cannot drift from the engine's.
+void apply_crash_downtime(Grid& grid, const ChurnTimeline& timeline,
+                          Seconds gone_downtime = Seconds{2e4});
+
 }  // namespace grasp::gridsim

@@ -28,6 +28,10 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::ChunkRedispatched: return "chunk_redispatched";
     case TraceEventKind::ChunkCheckpointed: return "chunk_checkpointed";
     case TraceEventKind::TaskRecovered: return "task_recovered";
+    case TraceEventKind::FarmerCrashDetected: return "farmer_crash_detected";
+    case TraceEventKind::FarmerPromoted: return "farmer_promoted";
+    case TraceEventKind::StandbyRecruited: return "standby_recruited";
+    case TraceEventKind::TaskResultLost: return "task_result_lost";
   }
   return "unknown";
 }

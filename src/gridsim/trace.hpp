@@ -35,6 +35,11 @@ enum class TraceEventKind {
   ChunkRedispatched,   ///< task lost to a crash returned to the queue
   ChunkCheckpointed,   ///< progress message advanced a chunk's high-water mark
   TaskRecovered,       ///< lost-chunk task salvaged from its checkpoint
+  // Farmer failover events (replicated-farmer runs).
+  FarmerCrashDetected,  ///< standbys declared the coordinator dead
+  FarmerPromoted,       ///< a standby took over (value = promotion latency)
+  StandbyRecruited,     ///< a node began shadowing the farmer's state
+  TaskResultLost,       ///< completed result died un-replicated with the farmer
 };
 
 [[nodiscard]] const char* to_string(TraceEventKind kind);

@@ -71,6 +71,11 @@ class MonitorDaemon {
   /// Histories of still-watched nodes are preserved.
   void rewatch(std::vector<NodeId> watched);
 
+  /// Move the bandwidth-measurement root (farmer failover promoted a new
+  /// coordinator).  Load histories are unaffected; bandwidth samples taken
+  /// from here on measure the new root's links.
+  void reroot(NodeId root) { params_.root = root; }
+
  private:
   struct PerNode {
     RingBuffer<Sample> load_history;

@@ -31,6 +31,20 @@ std::size_t ChunkLedger::checkpoint_batch(
   return advanced;
 }
 
+bool ChunkLedger::revert_checkpoint(core::OpToken token, std::size_t mark) {
+  Entry* entry = entries_.find(token);
+  if (entry == nullptr || entry->checkpointed <= mark) return false;
+  entry->checkpointed = mark;
+  return true;
+}
+
+double ChunkLedger::snapshot_bytes() const {
+  double bytes = 0.0;
+  for (const auto& item : entries_)
+    bytes += 64.0 + 48.0 * static_cast<double>(item.value.tasks.size());
+  return bytes;
+}
+
 void ChunkLedger::rekey(core::OpToken old_token, core::OpToken new_token) {
   auto [found, entry] = entries_.take(old_token);
   if (!found) return;

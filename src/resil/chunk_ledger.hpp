@@ -78,6 +78,13 @@ class ChunkLedger {
   /// reports whose high-water mark advanced.
   std::size_t checkpoint_batch(std::span<const CheckpointUpdate> updates);
 
+  /// Lower a chunk's checkpoint high-water mark to `mark` (farmer failover
+  /// rollback: the partial state above `mark` was shipped to a coordinator
+  /// that died before replicating it, so the salvageable prefix shrank).
+  /// The shipping counters are untouched — the traffic really happened.
+  /// Returns true when a tracked entry's mark actually moved down.
+  bool revert_checkpoint(core::OpToken token, std::size_t mark);
+
   /// Move an entry to the next phase's token.  No-op for unknown tokens
   /// (the chunk may have been surrendered to fail_node meanwhile).
   void rekey(core::OpToken old_token, core::OpToken new_token);
@@ -112,6 +119,16 @@ class ChunkLedger {
     return entry == nullptr ? 0 : entry->checkpointed;
   }
   [[nodiscard]] std::size_t in_flight() const { return entries_.size(); }
+
+  /// Snapshot view of the live table, insertion (dispatch) order — what a
+  /// freshly recruited standby receives wholesale before the incremental
+  /// replication log takes over.
+  [[nodiscard]] const FlatMap<core::OpToken, Entry>& entries() const {
+    return entries_;
+  }
+  /// Estimated serialized size of that snapshot (fixed header per entry
+  /// plus its task records); drives the recruit-traffic accounting.
+  [[nodiscard]] double snapshot_bytes() const;
 
   // Loss accounting (drives the wasted-work experiment columns).  Recovered
   // work — tasks inside a lost chunk's checkpointed prefix — is counted

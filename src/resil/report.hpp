@@ -26,6 +26,23 @@ struct ResilienceReport {
   /// hook (real transfer cost); the virtual-time farm accounts the volume
   /// here without charging it to the simulated clock.
   double checkpoint_state_bytes = 0.0;
+  // ---- Farmer failover (replicated-farmer runs; zeros otherwise).  These
+  // counters separate coordinator loss from worker loss: a worker crash
+  // surfaces in crashes_detected/chunks_lost above, a farmer crash in the
+  // failover columns below.
+  std::size_t failovers = 0;         ///< completed standby promotions
+  /// Summed crash-to-resumption latency over all completed promotions:
+  /// from the last farmer heartbeat the standbys credited to the moment the
+  /// reconnect handshake finished and dispatching resumed.
+  double failover_latency_s = 0.0;
+  std::size_t standby_recruits = 0;  ///< snapshot ships to fresh standbys
+  /// Completed results retracted because they died un-replicated with the
+  /// farmer; each retracted task is re-dispatched (counted above).
+  std::size_t results_rolled_back = 0;
+  std::size_t replication_records = 0;  ///< log records shipped to standbys
+  /// Replication traffic volume (log records + result/snapshot state); like
+  /// checkpoint_state_bytes, accounted but not charged to the virtual clock.
+  double replication_bytes = 0.0;
 };
 
 }  // namespace grasp::resil

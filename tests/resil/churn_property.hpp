@@ -42,7 +42,17 @@ struct ChurnPropertyConfig {
   Seconds horizon{400.0};
   Seconds checkpoint_period{0.0};  ///< 0 = checkpointing off
   double evict_ratio = 0.0;        ///< 0 = eviction off
+  /// 0 makes the farmer itself churnable (the replicated-farmer seeds);
+  /// combine with standby_count > 0 or the coordinator loss is unhandled.
+  std::size_t protected_prefix = 1;
+  std::size_t standby_count = 0;  ///< hot standbys (farmer failover)
+  Seconds handshake{2.0};         ///< post-promotion reconnect cost
 };
+
+/// Detector settings the harness always uses (the failover latency bound
+/// below is stated in these terms).
+inline constexpr double kPropertyHeartbeat = 1.0;
+inline constexpr double kPropertyTimeout = 4.0;
 
 /// Pool + timeline derived from one seed (different seeds give different
 /// node speeds, task mixes and churn schedules).
@@ -60,6 +70,7 @@ inline gridsim::Grid make_property_grid(std::uint64_t seed,
   cp.rejoin_delay = Seconds{40.0};
   cp.horizon = cfg.horizon;
   cp.warmup = Seconds{15.0};
+  cp.protected_prefix = cfg.protected_prefix;
   cp.churn_seed = 7919 * (seed + 1);
   return gridsim::make_churn_grid(cp);
 }
@@ -68,16 +79,20 @@ inline core::FarmParams make_property_params(const ChurnPropertyConfig& cfg) {
   core::FarmParams p = core::make_adaptive_farm_params();
   p.chunk_size = 3;
   p.resilience.enabled = true;
-  p.resilience.detector.heartbeat_period = Seconds{1.0};
-  p.resilience.detector.timeout = Seconds{4.0};
+  p.resilience.detector.heartbeat_period = Seconds{kPropertyHeartbeat};
+  p.resilience.detector.timeout = Seconds{kPropertyTimeout};
   p.resilience.checkpoint_period = cfg.checkpoint_period;
   p.resilience.pool.evict_ratio = cfg.evict_ratio;
+  p.resilience.failover.standby_count = cfg.standby_count;
+  p.resilience.failover.handshake = cfg.handshake;
   return p;
 }
 
 struct ChurnRun {
   core::FarmReport report;
   std::size_t total_tasks = 0;
+  ChurnPropertyConfig cfg;
+  gridsim::ChurnTimeline timeline;  ///< ground truth for latency bounds
 };
 
 inline ChurnRun run_churn_scenario(std::uint64_t seed,
@@ -92,7 +107,7 @@ inline ChurnRun run_churn_scenario(std::uint64_t seed,
   core::SimBackend backend(grid);
   core::FarmReport report = core::TaskFarm(make_property_params(cfg))
                                 .run(backend, grid, grid.node_ids(), tasks);
-  return {std::move(report), cfg.tasks};
+  return {std::move(report), cfg.tasks, cfg, *grid.churn()};
 }
 
 /// The invariants themselves.  Every EXPECT names the seed so a red run
@@ -104,17 +119,26 @@ inline void check_churn_invariants(const ChurnRun& run, std::uint64_t seed) {
   SCOPED_TRACE(::testing::Message() << "seed=" << seed);
 
   // ---- exactly-once results ------------------------------------------
+  // Farmer failover can retract a completion (the result died
+  // un-replicated with the coordinator) and complete the task again later:
+  // per task, completions net of retractions must be exactly one.  Without
+  // failover no retraction ever happens and this is the old strict check.
   EXPECT_EQ(r.tasks_completed + r.calibration_tasks, run.total_tasks);
-  EXPECT_EQ(r.trace.count(TraceEventKind::TaskCompleted), run.total_tasks);
   std::unordered_map<std::uint64_t, std::size_t> completions;
+  std::unordered_map<std::uint64_t, std::size_t> retractions;
   std::unordered_map<std::uint64_t, std::size_t> dispatches;
   std::unordered_map<std::uint64_t, std::size_t> redispatches;
   std::size_t recovered_events = 0;
+  std::size_t retraction_events = 0;
   double recovered_mops_sum = 0.0;
   for (const auto& e : r.trace.events()) {
     switch (e.kind) {
       case TraceEventKind::TaskCompleted:
         ++completions[e.task.value];
+        break;
+      case TraceEventKind::TaskResultLost:
+        ++retractions[e.task.value];
+        ++retraction_events;
         break;
       case TraceEventKind::TaskDispatched:
       case TraceEventKind::TaskReissued:
@@ -131,10 +155,15 @@ inline void check_churn_invariants(const ChurnRun& run, std::uint64_t seed) {
         break;
     }
   }
+  EXPECT_EQ(r.trace.count(TraceEventKind::TaskCompleted),
+            run.total_tasks + retraction_events);
+  EXPECT_EQ(res.results_rolled_back, retraction_events);
   EXPECT_EQ(completions.size(), run.total_tasks);
   for (const auto& [task, n] : completions) {
     SCOPED_TRACE(::testing::Message() << "task=" << task);
-    EXPECT_EQ(n, 1u);  // first completion wins; twins and zombies discarded
+    // First completion wins; twins and zombies discarded; every retraction
+    // is followed by exactly one fresh completion.
+    EXPECT_EQ(n, 1u + retractions[task]);
   }
 
   // ---- ledger conservation -------------------------------------------
@@ -170,6 +199,37 @@ inline void check_churn_invariants(const ChurnRun& run, std::uint64_t seed) {
   // have actually finished in scenario time, not by waiting zombies out.
   EXPECT_GT(r.makespan.value, 0.0);
   EXPECT_LT(r.makespan.value, 2e4);
+
+  // ---- farmer failover -----------------------------------------------
+  // Coordinator-loss accounting is separate from worker loss, every
+  // completed promotion is traced, and promotion latency is bounded:
+  // silence detection within timeout + heartbeat_period of the crash, and
+  // for promptly available standbys the handshake closes exactly
+  // `handshake` later — so crash-to-resumption stays within
+  // timeout + heartbeat_period + handshake.
+  EXPECT_EQ(res.failovers, r.trace.count(TraceEventKind::FarmerPromoted));
+  if (run.cfg.standby_count == 0) {
+    EXPECT_EQ(res.failovers, 0u);
+    EXPECT_EQ(retraction_events, 0u);
+  }
+  for (const auto& e : r.trace.events()) {
+    if (e.kind == TraceEventKind::FarmerCrashDetected &&
+        e.note == "heartbeat timeout") {
+      // Ground truth: the latest crash of that farmer at or before the
+      // detection timestamp.
+      double crash_at = -1.0;
+      for (const auto& c : run.timeline.events())
+        if (c.kind == gridsim::ChurnEventKind::Crash && c.node == e.node &&
+            c.at.value <= e.at.value + 1e-9)
+          crash_at = c.at.value;
+      ASSERT_GE(crash_at, 0.0);
+      EXPECT_LE(e.at.value - crash_at,
+                kPropertyTimeout + kPropertyHeartbeat + 1e-6);
+    }
+    if (e.kind == TraceEventKind::FarmerPromoted && e.note == "prompt") {
+      EXPECT_LE(e.value, run.cfg.handshake.value + 1e-6);
+    }
+  }
 }
 
 }  // namespace grasp::testing

@@ -36,6 +36,28 @@ INSTANTIATE_TEST_SUITE_P(HundredSeeds, ChurnProperty,
                          ::testing::Range<std::uint64_t>(0, 100));
 
 // ---------------------------------------------------------------------
+// Replicated-farmer seeds: protected_prefix = 0 makes the coordinator
+// itself churnable, two hot standbys shadow it, and the same invariants
+// must hold — exactly-once net of retractions, ledger conservation, and
+// bounded promotion latency (timeout + heartbeat_period + handshake for
+// promptly available standbys) — across every timeline the generator
+// throws at it, including runs where the farmer dies more than once.
+class FarmerChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FarmerChurnProperty, InvariantsHoldWithChurnableFarmer) {
+  const std::uint64_t seed = GetParam();
+  ChurnPropertyConfig cfg;
+  cfg.protected_prefix = 0;
+  cfg.standby_count = 2;
+  cfg.checkpoint_period = (seed % 2 == 0) ? Seconds{2.0} : Seconds{0.0};
+  const ChurnRun run = run_churn_scenario(seed, cfg);
+  check_churn_invariants(run, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(HundredSeeds, FarmerChurnProperty,
+                         ::testing::Range<std::uint64_t>(0, 100));
+
+// ---------------------------------------------------------------------
 // Checkpoint/no-checkpoint result equivalence: same seed, same scenario —
 // identical final outputs (the completed-task id set), identical task
 // counts, and the checkpointed run never wastes more work than the
