@@ -26,8 +26,10 @@
 // A third sweep drops the farmer's protection entirely: worker churn held
 // at mtbf 300 s, the coordinator's own MTBF swept with one hot standby
 // shadowing it (the replicated-farmer subsystem).  `--smoke` runs a reduced
-// farmer sweep and exits non-zero if any row loses conservation — the CI
-// guard on the failover re-dispatch paths.
+// farmer sweep and exits non-zero if any row loses conservation or the
+// metrics-registry snapshot disagrees with the resilience report — the CI
+// guard on the failover re-dispatch paths.  In smoke mode, --trace-out /
+// --metrics-out export the equivalence run's telemetry.
 //
 // Writes BENCH_e13.json next to the working directory for trend tracking.
 #include <cstring>
@@ -211,8 +213,53 @@ int main(int argc, char** argv) {
       std::cerr << "bench_e13 --smoke: conservation FAILED\n";
       return 1;
     }
+    // Registry/report equivalence: re-run one harsh row with an external
+    // telemetry attached and check the resilience report really is a
+    // snapshot of the shared registry (fresh telemetry -> zero baseline,
+    // so the delta must match field for field).
+    obs::Telemetry telemetry;
+    core::FarmParams p = with_failover(elastic_params());
+    p.telemetry = &telemetry;
+    gridsim::Grid grid = make_farmer_scenario(150.0);
+    core::SimBackend backend(grid);
+    const core::FarmReport r =
+        core::TaskFarm(p).run(backend, grid, grid.node_ids(), smoke_tasks);
+    const resil::ResilienceReport snap =
+        resil::ResilienceMetrics::register_in(telemetry.metrics)
+            .snapshot(telemetry.metrics);
+    const auto& res = r.resilience;
+    const bool registry_matches =
+        snap.crashes_detected == res.crashes_detected &&
+        snap.leaves == res.leaves && snap.joins == res.joins &&
+        snap.admissions == res.admissions &&
+        snap.rejections == res.rejections &&
+        snap.evictions == res.evictions &&
+        snap.chunks_lost == res.chunks_lost &&
+        snap.tasks_redispatched == res.tasks_redispatched &&
+        snap.zombie_completions == res.zombie_completions &&
+        snap.wasted_mops == res.wasted_mops &&
+        snap.checkpoints == res.checkpoints &&
+        snap.tasks_recovered == res.tasks_recovered &&
+        snap.recovered_mops == res.recovered_mops &&
+        snap.checkpoint_state_bytes == res.checkpoint_state_bytes &&
+        snap.failovers == res.failovers &&
+        snap.failover_latency_s == res.failover_latency_s &&
+        snap.standby_recruits == res.standby_recruits &&
+        snap.results_rolled_back == res.results_rolled_back &&
+        snap.replication_records == res.replication_records &&
+        snap.replication_bytes == res.replication_bytes;
+    if (!registry_matches) {
+      std::cerr << "bench_e13 --smoke: registry snapshot != resilience "
+                   "report\n";
+      return 1;
+    }
+    // The equivalence run records full detail, so it doubles as the
+    // bench's timeline source: --trace-out / --metrics-out export it.
+    if (!bench::export_telemetry(telemetry,
+                                 bench::parse_obs_options(argc, argv)))
+      return 1;
     std::cout << "bench_e13 --smoke: conservation holds on every "
-                 "farmer-churn row\n";
+                 "farmer-churn row; registry snapshot matches the report\n";
     return 0;
   }
   bench::print_experiment_header(

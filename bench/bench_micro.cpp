@@ -6,9 +6,12 @@
 //   M2  the OLS fit used by statistical calibration,
 //   M3  forecaster observe+forecast updates,
 //   M4  the end-to-end simulated farm step rate,
-//   M5  NodeModel::compute_time load integration.
+//   M5  NodeModel::compute_time load integration,
+//   M6  M4 with a telemetry sink attached, detail disabled (the
+//       observability layer's disabled-path overhead; CI asserts it stays
+//       within 2% of M4).
 // bench/run_micro.sh records them into BENCH_micro.json (the repo's
-// wall-clock perf baseline); CI gates M1/M4 against it.
+// wall-clock perf baseline); CI gates M1/M4/M6 against it.
 #include <benchmark/benchmark.h>
 
 #include "core/backend_sim.hpp"
@@ -16,6 +19,7 @@
 #include "core/task_farm.hpp"
 #include "gridsim/event_queue.hpp"
 #include "gridsim/scenarios.hpp"
+#include "obs/telemetry.hpp"
 #include "perfmon/forecaster.hpp"
 #include "support/regression.hpp"
 #include "support/rng.hpp"
@@ -112,6 +116,33 @@ void BM_SimulatedFarmRun(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_SimulatedFarmRun)->Unit(benchmark::kMillisecond);
+
+// M6: M4 with an attached telemetry sink, detail disabled — what a run
+// costs when the caller wires a registry but leaves histograms/spans off.
+// Identical scenario to M4 so run_micro.sh can compare items/s directly.
+void BM_SimulatedFarmRunTelemetry(benchmark::State& state) {
+  gridsim::ScenarioParams sp;
+  sp.node_count = 16;
+  sp.dynamics = gridsim::Dynamics::Mixed;
+  sp.seed = 5;
+  workloads::TaskSetParams tp;
+  tp.count = 500;
+  tp.seed = 6;
+  const workloads::TaskSet tasks = workloads::make_task_set(tp);
+  obs::Telemetry telemetry(/*detail=*/false);
+  core::FarmParams params = core::make_adaptive_farm_params();
+  params.telemetry = &telemetry;
+  for (auto _ : state) {
+    gridsim::Grid grid = gridsim::make_grid(sp);
+    core::SimBackend backend(grid);
+    core::FarmReport report =
+        core::TaskFarm(params).run(backend, grid, grid.node_ids(), tasks);
+    benchmark::DoNotOptimize(report.makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tp.count) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimulatedFarmRunTelemetry)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -5,6 +5,8 @@
 // runs are virtual-time simulations and deterministic per seed.
 #pragma once
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -14,6 +16,10 @@
 #include "core/pipeline.hpp"
 #include "core/task_farm.hpp"
 #include "gridsim/scenarios.hpp"
+#include "obs/export_chrome.hpp"
+#include "obs/export_jsonl.hpp"
+#include "obs/export_text.hpp"
+#include "obs/telemetry.hpp"
 #include "support/table.hpp"
 #include "workloads/generators.hpp"
 
@@ -79,6 +85,87 @@ inline workloads::TaskSet irregular_tasks(std::size_t count, double mean_mops,
   p.distribution = workloads::CostDistribution::LogNormal;
   p.seed = seed;
   return workloads::make_task_set(p);
+}
+
+/// Telemetry-export flags shared by the bench and example binaries:
+/// `--trace-out PATH` (Chrome trace-event JSON, Perfetto-loadable) and
+/// `--metrics-out PATH` (JSONL metrics + span stream).  Both accept the
+/// `--flag=PATH` spelling too.  Empty path = flag absent.
+struct ObsOptions {
+  std::string trace_out;
+  std::string metrics_out;
+
+  [[nodiscard]] bool any() const {
+    return !trace_out.empty() || !metrics_out.empty();
+  }
+};
+
+inline ObsOptions parse_obs_options(int argc, char** argv) {
+  ObsOptions opts;
+  auto match = [&](int& i, const char* flag, std::string& out) {
+    const std::size_t len = std::strlen(flag);
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      out = argv[++i];
+      return true;
+    }
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      out = argv[i] + len + 1;
+      return true;
+    }
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (match(i, "--trace-out", opts.trace_out)) continue;
+    if (match(i, "--metrics-out", opts.metrics_out)) continue;
+  }
+  return opts;
+}
+
+/// Remaining argv tokens once the obs flags (and their values) are
+/// stripped — what the examples hand to Config::override_with, which
+/// rejects tokens without '='.
+inline std::vector<std::string> non_obs_args(int argc, char** argv) {
+  std::vector<std::string> rest;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--trace-out", 0) == 0 || a.rfind("--metrics-out", 0) == 0) {
+      if ((a == "--trace-out" || a == "--metrics-out") && i + 1 < argc) ++i;
+      continue;
+    }
+    rest.push_back(a);
+  }
+  return rest;
+}
+
+/// Write the run's telemetry to the requested files: a Chrome trace of the
+/// recorded spans, and/or a JSONL stream of the metrics snapshot followed
+/// by every span.  Returns false (with a message on stderr) if any output
+/// file cannot be opened.
+inline bool export_telemetry(const obs::Telemetry& telemetry,
+                             const ObsOptions& opts) {
+  bool ok = true;
+  if (!opts.trace_out.empty()) {
+    if (obs::write_chrome_trace_file(opts.trace_out,
+                                     telemetry.spans.records())) {
+      std::cout << "wrote Chrome trace: " << opts.trace_out << "\n";
+    } else {
+      std::cerr << "cannot write trace file: " << opts.trace_out << "\n";
+      ok = false;
+    }
+  }
+  if (!opts.metrics_out.empty()) {
+    std::ofstream out(opts.metrics_out);
+    if (out) {
+      obs::JsonlWriter writer(out);
+      writer.write_metrics(telemetry.metrics.snapshot());
+      writer.write_spans(telemetry.spans.records());
+      std::cout << "wrote metrics stream: " << opts.metrics_out << "\n";
+    } else {
+      std::cerr << "cannot write metrics file: " << opts.metrics_out << "\n";
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 inline void print_experiment_header(const std::string& id,

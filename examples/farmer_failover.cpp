@@ -8,14 +8,21 @@
 // raced completions, and the run still finishes with every task done
 // exactly once.
 //
-//   ./farmer_failover [key=value ...]
-//   e.g. ./farmer_failover mtbf=90 standbys=2 tasks=2000
+//   ./farmer_failover [key=value ...] [--trace-out t.json] [--metrics-out m.jsonl]
+//   e.g. ./farmer_failover mtbf=90 standbys=2 tasks=2000 --trace-out trace.json
+//
+// --trace-out writes a Chrome trace-event file of the run's causal spans
+// (chunks, calibrations, checkpoint passes, the crash->promotion->handshake
+// arc) — load it in Perfetto / chrome://tracing.  --metrics-out writes the
+// metrics registry and span stream as JSONL.
 #include <iostream>
 
+#include "bench/common.hpp"
 #include "core/backend_sim.hpp"
 #include "core/baselines.hpp"
 #include "core/task_farm.hpp"
 #include "gridsim/scenarios.hpp"
+#include "obs/bridge.hpp"
 #include "support/config.hpp"
 #include "support/table.hpp"
 #include "workloads/generators.hpp"
@@ -23,8 +30,9 @@
 int main(int argc, char** argv) {
   using namespace grasp;
 
+  const bench::ObsOptions obs_opts = bench::parse_obs_options(argc, argv);
   Config cfg;
-  cfg.override_with({argv + 1, argv + argc});
+  cfg.override_with(bench::non_obs_args(argc, argv));
   const auto nodes = static_cast<std::size_t>(cfg.get_int("nodes", 12));
   const auto spares = static_cast<std::size_t>(cfg.get_int("spares", 4));
   const auto task_count = static_cast<std::size_t>(cfg.get_int("tasks", 1500));
@@ -60,9 +68,19 @@ int main(int argc, char** argv) {
   params.resilience.failover.standby_count = standbys;
   params.resilience.failover.handshake = Seconds{2.0};
 
+  obs::Telemetry telemetry;  // detail on: spans + histograms recorded
+  params.telemetry = &telemetry;
+
   core::SimBackend backend(grid);
   const core::FarmReport farm =
       core::TaskFarm(params).run(backend, grid, grid.node_ids(), tasks);
+
+  // Fold the engine trace into the span stream (instants for membership /
+  // coordination events; per-chunk spans are already recorded natively).
+  obs::BridgeOptions bridge_opts;
+  bridge_opts.task_spans = false;
+  obs::bridge_trace(farm.trace, telemetry.spans, bridge_opts);
+  if (!bench::export_telemetry(telemetry, obs_opts)) return 1;
 
   std::cout << "farmer-failover run: " << nodes << " nodes + " << spares
             << " spares, mtbf=" << mtbf << " s, " << standbys

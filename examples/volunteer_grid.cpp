@@ -7,13 +7,16 @@
 // four-phase timeline — including the zero-width "recovery" records where
 // the engine absorbed churn — and the resilience ledger.
 //
-//   ./volunteer_grid [key=value ...]   e.g.  ./volunteer_grid mtbf=120
+//   ./volunteer_grid [key=value ...] [--trace-out t.json] [--metrics-out m.jsonl]
+//   e.g.  ./volunteer_grid mtbf=120 --trace-out trace.json
 #include <iostream>
 
+#include "bench/common.hpp"
 #include "core/backend_sim.hpp"
 #include "core/baselines.hpp"
 #include "core/grasp.hpp"
 #include "gridsim/scenarios.hpp"
+#include "obs/bridge.hpp"
 #include "support/config.hpp"
 #include "support/table.hpp"
 #include "workloads/generators.hpp"
@@ -21,8 +24,9 @@
 int main(int argc, char** argv) {
   using namespace grasp;
 
+  const bench::ObsOptions obs_opts = bench::parse_obs_options(argc, argv);
   Config cfg;
-  cfg.override_with({argv + 1, argv + argc});
+  cfg.override_with(bench::non_obs_args(argc, argv));
   const auto nodes = static_cast<std::size_t>(cfg.get_int("nodes", 12));
   const auto spares = static_cast<std::size_t>(cfg.get_int("spares", 4));
   const auto task_count = static_cast<std::size_t>(cfg.get_int("tasks", 1500));
@@ -53,10 +57,19 @@ int main(int argc, char** argv) {
   params.resilience.detector.heartbeat_period = Seconds{1.0};
   params.resilience.detector.timeout = Seconds{5.0};
 
+  obs::Telemetry telemetry;  // detail on: spans + histograms recorded
+  params.telemetry = &telemetry;
+
   core::GraspProgram program("volunteer-sweep");
   program.use_task_farm(params).with_tasks(tasks);
   const core::RunSummary summary = program.compile(grid).execute();
   const core::FarmReport& farm = *summary.farm;
+
+  // Membership instants from the engine trace join the native span stream.
+  obs::BridgeOptions bridge_opts;
+  bridge_opts.task_spans = false;
+  obs::bridge_trace(farm.trace, telemetry.spans, bridge_opts);
+  if (!bench::export_telemetry(telemetry, obs_opts)) return 1;
 
   std::cout << "application: " << summary.application
             << "  (pool: " << nodes << " volunteers + " << spares

@@ -99,7 +99,6 @@ void append_dynamic_phases(const gridsim::TraceRecorder& trace,
             {"recovery", e.at, e.at,
              std::string(what) + " (node " + std::to_string(e.node.value) +
                  ")"});
-        ++summary.membership_transitions;
       }
     }
   }
@@ -131,12 +130,20 @@ RunSummary GraspExecutable::execute() {
                             "bound to grid environment (SimBackend)"});
 
   SimBackend backend(*grid_);
+  // membership_transitions counts the same events the recovery phase
+  // records mark, but is read from the resilience counters (a registry
+  // snapshot) rather than re-derived from the trace — the farm records one
+  // trace event per counted transition (crash/leave/join/admit/evict), the
+  // pipeline per crash/leave/join.
   if (program_.farm_params_) {
     summary.skeleton = "task_farm";
     TaskFarm farm(*program_.farm_params_);
     FarmReport report =
         farm.run(backend, *grid_, pool_, *program_.tasks_);
     append_dynamic_phases(report.trace, report.makespan, summary);
+    const resil::ResilienceReport& r = report.resilience;
+    summary.membership_transitions = r.crashes_detected + r.leaves + r.joins +
+                                     r.admissions + r.evictions;
     summary.farm = std::move(report);
   } else {
     summary.skeleton = "pipeline";
@@ -145,6 +152,8 @@ RunSummary GraspExecutable::execute() {
                                      *program_.pipeline_spec_,
                                      program_.pipeline_items_);
     append_dynamic_phases(report.trace, report.makespan, summary);
+    const resil::ResilienceReport& r = report.resilience;
+    summary.membership_transitions = r.crashes_detected + r.leaves + r.joins;
     summary.pipeline = std::move(report);
   }
   return summary;

@@ -113,9 +113,34 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
   PipelineReport report;
   TokenAllocator tokens;
 
+  // ---- Observability.  Without a caller-supplied Telemetry the run uses
+  // a private detail-disabled instance: counters still drive the report
+  // (the report is a registry snapshot), histograms/spans are skipped.
+  obs::Telemetry private_telemetry(/*detail=*/false);
+  obs::Telemetry& tel =
+      params_.telemetry != nullptr ? *params_.telemetry : private_telemetry;
+  obs::MetricsRegistry& met = tel.metrics;
+  struct BackendClock final : obs::Clock {
+    explicit BackendClock(Backend& b) : backend(b) {}
+    [[nodiscard]] double now_s() const override {
+      return backend.now().value;
+    }
+    Backend& backend;
+  } obs_clock{backend};
+  struct ClockGuard {
+    obs::Telemetry& tel;
+    ~ClockGuard() { tel.set_clock(nullptr); }
+  } clock_guard{tel};
+  tel.set_clock(&obs_clock);
+  const resil::ResilienceMetrics rm = resil::ResilienceMetrics::register_in(met);
+  const resil::ResilienceReport resil_base = rm.snapshot(met);
+  const obs::HistogramHandle h_item_latency =
+      met.histogram("pipeline.item_latency_seconds", {1e-3, 2.0, 48});
+
   perfmon::MonitorDaemon::Params mon_params = params_.monitor;
   mon_params.root = source;
   perfmon::MonitorDaemon monitor(grid, present, mon_params);
+  monitor.attach_metrics(&met);
   // Nodes the monitor watches; extended when late joiners appear so the
   // load forecasts estimate_spm needs exist for every candidate spare.
   std::vector<NodeId> observed = present;
@@ -163,7 +188,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
   cal_foreign.pending = [&] { return dead_tokens.size(); };
   cal_foreign.swallow = [&](OpToken token) {
     if (dead_tokens.erase(token) > 0) {
-      ++report.resilience.zombie_completions;
+      met.inc(rm.zombie_completions);
       return true;
     }
     return false;
@@ -177,9 +202,9 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
             const bool crashed = e.kind == gridsim::ChurnEventKind::Crash;
             if (lost_nodes.insert(e.node.value).second) {
               if (crashed)
-                ++report.resilience.crashes_detected;
+                met.inc(rm.crashes_detected);
               else
-                ++report.resilience.leaves;
+                met.inc(rm.leaves);
               report.trace.record(
                   {at,
                    crashed ? gridsim::TraceEventKind::NodeCrashDetected
@@ -211,9 +236,12 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
   cal_foreign.surrender = [&](OpToken token, NodeId, const workloads::TaskSpec&,
                               bool) { dead_tokens.insert(token); };
 
+  const obs::SpanId cal_span = tel.spans.begin("calibration");
   const CalibrationResult calibration =
       calibrator.run(backend, present, probe_source, &monitor, &report.trace,
                      tokens, &cal_foreign);
+  tel.spans.end(cal_span, static_cast<double>(calibration.tasks_consumed),
+                "initial");
   if (calibration.ranking.size() < initial_nodes)
     throw std::runtime_error(
         "Pipeline: pool shrank below the replica count during calibration");
@@ -368,7 +396,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
         auto requeue = [&](std::uint64_t id) {
           item_at(id).location = upstream_holder(s);
           st.waiting.push_front(id);
-          ++report.resilience.tasks_redispatched;
+          met.inc(rm.tasks_redispatched);
         };
         if (rep.receiving) {
           requeue(*rep.receiving);
@@ -429,7 +457,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
         item_at(*rep.receiving).location = upstream_holder(s);
         st.waiting.push_front(*rep.receiving);
         rep.receiving.reset();
-        ++report.resilience.tasks_redispatched;
+        met.inc(rm.tasks_redispatched);
       }
     }
     // Result bytes mid-transfer out of the corpse died with it: kill the
@@ -447,17 +475,19 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
           emission_order.erase(std::prev(emitted.base()));
         item_at(op.item).location = upstream_holder(depth - 1);
         stages[depth - 1].waiting.push_front(op.item);
-        ++report.resilience.tasks_redispatched;
+        met.inc(rm.tasks_redispatched);
         op_it = ops.erase(op_it);
       } else {
         ++op_it;
       }
     }
     if (first_loss) {
-      if (crashed)
-        ++report.resilience.crashes_detected;
-      else
-        ++report.resilience.leaves;
+      if (crashed) {
+        met.inc(rm.crashes_detected);
+        tel.spans.instant("crash_detected", 0, node);
+      } else {
+        met.inc(rm.leaves);
+      }
       report.trace.record({backend.now(),
                            crashed
                                ? gridsim::TraceEventKind::NodeCrashDetected
@@ -470,7 +500,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
   // A node joined: revive a down replica if any stage is starving,
   // otherwise park it as a spare for remaps/replications.
   auto handle_join = [&](NodeId node) {
-    ++report.resilience.joins;
+    met.inc(rm.joins);
     last_activity = backend.now();
     lost_nodes.erase(node.value);
     report.trace.record({backend.now(),
@@ -486,7 +516,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
         rep.down = false;
         rep.node = node;
         ++report.remaps;
-        ++report.resilience.admissions;
+        met.inc(rm.admissions);
         report.trace.record({backend.now(),
                              gridsim::TraceEventKind::StageRemapped, node,
                              TaskId::invalid(), static_cast<double>(s),
@@ -782,7 +812,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
     }
     last_activity = backend.now();
     if (dead_tokens.erase(completion->token) > 0) {
-      ++report.resilience.zombie_completions;
+      met.inc(rm.zombie_completions);
       continue;
     }
     const PendingOp* found = ops.find(completion->token);
@@ -834,6 +864,7 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
         ++report.items_completed;
         last_done = backend.now();
         latencies.push_back((backend.now() - item_at(op.item).entered).value);
+        met.observe(h_item_latency, latencies.back());
         report.trace.record({backend.now(),
                              gridsim::TraceEventKind::ItemCompleted, source,
                              TaskId{op.item}, latencies.back(), ""});
@@ -888,6 +919,18 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
   }
   report.output_in_order =
       std::is_sorted(emission_order.begin(), emission_order.end());
+  // The resilience report is a registry snapshot (delta against the run
+  // baseline, so a Telemetry reused across runs still yields per-run
+  // numbers); mirror the pipeline scalars for dashboards/exporters.
+  report.resilience = resil::subtract(rm.snapshot(met), resil_base);
+  met.set_counter(met.counter("pipeline.items_completed"),
+                  report.items_completed);
+  met.set_counter(met.counter("pipeline.remaps"), report.remaps);
+  met.set_counter(met.counter("pipeline.replications"), report.replications);
+  met.set_counter(met.counter("pipeline.rounds"), report.rounds);
+  met.set(met.gauge("pipeline.makespan_s"), report.makespan.value);
+  met.set(met.gauge("pipeline.mean_latency_s"), report.mean_latency_s);
+  met.set(met.gauge("pipeline.p95_latency_s"), report.p95_latency_s);
   return report;
 }
 

@@ -20,6 +20,7 @@
 #include "core/skeleton_traits.hpp"
 #include "gridsim/grid.hpp"
 #include "gridsim/trace.hpp"
+#include "obs/telemetry.hpp"
 #include "perfmon/monitor.hpp"
 #include "resil/report.hpp"
 #include "workloads/task.hpp"
@@ -80,6 +81,11 @@ struct PipelineParams {
   /// Only meaningful with membership_tick > 0 — the tick is what keeps the
   /// loop alive while waiting.
   Seconds down_stage_patience{1e4};
+
+  /// Observability sink (non-owning; must outlive the run).  Null: the
+  /// pipeline uses a private detail-disabled instance — counters still
+  /// drive the report, histograms and spans are skipped.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct StageStats {

@@ -69,6 +69,45 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   TaskSource source(tasks);
   TokenAllocator tokens;
 
+  // Telemetry.  Counters are the run's authoritative accounting — the
+  // resilience report below is a registry snapshot, never a separate
+  // tally — so they record unconditionally; histograms and spans follow
+  // the telemetry's detail gate.  Without a caller-supplied sink the farm
+  // records into a private detail-disabled instance.
+  obs::Telemetry private_telemetry(/*detail=*/false);
+  obs::Telemetry& tel =
+      params_.telemetry != nullptr ? *params_.telemetry : private_telemetry;
+  obs::MetricsRegistry& met = tel.metrics;
+  // Spans are stamped from the backend's clock: virtual seconds on the
+  // simulator, wall seconds on the threaded backend.
+  struct BackendClock final : obs::Clock {
+    explicit BackendClock(Backend& b) : backend(b) {}
+    [[nodiscard]] double now_s() const override {
+      return backend.now().value;
+    }
+    Backend& backend;
+  } obs_clock{backend};
+  struct ClockGuard {  // the adapter dies with this frame; detach on exit
+    obs::Telemetry& tel;
+    ~ClockGuard() { tel.set_clock(nullptr); }
+  } clock_guard{tel};
+  tel.set_clock(&obs_clock);
+  const resil::ResilienceMetrics rm =
+      resil::ResilienceMetrics::register_in(met);
+  // Baseline snapshot: a Telemetry reused across runs keeps accumulating,
+  // and this run's report is the delta against these values.
+  const resil::ResilienceReport resil_base = rm.snapshot(met);
+  const obs::HistogramHandle h_service =
+      met.histogram("farm.task_service_seconds", {1e-3, 2.0, 48});
+  const obs::HistogramHandle h_detect =
+      met.histogram("farm.detection_latency_seconds", {1e-3, 2.0, 48});
+  const obs::HistogramHandle h_promote =
+      met.histogram("farm.promotion_latency_seconds", {1e-3, 2.0, 48});
+  const obs::HistogramHandle h_ckpt_interval =
+      met.histogram("farm.checkpoint_interval_seconds", {1e-3, 2.0, 48});
+  const obs::HistogramHandle h_wave =
+      met.histogram("farm.dispatch_wave_size", {1.0, 2.0, 16});
+
   // Mean task work, used for chunk sizing and straggler expectations.
   const double mean_work =
       tasks.total_work().value / static_cast<double>(tasks.size());
@@ -76,6 +115,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   perfmon::MonitorDaemon::Params mon_params = params_.monitor;
   mon_params.root = root;
   perfmon::MonitorDaemon monitor(grid, initial_members, mon_params);
+  monitor.attach_metrics(&met);
 
   CalibrationParams cal_params = params_.calibration;
   if (!cal_params.root.is_valid()) cal_params.root = root;
@@ -114,6 +154,10 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   // successor, and completions that raced the outage (physically: results
   // parked at their workers until the new farmer is reachable).
   OpToken handshake_token = 0;
+  // Failover arc span: crash detection → rollback → promotion → handshake
+  // (the handshake is a child span).  0 while no outage is in progress.
+  obs::SpanId failover_span = 0;
+  obs::SpanId handshake_span = 0;
   NodeId pending_farmer = NodeId::invalid();
   bool pending_is_recovery = false;  ///< old farmer rejoined, state intact
   bool promotion_waited = false;  ///< successor not available at detection
@@ -153,7 +197,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   auto swallow_dead_token = [&](OpToken token) {
     if (dead_tokens.erase(token) == 0) return false;
     if (evicted_tokens.erase(token) == 0)
-      ++report.resilience.zombie_completions;
+      met.inc(rm.zombie_completions);
     return true;
   };
   // Deaths declared since the calibrator last polled (it abandons pending
@@ -174,6 +218,10 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   // the zombie completion to notice.  Handler assigned below.
   OpToken tick_token = 0;
   std::size_t ticks_seen = 0;
+  // Time of the last checkpoint pass that accepted progress, for the
+  // checkpoint-interval histogram.
+  Seconds last_ckpt_at = Seconds::zero();
+  bool any_ckpt_yet = false;
   std::function<void()> handle_tick;
   auto is_tick = [&](OpToken token) {
     return tick_token != 0 && token == tick_token;
@@ -200,7 +248,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     if (is_probe || !task.id.is_valid() || source.is_completed(task.id))
       return;
     source.push_front(task);
-    ++report.resilience.tasks_redispatched;
+    met.inc(rm.tasks_redispatched);
     report.trace.record({backend.now(),
                          gridsim::TraceEventKind::ChunkRedispatched, node,
                          task.id, 0.0, "calibration"});
@@ -208,9 +256,12 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
 
   // ---- Phase: calibration (Algorithm 1) -------------------------------
   in_calibration = true;
+  const obs::SpanId cal_span = tel.spans.begin("calibration");
   CalibrationResult calibration =
       calibrator.run(backend, initial_members, source, &monitor,
                      &report.trace, tokens, &foreign);
+  tel.spans.end(cal_span,
+                static_cast<double>(calibration.tasks_consumed), "initial");
   in_calibration = false;
   report.calibration_tasks += calibration.tasks_consumed;
   exec_monitor.arm(calibration.baseline_spm, calibration.chosen,
@@ -286,6 +337,10 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     a.dispatched = backend.now();
     a.is_reissue = is_reissue;
     a.is_probe = is_probe;
+    a.span = tel.spans.begin("chunk", 0, node,
+                             a.chunk.empty() ? TaskId::invalid()
+                                             : a.chunk.front().id,
+                             a.work().value);
     Bytes input = Bytes::zero();
     for (const auto& t : a.chunk) input += t.input;
     const OpToken token = tokens.alloc();
@@ -305,6 +360,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   };
   auto flush_dispatches = [&] {
     if (dispatch_wave.empty()) return;
+    met.observe(h_wave, static_cast<double>(dispatch_wave.size()));
     backend.submit_batch(std::move(dispatch_wave));
     dispatch_wave.clear();
   };
@@ -316,7 +372,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     for (auto it = chunk.rbegin(); it != chunk.rend(); ++it) {
       if (source.is_completed(it->id)) continue;
       source.push_front(*it);
-      ++report.resilience.tasks_redispatched;
+      met.inc(rm.tasks_redispatched);
       report.trace.record({backend.now(),
                            gridsim::TraceEventKind::ChunkRedispatched, from,
                            it->id, 0.0, ""});
@@ -375,7 +431,23 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
           {resil::ReplicaRecordKind::Membership, 0, node, 0, 0, 0.0, {}});
       if (failover->is_standby(node)) failover->standby_lost(node);
     }
-    ++report.resilience.crashes_detected;
+    met.inc(rm.crashes_detected);
+    if (met.enabled()) {
+      // Detection latency: now minus the actual crash instant (the latest
+      // Crash event for this node).  Rare path, so the timeline scan is
+      // affordable — and gated off with the detail tier anyway.
+      const auto& events = churn->events();
+      for (auto it = events.rbegin(); it != events.rend(); ++it) {
+        if (it->at > backend.now()) continue;
+        if (it->node != node ||
+            it->kind != gridsim::ChurnEventKind::Crash)
+          continue;
+        met.observe(h_detect, (backend.now() - it->at).value);
+        break;
+      }
+      tel.spans.instant("crash_detected", 0, node, TaskId::invalid(), 0.0,
+                        why);
+    }
     report.trace.record({backend.now(),
                          gridsim::TraceEventKind::NodeCrashDetected, node,
                          TaskId::invalid(), 0.0, why});
@@ -383,7 +455,10 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
                            << why << ") at t=" << backend.now().value;
     const auto already_done = [&](TaskId id) { return source.is_completed(id); };
     for (auto& [token, entry] : ledger.fail_node(node, already_done)) {
-      if (in_flight.erase(token)) dead_tokens.insert(token);
+      if (auto [found, lost] = in_flight.take(token); found) {
+        dead_tokens.insert(token);
+        tel.spans.end(lost.span, 0.0, "lost");
+      }
       recover_checkpointed(entry);
       requeue_pending(entry.tasks, node);
     }
@@ -432,12 +507,14 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
                 // nothing rolls back.
                 failover->account_flush(
                     failover->log().flush(live_member_now));
+                if (failover_span == 0)
+                  failover_span = tel.spans.begin("failover", 0, e.node);
                 report.trace.record(
                     {now, gridsim::TraceEventKind::FarmerCrashDetected,
                      e.node, TaskId::invalid(), 0.0, "announced departure"});
               }
             }
-            ++report.resilience.leaves;
+            met.inc(rm.leaves);
             // A calibration running right now must abandon this node's
             // samples (it can no longer be chosen); execution-phase chunks
             // still drain gracefully.
@@ -451,7 +528,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
           break;
         case gridsim::ChurnEventKind::Join:
         case gridsim::ChurnEventKind::Rejoin:
-          ++report.resilience.joins;
+          met.inc(rm.joins);
           report.trace.record({now, gridsim::TraceEventKind::NodeJoinedPool,
                                e.node, TaskId::invalid(), 0.0,
                                e.kind == gridsim::ChurnEventKind::Rejoin
@@ -491,6 +568,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   // the checkpointed prefix salvaged, and only the suffix re-dispatched.
   auto take_checkpoints = [&] {
     if (!ckpt_on) return;
+    const obs::SpanId pass_span = tel.spans.begin("checkpoint_pass");
     std::vector<OpToken> abandoned;
     // The pass stages every accepted progress report and applies them to
     // the ledger in one checkpoint_batch call at the end.
@@ -549,6 +627,12 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     // Apply the pass's progress reports before processing evictions, so an
     // evicted chunk salvages the prefix this very pass just checkpointed.
     ledger.checkpoint_batch(updates);
+    if (!updates.empty()) {
+      if (any_ckpt_yet)
+        met.observe(h_ckpt_interval, (backend.now() - last_ckpt_at).value);
+      any_ckpt_yet = true;
+      last_ckpt_at = backend.now();
+    }
     const auto already_done =
         [&](TaskId id) { return source.is_completed(id); };
     for (const OpToken token : abandoned) {
@@ -558,6 +642,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       // holder is alive.
       dead_tokens.insert(token);
       evicted_tokens.insert(token);
+      tel.spans.end(a.span, 0.0, "evicted");
       report.trace.record({backend.now(), gridsim::TraceEventKind::NodeEvicted,
                            a.node, TaskId::invalid(), 0.0,
                            "mid-chunk degradation"});
@@ -571,6 +656,8 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       exec_monitor.arm(exec_monitor.baseline_spm(), elastic.workers(),
                        backend.now());
     }
+    tel.spans.end(pass_span, static_cast<double>(updates.size()),
+                  updates.empty() ? "idle" : "progress");
   };
 
   // ---- Farmer failover machinery (replicated-farmer runs) --------------
@@ -590,9 +677,9 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
           if (!it->id.is_valid() || !source.unmark_completed(it->id))
             continue;
           --report.tasks_completed;
-          ++report.resilience.results_rolled_back;
+          met.inc(rm.results_rolled_back);
           source.push_front(*it);
-          ++report.resilience.tasks_redispatched;
+          met.inc(rm.tasks_redispatched);
           report.trace.record({backend.now(),
                                gridsim::TraceEventKind::TaskResultLost,
                                r.node, it->id, it->work.value, ""});
@@ -677,6 +764,8 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
             return churn->is_member(n, t);
           }))
         return;
+      if (failover_span == 0)
+        failover_span = tel.spans.begin("failover", 0, farmer);
       report.trace.record({now, gridsim::TraceEventKind::FarmerCrashDetected,
                            farmer, TaskId::invalid(), 0.0,
                            "heartbeat timeout"});
@@ -697,8 +786,10 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       promotion_waited = (now - failover->down_since()).value > 1e-9;
       pending_is_recovery = false;
       pending_farmer = *s;
+      tel.spans.instant("rollback", failover_span, *s);
       failover->log().rollback_to(failover->log().watermark(*s),
                                   undo_record);
+      handshake_span = tel.spans.begin("handshake", failover_span, *s);
       handshake_token = tokens.alloc();
       backend.submit_timer(handshake_token,
                            params_.resilience.failover.handshake);
@@ -709,6 +800,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       promotion_waited = true;
       pending_is_recovery = true;
       pending_farmer = farmer;
+      handshake_span = tel.spans.begin("handshake", failover_span, farmer);
       handshake_token = tokens.alloc();
       backend.submit_timer(handshake_token,
                            params_.resilience.failover.handshake);
@@ -887,14 +979,15 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
         churn->crashed_during(a.node, a.dispatched, backend.now())) {
       // Zombie chunk observed before the detector fired: the work is lost;
       // re-queue it here, exactly once (the ledger entry dies with it).
-      ++report.resilience.zombie_completions;
+      met.inc(rm.zombie_completions);
+      tel.spans.end(a.span, 0.0, "zombie");
       if (resil_on) {
         const auto entry = ledger.invalidate(
             c.token, [&](TaskId id) { return source.is_completed(id); });
         if (entry) recover_checkpointed(*entry);
       } else {
-        ++report.resilience.chunks_lost;
-        report.resilience.wasted_mops += a.work().value;
+        met.inc(rm.chunks_lost);
+        met.add(rm.wasted_mops, a.work().value);
       }
       requeue_pending(a.chunk, a.node);
       if (a.is_reissue) {
@@ -938,6 +1031,8 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       case Assignment::Phase::Output: {
         if (resil_on) ledger.complete(c.token);
         const double elapsed = (backend.now() - a.dispatched).value;
+        met.observe(h_service, elapsed);
+        tel.spans.end(a.span, elapsed, "complete");
         const double spm = elapsed / std::max(1e-9, a.work().value);
         // Blend the observation into the node estimate (EWMA, alpha 0.5).
         double& estimate = node_spm[a.node];
@@ -1009,6 +1104,8 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     if (!live_member_now(chosen)) {
       // Crash during promotion.  The registry keeps the corpse — it may
       // rejoin and resume from its watermark.
+      tel.spans.end(handshake_span, 0.0, "successor died");
+      handshake_span = 0;
       report.trace.record({now, gridsim::TraceEventKind::FarmerCrashDetected,
                            chosen, TaskId::invalid(), 0.0,
                            "died during promotion"});
@@ -1020,10 +1117,16 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       failover->farmer_recovered(now);
     else
       failover->complete_promotion(chosen, now);
+    const double promotion_latency = (now - failover->down_since()).value;
+    met.observe(h_promote, promotion_latency);
+    tel.spans.end(handshake_span, 0.0, "committed");
+    handshake_span = 0;
+    tel.spans.end(failover_span, promotion_latency,
+                  pending_is_recovery ? "recovered" : "promoted");
+    failover_span = 0;
     farmer = chosen;
     report.trace.record({now, gridsim::TraceEventKind::FarmerPromoted, farmer,
-                         TaskId::invalid(),
-                         (now - failover->down_since()).value,
+                         TaskId::invalid(), promotion_latency,
                          pending_is_recovery  ? "self-recovery"
                          : promotion_waited   ? "waited"
                                               : "prompt"});
@@ -1094,9 +1197,12 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
     // rejoin, in which case its fresh samples must not be abandoned).
     newly_dead.clear();
     in_calibration = true;
+    const obs::SpanId recal_span = tel.spans.begin("calibration");
     CalibrationResult recal =
         calibrator.run(backend, recal_pool, source, &monitor, &report.trace,
                        tokens, &foreign);
+    tel.spans.end(recal_span, static_cast<double>(recal.tasks_consumed),
+                  "recalibration");
     in_calibration = false;
     report.calibration_tasks += recal.tasks_consumed;
     if (!finished && source.all_done()) {
@@ -1204,24 +1310,57 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
   report.recalibrations = recalibrations;
   report.rounds = exec_monitor.rounds_completed();
   report.final_chosen = elastic.workers();
+  // Import the component-owned totals into the registry (on top of any
+  // pre-run baseline), then read the whole resilience report back out as
+  // a snapshot delta: registry and report cannot disagree.
   if (resil_on) {
-    report.resilience.admissions = elastic.admissions();
-    report.resilience.rejections = elastic.rejections();
-    report.resilience.evictions = elastic.evictions();
-    report.resilience.chunks_lost = ledger.chunks_lost();
-    report.resilience.wasted_mops = ledger.wasted_mops();
-    report.resilience.checkpoints = ledger.checkpoints();
-    report.resilience.tasks_recovered = ledger.tasks_recovered();
-    report.resilience.recovered_mops = ledger.recovered_mops();
-    report.resilience.checkpoint_state_bytes = ledger.checkpoint_state_bytes();
+    met.set_counter(rm.admissions,
+                    resil_base.admissions + elastic.admissions());
+    met.set_counter(rm.rejections,
+                    resil_base.rejections + elastic.rejections());
+    met.set_counter(rm.evictions,
+                    resil_base.evictions + elastic.evictions());
+    met.set_counter(rm.chunks_lost,
+                    resil_base.chunks_lost + ledger.chunks_lost());
+    met.set(rm.wasted_mops, resil_base.wasted_mops + ledger.wasted_mops());
+    met.set_counter(rm.checkpoints,
+                    resil_base.checkpoints + ledger.checkpoints());
+    met.set_counter(rm.tasks_recovered,
+                    resil_base.tasks_recovered + ledger.tasks_recovered());
+    met.set(rm.recovered_mops,
+            resil_base.recovered_mops + ledger.recovered_mops());
+    met.set(rm.checkpoint_state_bytes,
+            resil_base.checkpoint_state_bytes +
+                ledger.checkpoint_state_bytes());
   }
   if (failover_on) {
-    report.resilience.failovers = failover->failovers();
-    report.resilience.failover_latency_s = failover->failover_latency_s();
-    report.resilience.standby_recruits = failover->recruits();
-    report.resilience.replication_records = failover->replication_records();
-    report.resilience.replication_bytes = failover->replication_bytes();
+    met.set_counter(rm.failovers,
+                    resil_base.failovers + failover->failovers());
+    met.set(rm.failover_latency_s,
+            resil_base.failover_latency_s + failover->failover_latency_s());
+    met.set_counter(rm.standby_recruits,
+                    resil_base.standby_recruits + failover->recruits());
+    met.set_counter(
+        rm.replication_records,
+        resil_base.replication_records + failover->replication_records());
+    met.set(rm.replication_bytes,
+            resil_base.replication_bytes + failover->replication_bytes());
   }
+  report.resilience = resil::subtract(rm.snapshot(met), resil_base);
+  // Mirror the farm-level scalars so the registry carries the full run
+  // summary too (absolute values of the latest run; RunSummary reads the
+  // resilience block, dashboards read these).
+  met.set_counter(met.counter("farm.tasks_completed"),
+                  report.tasks_completed);
+  met.set_counter(met.counter("farm.calibration_tasks"),
+                  report.calibration_tasks);
+  met.set_counter(met.counter("farm.recalibrations"), report.recalibrations);
+  met.set_counter(met.counter("farm.reissues"), report.reissues);
+  met.set_counter(met.counter("farm.chunk_resizes"), report.chunk_resizes);
+  met.set_counter(met.counter("farm.monitor_samples"),
+                  report.monitor_samples);
+  met.set_counter(met.counter("farm.rounds"), report.rounds);
+  met.set(met.gauge("farm.makespan_s"), report.makespan.value);
   return report;
 }
 

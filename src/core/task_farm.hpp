@@ -22,6 +22,7 @@
 #include "core/task_source.hpp"
 #include "gridsim/grid.hpp"
 #include "gridsim/trace.hpp"
+#include "obs/telemetry.hpp"
 #include "perfmon/monitor.hpp"
 #include "resil/elastic_pool.hpp"
 #include "resil/failover.hpp"
@@ -96,6 +97,13 @@ struct FarmParams {
 
   /// Node-churn handling (crash recovery + elastic worker set).
   FarmResilience resilience;
+
+  /// Observability sink (non-owning; must outlive the run).  The run
+  /// registers its counters/histograms there and records chunk spans
+  /// against the backend's clock.  Null: the farm uses a private
+  /// detail-disabled instance — counters still drive the report (it is
+  /// always a registry snapshot), histograms and spans are skipped.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct FarmReport {
@@ -143,6 +151,7 @@ class TaskFarm {
     bool is_reissue = false;
     bool is_probe = false;   ///< newcomer fast-path calibration chunk
     bool duplicated = false;  ///< a reissue twin of this chunk exists
+    obs::SpanId span = 0;    ///< dispatch→complete span (0 when disabled)
     Mops work() const {
       Mops total = Mops::zero();
       for (const auto& t : chunk) total += t.work;

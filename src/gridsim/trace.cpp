@@ -37,13 +37,8 @@ const char* to_string(TraceEventKind kind) {
 }
 
 void TraceRecorder::record(TraceEvent event) {
+  ++counts_[static_cast<std::size_t>(event.kind)];
   events_.push_back(std::move(event));
-}
-
-std::size_t TraceRecorder::count(TraceEventKind kind) const {
-  return static_cast<std::size_t>(
-      std::count_if(events_.begin(), events_.end(),
-                    [kind](const TraceEvent& e) { return e.kind == kind; }));
 }
 
 std::vector<double> TraceRecorder::throughput_series(Seconds bucket,

@@ -6,6 +6,7 @@
 // per-node utilisation, adaptation timelines.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -42,6 +43,11 @@ enum class TraceEventKind {
   TaskResultLost,       ///< completed result died un-replicated with the farmer
 };
 
+/// Number of TraceEventKind enumerators (update alongside the enum; the
+/// recorder's per-kind counter array is sized by it).
+inline constexpr std::size_t kTraceEventKindCount =
+    static_cast<std::size_t>(TraceEventKind::TaskResultLost) + 1;
+
 [[nodiscard]] const char* to_string(TraceEventKind kind);
 
 struct TraceEvent {
@@ -60,7 +66,12 @@ class TraceRecorder {
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;
   }
-  [[nodiscard]] std::size_t count(TraceEventKind kind) const;
+  /// Events recorded with `kind` so far.  O(1): `record` maintains a
+  /// per-kind counter (analyses call this per kind per report line, which
+  /// used to rescan the whole event vector each time).
+  [[nodiscard]] std::size_t count(TraceEventKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
 
   /// Completions per bucket of width `bucket` from 0 to `horizon`
   /// (TaskCompleted + ItemCompleted).  The throughput-over-time figure.
@@ -75,10 +86,14 @@ class TraceRecorder {
   /// Times of adaptation actions (recalibrations, swaps, remaps, resizes).
   [[nodiscard]] std::vector<Seconds> adaptation_times() const;
 
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    counts_.fill(0);
+  }
 
  private:
   std::vector<TraceEvent> events_;
+  std::array<std::size_t, kTraceEventKindCount> counts_{};
 };
 
 }  // namespace grasp::gridsim

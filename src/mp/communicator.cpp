@@ -35,7 +35,11 @@ void Comm::send(int dest, int tag, Payload payload) {
   msg.source = rank_;
   msg.tag = tag;
   msg.payload = std::move(payload);
-  world_->mailbox(dest).deliver(std::move(msg));
+  Mailbox& box = world_->mailbox(dest);
+  box.deliver(std::move(msg));
+  if (obs::MetricsRegistry* met = world_->metrics(); met != nullptr)
+    met->observe(world_->mailbox_depth_handle(),
+                 static_cast<double>(box.pending()));
 }
 
 void Comm::charge(int dest, std::size_t bytes) {
@@ -142,6 +146,12 @@ World::World(int size) {
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r)
     mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::attach_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ != nullptr)
+    mailbox_depth_ = metrics_->histogram("mp.mailbox_depth", {1.0, 2.0, 16});
 }
 
 Mailbox& World::mailbox(int rank) {

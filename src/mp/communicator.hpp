@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mp/message.hpp"
+#include "obs/metrics.hpp"
 
 namespace grasp::mp {
 
@@ -134,6 +135,16 @@ class World {
   void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
   [[nodiscard]] const SendHook& send_hook() const { return send_hook_; }
 
+  /// Attach a metrics registry (non-owning; must outlive the world): every
+  /// send observes the destination mailbox's post-delivery depth into the
+  /// `mp.mailbox_depth` histogram.  Counters/histograms are lock-free, so
+  /// this is safe from all rank threads; attach before `run`, not during.
+  void attach_metrics(obs::MetricsRegistry* metrics);
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+  [[nodiscard]] obs::HistogramHandle mailbox_depth_handle() const {
+    return mailbox_depth_;
+  }
+
   /// Run `body(comm)` on `size` threads, one per rank; joins them all.
   /// Exceptions thrown by any rank are rethrown (first rank wins).
   void run(const std::function<void(Comm&)>& body);
@@ -141,6 +152,8 @@ class World {
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   SendHook send_hook_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::HistogramHandle mailbox_depth_;
 };
 
 /// Tags >= kInternalTagBase are reserved for collectives.

@@ -1,0 +1,70 @@
+#include "obs/bridge.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace grasp::obs {
+
+void bridge_trace(const gridsim::TraceRecorder& trace, SpanRecorder& spans,
+                  BridgeOptions options) {
+  using gridsim::TraceEvent;
+  using gridsim::TraceEventKind;
+
+  // task id -> stack of unmatched dispatches (a reissued task can have
+  // several in flight; completion closes the most recent).
+  std::unordered_map<std::uint64_t, std::vector<const TraceEvent*>> open;
+
+  const auto append_task_span = [&](const TraceEvent& dispatched,
+                                    const TraceEvent* completed) {
+    SpanRecord rec;
+    rec.name = "task";
+    rec.begin_s = dispatched.at.value;
+    rec.node = completed != nullptr ? completed->node : dispatched.node;
+    rec.task = dispatched.task;
+    if (completed != nullptr) {
+      rec.end_s = completed->at.value;
+      rec.value = completed->value;
+      rec.detail = "complete";
+    }
+    spans.append(rec);
+  };
+
+  for (const TraceEvent& event : trace.events()) {
+    if (options.task_spans &&
+        event.kind == TraceEventKind::TaskDispatched) {
+      open[event.task.value].push_back(&event);
+      continue;
+    }
+    if (options.task_spans &&
+        event.kind == TraceEventKind::TaskCompleted) {
+      const auto it = open.find(event.task.value);
+      if (it != open.end() && !it->second.empty()) {
+        append_task_span(*it->second.back(), &event);
+        it->second.pop_back();
+        continue;
+      }
+      // Completion without a recorded dispatch: keep it as an instant.
+    }
+    SpanRecord rec;
+    rec.name = to_string(event.kind);
+    rec.begin_s = event.at.value;
+    rec.end_s = event.at.value;
+    rec.instant = true;
+    rec.node = event.node;
+    rec.task = event.task;
+    rec.value = event.value;
+    spans.append(rec);
+  }
+
+  // Dispatches that never completed (lost to a crash, or the run ended)
+  // surface as open spans, in trace order.
+  for (const TraceEvent& event : trace.events()) {
+    if (event.kind != TraceEventKind::TaskDispatched) continue;
+    const auto it = open.find(event.task.value);
+    if (it == open.end()) continue;
+    for (const TraceEvent* dispatched : it->second)
+      if (dispatched == &event) append_task_span(event, nullptr);
+  }
+}
+
+}  // namespace grasp::obs

@@ -1,0 +1,30 @@
+// Bridge from the legacy gridsim::TraceRecorder event stream into spans.
+//
+// Existing analyses keep reading TraceRecorder; new tooling reads spans.
+// The bridge appends one record per trace event so both views exist for
+// a run that only produced a trace: TaskDispatched/TaskCompleted pairs
+// become dispatch→complete spans (matched by task id, latest-open wins,
+// so a reissued task yields one span per attempt), everything else
+// becomes an instant named after its TraceEventKind.
+//
+// Engines that already record native chunk spans bridge with
+// `task_spans = false` to avoid duplicating the dispatch→complete arcs
+// while still getting membership/checkpoint/failover instants.
+#pragma once
+
+#include "gridsim/trace.hpp"
+#include "obs/span.hpp"
+
+namespace grasp::obs {
+
+struct BridgeOptions {
+  bool task_spans = true;  ///< pair dispatch/completion into spans
+};
+
+/// Append the trace's events to `spans` (bypasses the enabled gate — the
+/// caller asked explicitly).  Timestamps are copied verbatim; trace and
+/// recorder must come from the same run/clock.
+void bridge_trace(const gridsim::TraceRecorder& trace, SpanRecorder& spans,
+                  BridgeOptions options = {});
+
+}  // namespace grasp::obs

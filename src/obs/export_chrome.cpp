@@ -1,0 +1,116 @@
+#include "obs/export_chrome.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace grasp::obs {
+
+namespace {
+
+/// Coordination-track spans (no node) render on tid 0; node n on tid n+1.
+std::uint64_t tid_of(const SpanRecord& rec) {
+  return rec.node.is_valid() ? rec.node.value + 1 : 0;
+}
+
+void write_number(std::ostream& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out << buf;
+}
+
+void write_common_args(std::ostream& out, const SpanRecord& rec) {
+  out << "\"args\":{\"span\":" << rec.id << ",\"parent\":" << rec.parent;
+  if (rec.task.is_valid()) out << ",\"task\":" << rec.task.value;
+  if (rec.value != 0.0) {
+    out << ",\"value\":";
+    write_number(out, rec.value);
+  }
+  if (rec.detail[0] != '\0')
+    out << ",\"detail\":\"" << json_escape(rec.detail) << '"';
+  out << '}';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<SpanRecord>& spans) {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+
+  sep();
+  out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"grasp run\"}}";
+
+  std::set<std::uint64_t> tids;
+  for (const SpanRecord& rec : spans) tids.insert(tid_of(rec));
+  tids.insert(0);  // always name the coordination track
+  for (const std::uint64_t tid : tids) {
+    sep();
+    out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"";
+    if (tid == 0)
+      out << "farmer/coordination";
+    else
+      out << "node " << (tid - 1);
+    out << "\"}}";
+  }
+
+  for (const SpanRecord& rec : spans) {
+    sep();
+    const double ts_us = rec.begin_s * 1e6;
+    if (rec.instant) {
+      out << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << json_escape(rec.name)
+          << "\",\"pid\":0,\"tid\":" << tid_of(rec) << ",\"ts\":";
+      write_number(out, ts_us);
+      out << ',';
+      write_common_args(out, rec);
+      out << '}';
+      continue;
+    }
+    const bool open = rec.open();
+    const double dur_us = open ? 0.0 : (rec.end_s - rec.begin_s) * 1e6;
+    out << "{\"ph\":\"X\",\"name\":\"" << json_escape(rec.name)
+        << "\",\"pid\":0,\"tid\":" << tid_of(rec) << ",\"ts\":";
+    write_number(out, ts_us);
+    out << ",\"dur\":";
+    write_number(out, dur_us);
+    out << ',';
+    if (open) {
+      // Same shape as write_common_args but forcing detail:"open".
+      out << "\"args\":{\"span\":" << rec.id << ",\"parent\":" << rec.parent;
+      if (rec.task.is_valid()) out << ",\"task\":" << rec.task.value;
+      out << ",\"detail\":\"open\"}";
+    } else {
+      write_common_args(out, rec);
+    }
+    out << '}';
+  }
+  out << "\n]}\n";
+}
+
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans) {
+  std::ostringstream out;
+  write_chrome_trace(out, spans);
+  return out.str();
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<SpanRecord>& spans) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, spans);
+  return static_cast<bool>(out);
+}
+
+}  // namespace grasp::obs

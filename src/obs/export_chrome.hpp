@@ -1,0 +1,30 @@
+// Chrome trace-event JSON exporter.
+//
+// Emits the "JSON Array Format" object (`{"traceEvents":[...]}`) that
+// chrome://tracing and Perfetto's legacy importer load directly.  Layout:
+// one pid (0, the run), one tid per node (tid = node + 1) plus tid 0 for
+// the farmer/coordination track (spans recorded with an invalid node).
+// Closed spans become complete events (ph:"X"), instants become ph:"i",
+// still-open spans are emitted as zero-duration "X" marked detail:"open".
+// Timestamps are microseconds of the run's clock (virtual or wall).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace grasp::obs {
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<SpanRecord>& spans);
+
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<SpanRecord>& spans);
+
+/// Write to a file; returns false (and writes nothing) on open failure.
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<SpanRecord>& spans);
+
+}  // namespace grasp::obs

@@ -1,0 +1,123 @@
+#include "obs/export_jsonl.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "support/log.hpp"
+
+namespace grasp::obs {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void JsonlWriter::write_line(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  (*out_) << line << '\n';
+}
+
+void JsonlWriter::write_span(const SpanRecord& rec) {
+  std::string line = "{\"type\":\"";
+  line += rec.instant ? "instant" : "span";
+  line += "\",\"id\":" + std::to_string(rec.id);
+  line += ",\"parent\":" + std::to_string(rec.parent);
+  line += ",\"name\":\"" + json_escape(rec.name) + '"';
+  line += ",\"begin_s\":";
+  append_number(line, rec.begin_s);
+  if (!rec.instant) {
+    line += ",\"end_s\":";
+    append_number(line, rec.open() ? -1.0 : rec.end_s);
+  }
+  if (rec.node.is_valid())
+    line += ",\"node\":" + std::to_string(rec.node.value);
+  if (rec.task.is_valid())
+    line += ",\"task\":" + std::to_string(rec.task.value);
+  if (rec.value != 0.0) {
+    line += ",\"value\":";
+    append_number(line, rec.value);
+  }
+  if (rec.detail[0] != '\0')
+    line += ",\"detail\":\"" + json_escape(rec.detail) + '"';
+  line += '}';
+  write_line(line);
+}
+
+void JsonlWriter::write_spans(const std::vector<SpanRecord>& spans) {
+  for (const SpanRecord& rec : spans) write_span(rec);
+}
+
+void JsonlWriter::write_metrics(const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    write_line("{\"type\":\"counter\",\"name\":\"" + json_escape(name) +
+               "\",\"value\":" + std::to_string(value) + '}');
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string line =
+        "{\"type\":\"gauge\",\"name\":\"" + json_escape(name) +
+        "\",\"value\":";
+    append_number(line, value);
+    line += '}';
+    write_line(line);
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    std::string line =
+        "{\"type\":\"histogram\",\"name\":\"" + json_escape(h.name) +
+        "\",\"count\":" + std::to_string(h.count);
+    line += ",\"sum\":";
+    append_number(line, h.sum);
+    line += ",\"min\":";
+    append_number(line, h.min);
+    line += ",\"max\":";
+    append_number(line, h.max);
+    line += ",\"p50\":";
+    append_number(line, h.percentile(0.50));
+    line += ",\"p95\":";
+    append_number(line, h.percentile(0.95));
+    line += ",\"p99\":";
+    append_number(line, h.percentile(0.99));
+    line += ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) line += ',';
+      line += std::to_string(h.buckets[i]);
+    }
+    line += "]}";
+    write_line(line);
+  }
+}
+
+void JsonlWriter::write_log(int level, const std::string& level_name,
+                            const std::string& component,
+                            const std::string& message) {
+  write_line("{\"type\":\"log\",\"level\":" + std::to_string(level) +
+             ",\"severity\":\"" + json_escape(level_name) +
+             "\",\"component\":\"" + json_escape(component) +
+             "\",\"message\":\"" + json_escape(message) + "\"}");
+}
+
+namespace {
+
+void jsonl_log_sink(void* user, LogLevel level, const char* level_name,
+                    const std::string& component,
+                    const std::string& message) {
+  static_cast<JsonlWriter*>(user)->write_log(static_cast<int>(level),
+                                             level_name, component, message);
+}
+
+}  // namespace
+
+void attach_log_sink(JsonlWriter* writer) {
+  if (writer == nullptr)
+    set_log_sink(nullptr, nullptr);
+  else
+    set_log_sink(&jsonl_log_sink, writer);
+}
+
+}  // namespace grasp::obs

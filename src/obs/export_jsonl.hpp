@@ -1,0 +1,46 @@
+// JSONL structured event stream.
+//
+// One self-describing JSON object per line (`"type"` discriminates:
+// span / instant / counter / gauge / histogram / log), so downstream
+// tooling can stream-filter a run without loading it whole.  The writer
+// is thread-safe per line — `support/log` routes Info+ lines here when a
+// writer is attached via `attach_log_sink`, and those arrive from worker
+// threads.
+#pragma once
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace grasp::obs {
+
+class JsonlWriter {
+ public:
+  /// The stream must outlive the writer.
+  explicit JsonlWriter(std::ostream& out) : out_(&out) {}
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  void write_span(const SpanRecord& rec);
+  void write_spans(const std::vector<SpanRecord>& spans);
+  /// One line per counter, gauge and histogram (histogram lines carry
+  /// count/sum/min/max/p50/p95/p99 plus raw buckets).
+  void write_metrics(const MetricsSnapshot& snapshot);
+  void write_log(int level, const std::string& level_name,
+                 const std::string& component, const std::string& message);
+
+ private:
+  void write_line(const std::string& line);
+
+  std::ostream* out_;
+  std::mutex mutex_;
+};
+
+/// Route log lines at Info and above into `writer` (global, one at a
+/// time; pass nullptr to detach).  Implemented over grasp::set_log_sink.
+void attach_log_sink(JsonlWriter* writer);
+
+}  // namespace grasp::obs

@@ -1,0 +1,68 @@
+#include "obs/export_text.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace grasp::obs {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string text_dashboard(const MetricsSnapshot& metrics,
+                           const std::vector<SpanRecord>* spans) {
+  std::ostringstream out;
+  out << "== telemetry dashboard ==\n";
+
+  bool any = false;
+  for (const auto& [name, value] : metrics.counters) {
+    if (value == 0) continue;
+    if (!any) out << "-- counters --\n";
+    any = true;
+    out << "  " << name << ": " << value << '\n';
+  }
+  any = false;
+  for (const auto& [name, value] : metrics.gauges) {
+    if (value == 0.0) continue;
+    if (!any) out << "-- gauges --\n";
+    any = true;
+    out << "  " << name << ": " << fmt(value) << '\n';
+  }
+  any = false;
+  for (const HistogramSnapshot& h : metrics.histograms) {
+    if (h.count == 0) continue;
+    if (!any) {
+      out << "-- histograms --\n";
+      out << "  " << "name: count mean p50 p95 p99 max\n";
+    }
+    any = true;
+    out << "  " << h.name << ": " << h.count << ' ' << fmt(h.mean()) << ' '
+        << fmt(h.percentile(0.50)) << ' ' << fmt(h.percentile(0.95)) << ' '
+        << fmt(h.percentile(0.99)) << ' ' << fmt(h.max) << '\n';
+  }
+
+  if (spans != nullptr && !spans->empty()) {
+    // Count per category; const char* names may alias, so key on value.
+    std::map<std::string, std::size_t> per_name;
+    std::size_t open = 0;
+    for (const SpanRecord& rec : *spans) {
+      ++per_name[rec.name];
+      if (rec.open()) ++open;
+    }
+    out << "-- spans (" << spans->size() << " recorded, " << open
+        << " left open) --\n";
+    for (const auto& [name, count] : per_name)
+      out << "  " << name << ": " << count << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace grasp::obs

@@ -1,0 +1,21 @@
+// Plain-text end-of-run dashboard.
+//
+// Human-readable summary of a registry snapshot: non-zero counters,
+// gauges, and a percentile table (count/mean/p50/p95/p99/max) per
+// histogram, plus per-category span counts when a recorder is supplied.
+// Examples print this after their own report tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace grasp::obs {
+
+[[nodiscard]] std::string text_dashboard(
+    const MetricsSnapshot& metrics,
+    const std::vector<SpanRecord>* spans = nullptr);
+
+}  // namespace grasp::obs

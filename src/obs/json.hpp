@@ -1,0 +1,88 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// Exists so the exporter tests can parse their own output back ("is the
+// Chrome trace valid JSON with the fields Perfetto needs?") without an
+// external dependency.  Supports the full JSON grammar the exporters
+// emit: objects, arrays, strings with \uXXXX escapes, numbers, booleans,
+// null.  Not a performance path — parse is O(n) with std::map lookups.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace grasp::obs {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  using Storage = std::variant<std::nullptr_t, bool, double, std::string,
+                               JsonArray, JsonObject>;
+
+  JsonValue() : storage_(nullptr) {}
+  JsonValue(std::nullptr_t) : storage_(nullptr) {}  // NOLINT
+  JsonValue(bool b) : storage_(b) {}                // NOLINT
+  JsonValue(double d) : storage_(d) {}              // NOLINT
+  JsonValue(std::string s) : storage_(std::move(s)) {}  // NOLINT
+  JsonValue(JsonArray a) : storage_(std::move(a)) {}    // NOLINT
+  JsonValue(JsonObject o) : storage_(std::move(o)) {}   // NOLINT
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(storage_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(storage_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(storage_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(storage_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<JsonArray>(storage_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<JsonObject>(storage_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(storage_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(storage_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(storage_);
+  }
+  [[nodiscard]] const JsonArray& as_array() const {
+    return std::get<JsonArray>(storage_);
+  }
+  [[nodiscard]] const JsonObject& as_object() const {
+    return std::get<JsonObject>(storage_);
+  }
+
+  /// Object member access; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    const auto it = as_object().find(key);
+    return it == as_object().end() ? nullptr : &it->second;
+  }
+
+ private:
+  Storage storage_;
+};
+
+/// Parse one JSON document.  Returns nullopt on any syntax error or on
+/// trailing non-whitespace; `error` (if given) receives a description
+/// with the byte offset.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
+
+/// Escape a string for embedding in JSON output (adds no quotes).
+std::string json_escape(std::string_view raw);
+
+}  // namespace grasp::obs

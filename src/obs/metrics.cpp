@@ -1,0 +1,144 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace grasp::obs {
+
+namespace {
+
+/// Bucket index for value `v` under `spec`; bucket_count means overflow.
+std::size_t bucket_index(const HistogramSpec& spec, double v) {
+  if (!(v > spec.first_bound)) return 0;  // also catches NaN and <= 0
+  const double steps =
+      std::log(v / spec.first_bound) / std::log(spec.growth);
+  const double idx = std::ceil(steps);
+  if (idx >= static_cast<double>(spec.bucket_count))
+    return spec.bucket_count;  // overflow
+  return static_cast<std::size_t>(std::max(idx, 1.0));
+}
+
+void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double HistogramSnapshot::lower_bound(std::size_t i) const {
+  if (i == 0) return 0.0;
+  return spec.first_bound * std::pow(spec.growth, static_cast<double>(i - 1));
+}
+
+double HistogramSnapshot::upper_bound(std::size_t i) const {
+  if (i >= spec.bucket_count)
+    return std::numeric_limits<double>::infinity();
+  return spec.first_bound * std::pow(spec.growth, static_cast<double>(i));
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Target rank in [1, count]; walk the cumulative counts to the bucket
+  // holding it, then interpolate linearly inside that bucket.
+  const double rank = std::max(1.0, p * static_cast<double>(count));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= rank) {
+      const double lo = std::max(lower_bound(i), min);
+      const double hi = std::min(
+          i >= spec.bucket_count ? max : upper_bound(i), max);
+      const double within =
+          (rank - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      const double v = lo + within * (hi - lo);
+      return std::clamp(v, min, max);
+    }
+    cum += in_bucket;
+  }
+  return max;  // unreachable when bucket totals match `count`
+}
+
+CounterHandle MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(registration_mutex_);
+  for (std::uint32_t i = 0; i < counters_.size(); ++i)
+    if (counters_[i].name == name) return CounterHandle{i};
+  counters_.emplace_back(std::string(name));
+  return CounterHandle{static_cast<std::uint32_t>(counters_.size() - 1)};
+}
+
+GaugeHandle MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(registration_mutex_);
+  for (std::uint32_t i = 0; i < gauges_.size(); ++i)
+    if (gauges_[i].name == name) return GaugeHandle{i};
+  gauges_.emplace_back(std::string(name));
+  return GaugeHandle{static_cast<std::uint32_t>(gauges_.size() - 1)};
+}
+
+HistogramHandle MetricsRegistry::histogram(std::string_view name,
+                                           HistogramSpec spec) {
+  const std::lock_guard<std::mutex> lock(registration_mutex_);
+  for (std::uint32_t i = 0; i < histograms_.size(); ++i)
+    if (histograms_[i].name == name) return HistogramHandle{i};
+  histograms_.emplace_back(std::string(name), spec);
+  return HistogramHandle{static_cast<std::uint32_t>(histograms_.size() - 1)};
+}
+
+void MetricsRegistry::observe_always(HistogramHandle h, double v) {
+  HistogramSlot& slot = histograms_[h.slot];
+  slot.buckets[bucket_index(slot.spec, v)].fetch_add(
+      1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.sum.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(slot.min, v);
+  atomic_max(slot.max, v);
+}
+
+HistogramSnapshot MetricsRegistry::histogram_snapshot(
+    HistogramHandle h) const {
+  const HistogramSlot& slot = histograms_[h.slot];
+  HistogramSnapshot snap;
+  snap.name = slot.name;
+  snap.spec = slot.spec;
+  snap.count = slot.count.load(std::memory_order_relaxed);
+  snap.sum = slot.sum.load(std::memory_order_relaxed);
+  snap.buckets.reserve(slot.buckets.size());
+  for (const auto& b : slot.buckets)
+    snap.buckets.push_back(b.load(std::memory_order_relaxed));
+  if (snap.count == 0) {
+    snap.min = snap.max = 0.0;
+  } else {
+    snap.min = slot.min.load(std::memory_order_relaxed);
+    snap.max = slot.max.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(registration_mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& c : counters_)
+    snap.counters.emplace_back(c.name,
+                               c.value.load(std::memory_order_relaxed));
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& g : gauges_)
+    snap.gauges.emplace_back(g.name,
+                             g.value.load(std::memory_order_relaxed));
+  snap.histograms.reserve(histograms_.size());
+  for (std::uint32_t i = 0; i < histograms_.size(); ++i)
+    snap.histograms.push_back(histogram_snapshot(HistogramHandle{i}));
+  return snap;
+}
+
+}  // namespace grasp::obs

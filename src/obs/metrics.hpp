@@ -1,0 +1,185 @@
+// Metrics registry: named counters, gauges and log-scale histograms.
+//
+// Engines resolve names to dense slot handles once, at registration; the
+// hot path is then an index into pre-allocated atomic storage — no string
+// hashing, no map lookup, no lock.  Registration is idempotent per name
+// (re-registering returns the existing slot), which lets a component
+// re-register its metric block on every run against a shared registry and
+// keep accumulating into the same slots.
+//
+// Two tiers of recording:
+//   * counters and gauges are ALWAYS live.  They are the engine's
+//     authoritative accounting — `ResilienceReport` and `RunSummary` are
+//     snapshots read out of this registry, so these cannot be optional.
+//   * histograms honour the registry-wide `enabled` flag (one relaxed
+//     atomic load + branch when disabled), and compile out entirely under
+//     GRASP_OBS_DISABLE.  This is the "detail" tier benchmarked by
+//     bench_micro M6: the disabled path must stay within noise of no
+//     telemetry at all.
+//
+// Thread-safety: recording through handles is lock-free and safe from any
+// thread.  Registration takes a mutex and may run concurrently with
+// recording, but handles must not be used before registration returns.
+// Snapshots use relaxed reads: exact once the recording threads have
+// quiesced (end of run), approximate mid-run.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grasp::obs {
+
+struct CounterHandle {
+  std::uint32_t slot = std::numeric_limits<std::uint32_t>::max();
+  [[nodiscard]] bool is_valid() const {
+    return slot != std::numeric_limits<std::uint32_t>::max();
+  }
+};
+
+struct GaugeHandle {
+  std::uint32_t slot = std::numeric_limits<std::uint32_t>::max();
+  [[nodiscard]] bool is_valid() const {
+    return slot != std::numeric_limits<std::uint32_t>::max();
+  }
+};
+
+struct HistogramHandle {
+  std::uint32_t slot = std::numeric_limits<std::uint32_t>::max();
+  [[nodiscard]] bool is_valid() const {
+    return slot != std::numeric_limits<std::uint32_t>::max();
+  }
+};
+
+/// Geometric bucket layout.  Bucket 0 holds values in (-inf, first_bound];
+/// bucket i holds (first_bound * growth^(i-1), first_bound * growth^i];
+/// one extra overflow bucket catches everything beyond the last bound.
+struct HistogramSpec {
+  double first_bound = 1e-6;
+  double growth = 2.0;
+  std::size_t bucket_count = 64;  ///< finite buckets (overflow is extra)
+};
+
+/// Point-in-time copy of one histogram, with the percentile math attached.
+struct HistogramSnapshot {
+  std::string name;
+  HistogramSpec spec;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;  ///< bucket_count + 1 (overflow last)
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Inclusive lower edge of bucket `i` (0 for the first bucket).
+  [[nodiscard]] double lower_bound(std::size_t i) const;
+  /// Upper edge of bucket `i`; +inf for the overflow bucket.
+  [[nodiscard]] double upper_bound(std::size_t i) const;
+  /// Interpolated percentile, `p` in [0, 1].  Empty histograms return 0;
+  /// results are clamped to the observed [min, max], which makes the
+  /// single-sample case exact.
+  [[nodiscard]] double percentile(double p) const;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // ------------------------------------------------------- registration
+  CounterHandle counter(std::string_view name);
+  GaugeHandle gauge(std::string_view name);
+  /// Re-registering an existing name keeps the original spec.
+  HistogramHandle histogram(std::string_view name, HistogramSpec spec = {});
+
+  // ---------------------------------------------------------- recording
+  void inc(CounterHandle h, std::uint64_t n = 1) {
+    counters_[h.slot].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Overwrite a counter (used to import a component's own end-of-run
+  /// total, e.g. the ChunkLedger's checkpoint count).
+  void set_counter(CounterHandle h, std::uint64_t v) {
+    counters_[h.slot].value.store(v, std::memory_order_relaxed);
+  }
+  void set(GaugeHandle h, double v) {
+    gauges_[h.slot].value.store(v, std::memory_order_relaxed);
+  }
+  void add(GaugeHandle h, double v) {
+    gauges_[h.slot].value.fetch_add(v, std::memory_order_relaxed);
+  }
+  void observe(HistogramHandle h, double v) {
+#if !defined(GRASP_OBS_DISABLE)
+    if (enabled_.load(std::memory_order_relaxed)) observe_always(h, v);
+#else
+    (void)h;
+    (void)v;
+#endif
+  }
+  /// Histogram recording that bypasses the enabled gate (tests).
+  void observe_always(HistogramHandle h, double v);
+
+  /// Gate for the detail tier (histograms; span recording mirrors it in
+  /// SpanRecorder).  Counters and gauges ignore this.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // ------------------------------------------------------------ reading
+  [[nodiscard]] std::uint64_t counter_value(CounterHandle h) const {
+    return counters_[h.slot].value.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double gauge_value(GaugeHandle h) const {
+    return gauges_[h.slot].value.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] HistogramSnapshot histogram_snapshot(HistogramHandle h) const;
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct CounterSlot {
+    explicit CounterSlot(std::string n) : name(std::move(n)) {}
+    std::string name;
+    std::atomic<std::uint64_t> value{0};
+  };
+  struct GaugeSlot {
+    explicit GaugeSlot(std::string n) : name(std::move(n)) {}
+    std::string name;
+    std::atomic<double> value{0.0};
+  };
+  struct HistogramSlot {
+    HistogramSlot(std::string n, HistogramSpec s)
+        : name(std::move(n)), spec(s), buckets(s.bucket_count + 1) {}
+    std::string name;
+    HistogramSpec spec;
+    std::vector<std::atomic<std::uint64_t>> buckets;  // bucket_count + 1
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+
+  // Deques: growth never moves existing slots, so handles taken before a
+  // later registration stay valid and recording never races a realloc.
+  std::deque<CounterSlot> counters_;
+  std::deque<GaugeSlot> gauges_;
+  std::deque<HistogramSlot> histograms_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex registration_mutex_;
+};
+
+}  // namespace grasp::obs

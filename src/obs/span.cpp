@@ -1,0 +1,59 @@
+#include "obs/span.hpp"
+
+namespace grasp::obs {
+
+SpanId SpanRecorder::begin(const char* name, SpanId parent, NodeId node,
+                           TaskId task, double value) {
+  if (!enabled_ || clock_ == nullptr) return 0;
+  SpanRecord rec;
+  rec.id = records_.size() + 1;
+  rec.parent = parent;
+  rec.name = name;
+  rec.begin_s = clock_->now_s();
+  rec.node = node;
+  rec.task = task;
+  rec.value = value;
+  records_.push_back(rec);
+  return rec.id;
+}
+
+void SpanRecorder::end(SpanId id, double value, const char* detail) {
+  if (id == 0 || id > records_.size() || clock_ == nullptr) return;
+  SpanRecord& rec = records_[id - 1];
+  if (!rec.open()) return;
+  rec.end_s = clock_->now_s();
+  if (rec.end_s < rec.begin_s) rec.end_s = rec.begin_s;
+  if (value != 0.0) rec.value = value;
+  if (detail != nullptr) rec.detail = detail;
+}
+
+void SpanRecorder::instant(const char* name, SpanId parent, NodeId node,
+                           TaskId task, double value, const char* detail) {
+  if (!enabled_ || clock_ == nullptr) return;
+  SpanRecord rec;
+  rec.id = records_.size() + 1;
+  rec.parent = parent;
+  rec.name = name;
+  rec.begin_s = clock_->now_s();
+  rec.end_s = rec.begin_s;
+  rec.instant = true;
+  rec.node = node;
+  rec.task = task;
+  rec.value = value;
+  rec.detail = detail;
+  records_.push_back(rec);
+}
+
+void SpanRecorder::append(SpanRecord record) {
+  record.id = records_.size() + 1;
+  records_.push_back(record);
+}
+
+std::size_t SpanRecorder::open_count() const {
+  std::size_t open = 0;
+  for (const SpanRecord& rec : records_)
+    if (rec.open()) ++open;
+  return open;
+}
+
+}  // namespace grasp::obs

@@ -1,0 +1,38 @@
+// Telemetry: the bundle an engine run records into.
+//
+// One MetricsRegistry (counters always live; histograms gated) plus one
+// SpanRecorder (gated with the histograms).  Engines accept a
+// `Telemetry*` in their params; when none is supplied they record into a
+// private detail-disabled instance so reports can still be read out of
+// the registry — the "no telemetry" configuration is just "nobody else is
+// looking".
+//
+// Pass a fresh Telemetry per run when you want per-run numbers; a reused
+// one keeps accumulating counters, which the engines tolerate by
+// snapshotting counter baselines at run start and reporting deltas.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace grasp::obs {
+
+struct Telemetry {
+  MetricsRegistry metrics;
+  SpanRecorder spans;
+
+  /// `detail` gates histograms + spans; counters are always live.
+  explicit Telemetry(bool detail = true) { set_detail_enabled(detail); }
+
+  void set_detail_enabled(bool on) {
+    metrics.set_enabled(on);
+    spans.set_enabled(on);
+  }
+  [[nodiscard]] bool detail_enabled() const { return metrics.enabled(); }
+
+  /// Engines install their backend clock for the duration of a run and
+  /// clear it on exit (the adapter lives on the run's stack).
+  void set_clock(const Clock* clock) { spans.set_clock(clock); }
+};
+
+}  // namespace grasp::obs

@@ -54,6 +54,7 @@ void MonitorDaemon::sample_all(Seconds t) {
     per.last_bw = bw.value;
   }
   ++samples_taken_;
+  if (metrics_ != nullptr) metrics_->inc(samples_counter_);
 }
 
 MonitorDaemon::PerNode& MonitorDaemon::state_for(NodeId node) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "perfmon/forecaster.hpp"
 #include "perfmon/sensor.hpp"
 #include "support/flat_map.hpp"
@@ -76,6 +77,16 @@ class MonitorDaemon {
   /// from here on measure the new root's links.
   void reroot(NodeId root) { params_.root = root; }
 
+  /// Attach a metrics registry (non-owning; must outlive the daemon): every
+  /// sampling tick increments the `perfmon.monitor_samples` counter, so a
+  /// shared registry sees monitor activity live instead of only in the
+  /// end-of-run report.
+  void attach_metrics(obs::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    if (metrics_ != nullptr)
+      samples_counter_ = metrics_->counter("perfmon.monitor_samples");
+  }
+
  private:
   struct PerNode {
     RingBuffer<Sample> load_history;
@@ -107,6 +118,8 @@ class MonitorDaemon {
   NodeMap<std::unique_ptr<PerNode>> state_;
   Seconds last_tick_{0.0};
   std::size_t samples_taken_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::CounterHandle samples_counter_;
 };
 
 }  // namespace grasp::perfmon

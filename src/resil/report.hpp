@@ -1,7 +1,15 @@
 // Per-run resilience accounting, embedded in the engine reports.
+//
+// Since the observability layer landed, the engines no longer fill these
+// structs directly: they register `ResilienceMetrics` handles in the run's
+// obs::MetricsRegistry, count through those, and the report is read back
+// out with `snapshot()`.  Registry and report therefore cannot disagree —
+// the report IS a registry snapshot.
 #pragma once
 
 #include <cstddef>
+
+#include "obs/metrics.hpp"
 
 namespace grasp::resil {
 
@@ -44,5 +52,44 @@ struct ResilienceReport {
   /// checkpoint_state_bytes, accounted but not charged to the virtual clock.
   double replication_bytes = 0.0;
 };
+
+/// Registry handles mirroring ResilienceReport field for field (size_t
+/// fields are counters under "resil.<field>", double fields gauges).
+/// Engines register once per run — registration is idempotent per name,
+/// so a shared registry hands back the same slots — and read the report
+/// out with `snapshot`.
+struct ResilienceMetrics {
+  obs::CounterHandle crashes_detected;
+  obs::CounterHandle leaves;
+  obs::CounterHandle joins;
+  obs::CounterHandle admissions;
+  obs::CounterHandle rejections;
+  obs::CounterHandle evictions;
+  obs::CounterHandle chunks_lost;
+  obs::CounterHandle tasks_redispatched;
+  obs::CounterHandle zombie_completions;
+  obs::GaugeHandle wasted_mops;
+  obs::CounterHandle checkpoints;
+  obs::CounterHandle tasks_recovered;
+  obs::GaugeHandle recovered_mops;
+  obs::GaugeHandle checkpoint_state_bytes;
+  obs::CounterHandle failovers;
+  obs::GaugeHandle failover_latency_s;
+  obs::CounterHandle standby_recruits;
+  obs::CounterHandle results_rolled_back;
+  obs::CounterHandle replication_records;
+  obs::GaugeHandle replication_bytes;
+
+  [[nodiscard]] static ResilienceMetrics register_in(
+      obs::MetricsRegistry& metrics);
+  [[nodiscard]] ResilienceReport snapshot(
+      const obs::MetricsRegistry& metrics) const;
+};
+
+/// Field-wise `after - before`.  Engines snapshot a baseline at run start
+/// so a Telemetry reused across runs still yields per-run reports
+/// (counters in the registry keep accumulating; reports are deltas).
+[[nodiscard]] ResilienceReport subtract(const ResilienceReport& after,
+                                        const ResilienceReport& before);
 
 }  // namespace grasp::resil

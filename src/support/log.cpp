@@ -10,6 +10,14 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 std::mutex g_log_mutex;
 
+// Sink registration: the atomic flag gives LogStatement a cheap "anyone
+// listening?" check; the mutex serialises attach/detach against calls so
+// a sink can never be invoked after set_log_sink(nullptr, ...) returns.
+std::atomic<bool> g_sink_attached{false};
+std::mutex g_sink_mutex;
+LogSinkFn g_sink = nullptr;
+void* g_sink_user = nullptr;
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::Debug: return "DEBUG";
@@ -30,12 +38,39 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_sink(LogSinkFn sink, void* user) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = sink;
+  g_sink_user = user;
+  g_sink_attached.store(sink != nullptr, std::memory_order_release);
+}
+
+bool log_sink_attached() {
+  return g_sink_attached.load(std::memory_order_acquire);
+}
+
 void log_line(LogLevel level, const std::string& component,
               const std::string& message) {
-  if (level < log_level()) return;
-  const std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::cerr << '[' << level_name(level) << "] [" << component << "] "
-            << message << '\n';
+  if (level >= log_level()) {
+    // Pre-format the whole line and write it in one shot so lines from
+    // concurrent workers never interleave mid-line.
+    std::string line;
+    line.reserve(component.size() + message.size() + 16);
+    line += '[';
+    line += level_name(level);
+    line += "] [";
+    line += component;
+    line += "] ";
+    line += message;
+    line += '\n';
+    const std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << line;
+  }
+  if (level >= LogLevel::Info && log_sink_attached()) {
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    if (g_sink != nullptr)
+      g_sink(g_sink_user, level, level_name(level), component, message);
+  }
 }
 
 }  // namespace grasp

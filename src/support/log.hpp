@@ -12,12 +12,29 @@ namespace grasp {
 
 enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/// Process-global log threshold (not thread-safe to *change* mid-run; set it
-/// once at startup).
+/// Process-global log threshold.  Atomic: safe to read from worker threads
+/// and to change mid-run (new statements pick up the new level).
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Emit one line to stderr if `level` passes the threshold.
+/// Optional structured sink: receives every line at Info or above —
+/// regardless of the stderr threshold — so an attached JSONL exporter
+/// captures adaptation decisions even when stderr stays quiet at Warn.
+/// Plain function pointer + user cookie keeps the support layer free of
+/// std::function; obs::attach_log_sink wraps this for the JSONL writer.
+/// One sink at a time; pass (nullptr, nullptr) to detach.  The sink is
+/// invoked under the sink mutex and must be thread-safe itself only if it
+/// shares state outside the callback.
+using LogSinkFn = void (*)(void* user, LogLevel level, const char* level_name,
+                           const std::string& component,
+                           const std::string& message);
+void set_log_sink(LogSinkFn sink, void* user);
+/// True when a sink is attached (fast atomic check for LogStatement).
+[[nodiscard]] bool log_sink_attached();
+
+/// Emit one line if `level` passes the stderr threshold or the sink wants
+/// it.  The stderr write is a single pre-formatted string under one mutex,
+/// so concurrent workers never interleave fragments of a line.
 void log_line(LogLevel level, const std::string& component,
               const std::string& message);
 
@@ -27,7 +44,8 @@ class LogStatement {
  public:
   LogStatement(LogLevel level, std::string component)
       : level_(level), component_(std::move(component)),
-        enabled_(level >= log_level()) {}
+        enabled_(level >= log_level() ||
+                 (level >= LogLevel::Info && log_sink_attached())) {}
   LogStatement(const LogStatement&) = delete;
   LogStatement& operator=(const LogStatement&) = delete;
   ~LogStatement() {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <random>
+
 namespace grasp::gridsim {
 namespace {
 
@@ -79,6 +83,37 @@ TEST(Trace, ClearEmpties) {
   tr.record(ev(0.0, TraceEventKind::TaskCompleted));
   tr.clear();
   EXPECT_TRUE(tr.events().empty());
+  EXPECT_EQ(tr.count(TraceEventKind::TaskCompleted), 0u);
+}
+
+// Regression for the O(n) count() rescans: the per-kind counters must agree
+// with a manual pass over events() for every kind, after an arbitrary mix of
+// records, and reset together with the event vector on clear().
+TEST(Trace, PerKindCountersMatchManualScan) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<std::size_t> pick(0,
+                                                  kTraceEventKindCount - 1);
+  TraceRecorder tr;
+  auto verify_all_kinds = [&] {
+    for (std::size_t k = 0; k < kTraceEventKindCount; ++k) {
+      const auto kind = static_cast<TraceEventKind>(k);
+      const auto scanned = static_cast<std::size_t>(std::count_if(
+          tr.events().begin(), tr.events().end(),
+          [&](const TraceEvent& e) { return e.kind == kind; }));
+      EXPECT_EQ(tr.count(kind), scanned) << "kind " << to_string(kind);
+    }
+  };
+
+  for (std::size_t i = 0; i < 5000; ++i)
+    tr.record(ev(static_cast<double>(i),
+                 static_cast<TraceEventKind>(pick(rng)), i % 16, i));
+  verify_all_kinds();
+
+  tr.clear();
+  verify_all_kinds();  // all zero again
+  tr.record(ev(0.0, TraceEventKind::FarmerPromoted));
+  EXPECT_EQ(tr.count(TraceEventKind::FarmerPromoted), 1u);
+  verify_all_kinds();
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace grasp::obs {
+namespace {
+
+TEST(Metrics, CountersAndGaugesRecordThroughHandles) {
+  MetricsRegistry reg;
+  const CounterHandle c = reg.counter("test.count");
+  const GaugeHandle g = reg.gauge("test.level");
+  EXPECT_TRUE(c.is_valid());
+  EXPECT_TRUE(g.is_valid());
+  reg.inc(c);
+  reg.inc(c, 4);
+  reg.set(g, 2.5);
+  reg.add(g, 0.5);
+  EXPECT_EQ(reg.counter_value(c), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value(g), 3.0);
+  reg.set_counter(c, 42);
+  EXPECT_EQ(reg.counter_value(c), 42u);
+}
+
+TEST(Metrics, RegistrationIsIdempotentPerName) {
+  MetricsRegistry reg;
+  const CounterHandle a = reg.counter("same");
+  const CounterHandle b = reg.counter("same");
+  EXPECT_EQ(a.slot, b.slot);
+  reg.inc(a);
+  reg.inc(b);
+  EXPECT_EQ(reg.counter_value(a), 2u);
+  // Re-registering a histogram keeps the original spec.
+  const HistogramHandle h1 = reg.histogram("h", {1.0, 2.0, 4});
+  const HistogramHandle h2 = reg.histogram("h", {99.0, 3.0, 7});
+  EXPECT_EQ(h1.slot, h2.slot);
+  EXPECT_DOUBLE_EQ(reg.histogram_snapshot(h2).spec.first_bound, 1.0);
+  EXPECT_EQ(reg.histogram_snapshot(h2).spec.bucket_count, 4u);
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  MetricsRegistry reg;
+  // Finite buckets: [<=1], (1,2], (2,4]; index 3 is the overflow (> 4).
+  const HistogramHandle h = reg.histogram("edges", {1.0, 2.0, 3});
+  reg.observe_always(h, -5.0);  // below range -> bucket 0
+  reg.observe_always(h, 0.0);   // bucket 0
+  reg.observe_always(h, 1.0);   // inclusive upper edge of bucket 0
+  reg.observe_always(h, 1.0001);  // bucket 1
+  reg.observe_always(h, 2.0);     // inclusive upper edge of bucket 1
+  reg.observe_always(h, 4.0);     // last finite bucket
+  reg.observe_always(h, 4.0001);  // overflow
+  reg.observe_always(h, 1e12);    // overflow
+  const HistogramSnapshot snap = reg.histogram_snapshot(h);
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 3u);
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 2u);
+  EXPECT_EQ(snap.count, 8u);
+  EXPECT_DOUBLE_EQ(snap.min, -5.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1e12);
+}
+
+TEST(Metrics, HistogramNonFiniteGoesToFirstBucket) {
+  MetricsRegistry reg;
+  const HistogramHandle h = reg.histogram("nan", {1.0, 2.0, 3});
+  reg.observe_always(h, std::nan(""));
+  const HistogramSnapshot snap = reg.histogram_snapshot(h);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.count, 1u);
+}
+
+TEST(Metrics, EmptyHistogramPercentilesAreZero) {
+  MetricsRegistry reg;
+  const HistogramHandle h = reg.histogram("empty");
+  const HistogramSnapshot snap = reg.histogram_snapshot(h);
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.99), 0.0);
+}
+
+TEST(Metrics, SingleSamplePercentilesAreExact) {
+  MetricsRegistry reg;
+  const HistogramHandle h = reg.histogram("one", {1e-3, 2.0, 48});
+  reg.observe_always(h, 0.37);
+  const HistogramSnapshot snap = reg.histogram_snapshot(h);
+  // Clamping to [min, max] makes every percentile the sample itself.
+  EXPECT_DOUBLE_EQ(snap.percentile(0.0), 0.37);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.5), 0.37);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.99), 0.37);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.37);
+}
+
+TEST(Metrics, PercentilesAreMonotoneAndBracketed) {
+  MetricsRegistry reg;
+  const HistogramHandle h = reg.histogram("mono", {1e-3, 2.0, 48});
+  for (int i = 1; i <= 1000; ++i)
+    reg.observe_always(h, static_cast<double>(i) * 0.01);
+  const HistogramSnapshot snap = reg.histogram_snapshot(h);
+  double prev = snap.percentile(0.0);
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double v = snap.percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_GE(snap.percentile(0.0), snap.min);
+  EXPECT_LE(snap.percentile(1.0), snap.max);
+  // Log-scale buckets: the median of 0.01..10 must land within a bucket
+  // (factor-2 resolution) of the true 5.0.
+  EXPECT_GT(snap.percentile(0.5), 2.5);
+  EXPECT_LT(snap.percentile(0.5), 10.0);
+}
+
+TEST(Metrics, DisabledGateSkipsObserveButNotCounters) {
+  MetricsRegistry reg;
+  reg.set_enabled(false);
+  const CounterHandle c = reg.counter("c");
+  const HistogramHandle h = reg.histogram("h");
+  reg.inc(c);
+  reg.observe(h, 1.0);
+  EXPECT_EQ(reg.counter_value(c), 1u);  // counters are always live
+  EXPECT_EQ(reg.histogram_snapshot(h).count, 0u);
+  reg.observe_always(h, 1.0);  // bypass for tests
+  EXPECT_EQ(reg.histogram_snapshot(h).count, 1u);
+  reg.set_enabled(true);
+  reg.observe(h, 2.0);
+  EXPECT_EQ(reg.histogram_snapshot(h).count, 2u);
+}
+
+TEST(Metrics, SnapshotCarriesEveryRegisteredMetric) {
+  MetricsRegistry reg;
+  reg.inc(reg.counter("a.count"), 3);
+  reg.set(reg.gauge("b.gauge"), 1.5);
+  reg.observe_always(reg.histogram("c.hist"), 0.25);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "a.count");
+  EXPECT_EQ(snap.counters[0].second, 3u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "b.gauge");
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "c.hist");
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+}
+
+// Handles taken early must survive later registrations (deque storage),
+// and concurrent recording must not lose increments.
+TEST(Metrics, ConcurrentRecordingIsLossFree) {
+  MetricsRegistry reg;
+  const CounterHandle c = reg.counter("concurrent.count");
+  const GaugeHandle g = reg.gauge("concurrent.gauge");
+  const HistogramHandle h = reg.histogram("concurrent.hist", {1.0, 2.0, 8});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.inc(c);
+        reg.add(g, 1.0);
+        reg.observe_always(h, static_cast<double>(t + 1));
+      }
+    });
+  }
+  // Registration is allowed to run concurrently with recording.
+  for (int i = 0; i < 50; ++i) (void)reg.counter("other." + std::to_string(i));
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter_value(c),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(reg.gauge_value(g), static_cast<double>(kThreads) *
+                                           kPerThread);
+  EXPECT_EQ(reg.histogram_snapshot(h).count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace grasp::obs
