@@ -112,7 +112,23 @@ CalibrationResult Calibrator::run(Backend& backend,
     in_flight.emplace(token, std::move(op));
   };
 
-  for (const NodeId node : pool) launch_sample(node, samples - 1);
+  // Warm starts: nodes the shared cache already has a fresh estimate for
+  // enter the ranking with that value and skip their probe chain.  Their
+  // sample window degenerates to [started, now], so the statistical
+  // adjustment correlates them with the load they face right now.
+  std::unordered_set<NodeId> warm_nodes;
+  if (params_.spm_cache != nullptr && params_.warm_start) {
+    for (const NodeId node : pool) {
+      const auto cached = params_.spm_cache->lookup(node, backend.now());
+      if (!cached) continue;
+      spm_stats[node].add(*cached);
+      warm_nodes.insert(node);
+    }
+  }
+  result.nodes_warm_started = warm_nodes.size();
+
+  for (const NodeId node : pool)
+    if (warm_nodes.count(node) == 0) launch_sample(node, samples - 1);
 
   // Nodes that died mid-calibration: samples abandoned, excluded from the
   // ranking.
@@ -209,6 +225,14 @@ CalibrationResult Calibrator::run(Backend& backend,
       s.observed_bandwidth = monitor->mean_bandwidth_between(node, from, to);
     }
     scores.push_back(s);
+  }
+
+  // Feed freshly measured nodes back into the shared cache (warm entries
+  // would only re-store their own value, so they are skipped).
+  if (params_.spm_cache != nullptr) {
+    for (const auto& s : scores)
+      if (warm_nodes.count(s.node) == 0)
+        params_.spm_cache->store(s.node, s.observed_spm, backend.now());
   }
 
   // "Adjust T statistically" (Algorithm 1, statistical calibration branch).

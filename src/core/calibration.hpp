@@ -17,6 +17,7 @@
 //                     communication-starved placements are discounted too.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/backend.hpp"
@@ -32,6 +33,20 @@ enum class RankingStrategy { TimeOnly, Univariate, Multivariate };
 [[nodiscard]] const char* to_string(RankingStrategy s);
 [[nodiscard]] RankingStrategy ranking_strategy_from_string(
     const std::string& name);
+
+/// Pool-wide seconds-per-Mop cache shared across calibrations (and, via the
+/// service layer, across tenants): one job's measurements warm another's
+/// start.  `lookup` returns a usable estimate for `node` or nullopt (never
+/// measured, or too stale by the implementation's policy); `store` records a
+/// freshly observed value.  Implementations decide staleness and eviction —
+/// the calibrator only reads fresh hits and writes fresh samples.
+class SpmCache {
+ public:
+  virtual ~SpmCache() = default;
+  [[nodiscard]] virtual std::optional<double> lookup(NodeId node,
+                                                     Seconds now) const = 0;
+  virtual void store(NodeId node, double spm, Seconds now) = 0;
+};
 
 struct CalibrationParams {
   RankingStrategy strategy = RankingStrategy::TimeOnly;
@@ -55,6 +70,16 @@ struct CalibrationParams {
   /// simulator ignores it (model-driven costs); the threaded backend runs
   /// it on the worker thread.  Null is fine.
   std::function<void(const workloads::TaskSpec&)> task_body;
+  /// Shared calibration cache (non-owning; null = no cache).  Nodes with a
+  /// fresh cached estimate skip their probe samples entirely (their cached
+  /// seconds-per-Mop enters the ranking as if just measured) and freshly
+  /// sampled nodes are stored back, so repeated calibrations over one pool
+  /// converge to sampling only newcomers.
+  SpmCache* spm_cache = nullptr;
+  /// Gate for the cache's read side.  Engines disable it on recalibration
+  /// (a threshold breach means cached conditions no longer hold) while
+  /// still storing the fresh measurements for the next tenant.
+  bool warm_start = true;
 };
 
 /// Per-node calibration outcome.
@@ -72,6 +97,9 @@ struct CalibrationResult {
   Seconds started;
   Seconds finished;
   std::size_t tasks_consumed = 0;  ///< real tasks finished during calibration
+  /// Nodes whose probe was skipped because the shared SpmCache held a fresh
+  /// estimate (zero without a cache).
+  std::size_t nodes_warm_started = 0;
   /// Mean adjusted seconds-per-Mop over the chosen set: the baseline the
   /// execution monitor compares against.
   double baseline_spm = 0.0;

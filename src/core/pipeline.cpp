@@ -11,6 +11,7 @@
 #include "support/flat_map.hpp"
 #include "support/log.hpp"
 #include "support/stats.hpp"
+#include "svc/grid_service.hpp"
 
 namespace grasp::core {
 
@@ -79,6 +80,21 @@ PipelineReport Pipeline::run(Backend& backend, const gridsim::Grid& grid,
                              const std::vector<NodeId>& pool,
                              const workloads::PipelineSpec& spec,
                              std::size_t item_count) {
+  // See TaskFarm::run — single-tenant service, inline fast path.
+  svc::GridService::Params service_params;
+  service_params.use_calibration_cache = false;
+  svc::GridService service(backend, grid, pool, service_params);
+  const svc::JobHandle handle =
+      service.submit(svc::PipelineJob{params_, spec, item_count});
+  service.wait(handle);
+  return handle.pipeline_report();
+}
+
+PipelineReport Pipeline::run_engine(Backend& backend,
+                                    const gridsim::Grid& grid,
+                                    const std::vector<NodeId>& pool,
+                                    const workloads::PipelineSpec& spec,
+                                    std::size_t item_count) {
   const std::size_t depth = spec.depth();
   if (depth == 0) throw std::invalid_argument("Pipeline: empty spec");
   if (item_count == 0)

@@ -124,11 +124,22 @@ class Pipeline {
 
   /// Stream `item_count` items through `spec` over `pool`.  Pool must hold
   /// at least spec.depth() nodes.
+  ///
+  /// Thin wrapper over a private single-tenant GridService (submit one
+  /// PipelineJob, wait); the single-job service runs the engine inline on
+  /// the caller's thread, so this is observably identical to run_engine.
   [[nodiscard]] PipelineReport run(Backend& backend,
                                    const gridsim::Grid& grid,
                                    const std::vector<NodeId>& pool,
                                    const workloads::PipelineSpec& spec,
                                    std::size_t item_count);
+
+  /// The pipeline engine proper (blocking run loop); see TaskFarm::run_engine.
+  [[nodiscard]] PipelineReport run_engine(Backend& backend,
+                                          const gridsim::Grid& grid,
+                                          const std::vector<NodeId>& pool,
+                                          const workloads::PipelineSpec& spec,
+                                          std::size_t item_count);
 
   [[nodiscard]] const PipelineParams& params() const { return params_; }
 

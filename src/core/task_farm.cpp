@@ -10,6 +10,7 @@
 #include "resil/membership.hpp"
 #include "support/flat_map.hpp"
 #include "support/log.hpp"
+#include "svc/grid_service.hpp"
 
 namespace grasp::core {
 
@@ -35,12 +36,29 @@ TaskFarm::TaskFarm(FarmParams params) : params_(std::move(params)),
     if (params_.resilience.failover.handshake.value < 0.0)
       throw std::invalid_argument(
           "TaskFarm: failover handshake must be non-negative");
+    if (params_.resilience.failover.handshake_per_worker.value < 0.0)
+      throw std::invalid_argument(
+          "TaskFarm: failover handshake_per_worker must be non-negative");
   }
 }
 
 FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
                          const std::vector<NodeId>& pool,
                          const workloads::TaskSet& tasks) {
+  // Single-tenant service: one job, no arrivals, no shared cache — the
+  // service takes its inline fast path and the engine runs on this thread
+  // against `backend` directly, exactly as run_engine would.
+  svc::GridService::Params service_params;
+  service_params.use_calibration_cache = false;
+  svc::GridService service(backend, grid, pool, service_params);
+  const svc::JobHandle handle = service.submit(svc::FarmJob{params_, tasks});
+  service.wait(handle);  // rethrows whatever the engine threw
+  return handle.farm_report();
+}
+
+FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
+                                const std::vector<NodeId>& pool,
+                                const workloads::TaskSet& tasks) {
   if (pool.empty()) throw std::invalid_argument("TaskFarm: empty pool");
 
   const gridsim::ChurnTimeline* churn = grid.churn();
@@ -264,6 +282,14 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
                 static_cast<double>(calibration.tasks_consumed), "initial");
   in_calibration = false;
   report.calibration_tasks += calibration.tasks_consumed;
+  // Only the initial calibration warm-starts from the shared cache: a
+  // recalibration is triggered by evidence that conditions moved, so it
+  // re-measures every node — while still publishing its fresh samples for
+  // the next tenant.
+  if (cal_params.spm_cache != nullptr && cal_params.warm_start) {
+    cal_params.warm_start = false;
+    calibrator = Calibrator(traits_, cal_params);
+  }
   exec_monitor.arm(calibration.baseline_spm, calibration.chosen,
                    backend.now());
   elastic.reset(calibration.chosen);
@@ -791,8 +817,10 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
                                   undo_record);
       handshake_span = tel.spans.begin("handshake", failover_span, *s);
       handshake_token = tokens.alloc();
+      // The reconnect window scales with the membership the successor must
+      // re-establish channels with (flat when handshake_per_worker is 0).
       backend.submit_timer(handshake_token,
-                           params_.resilience.failover.handshake);
+                           failover->handshake_cost(detector->watched().size()));
     } else if (live_member_now(farmer)) {
       // No standby reachable but the old farmer rejoined: it resumes with
       // its own intact state (nothing to roll back), paying the same
@@ -803,7 +831,7 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
       handshake_span = tel.spans.begin("handshake", failover_span, farmer);
       handshake_token = tokens.alloc();
       backend.submit_timer(handshake_token,
-                           params_.resilience.failover.handshake);
+                           failover->handshake_cost(detector->watched().size()));
     } else if ((now - failover->down_since()) >
                params_.resilience.failover.patience) {
       cancel_tick();
@@ -1345,6 +1373,8 @@ FarmReport TaskFarm::run(Backend& backend, const gridsim::Grid& grid,
         resil_base.replication_records + failover->replication_records());
     met.set(rm.replication_bytes,
             resil_base.replication_bytes + failover->replication_bytes());
+    met.set(rm.handshake_cost_s,
+            resil_base.handshake_cost_s + failover->handshake_cost_s());
   }
   report.resilience = resil::subtract(rm.snapshot(met), resil_base);
   // Mirror the farm-level scalars so the registry carries the full run

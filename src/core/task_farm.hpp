@@ -133,9 +133,25 @@ class TaskFarm {
 
   /// Execute `tasks` over `pool`.  The grid reference is used only for the
   /// monitor daemon's sensors; all costs flow through `backend`.
+  ///
+  /// Since the GridService layer landed this is a thin wrapper: it stands
+  /// up a private single-tenant service, submits one FarmJob and waits.
+  /// With exactly one job and no scheduled arrivals the service runs the
+  /// engine inline on the caller's thread against the real backend, so the
+  /// wrapper is observably identical to calling run_engine directly.
   [[nodiscard]] FarmReport run(Backend& backend, const gridsim::Grid& grid,
                                const std::vector<NodeId>& pool,
                                const workloads::TaskSet& tasks);
+
+  /// The farm engine proper: the full calibrate/dispatch/adapt loop,
+  /// blocking on `backend` until the task set completes.  Called by the
+  /// service layer (under a job-scoped backend proxy when multiple tenants
+  /// share the pool); callers that want the classic standalone behaviour
+  /// use run().
+  [[nodiscard]] FarmReport run_engine(Backend& backend,
+                                      const gridsim::Grid& grid,
+                                      const std::vector<NodeId>& pool,
+                                      const workloads::TaskSet& tasks);
 
   [[nodiscard]] const FarmParams& params() const { return params_; }
 

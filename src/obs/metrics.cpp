@@ -124,6 +124,53 @@ HistogramSnapshot MetricsRegistry::histogram_snapshot(
   return snap;
 }
 
+void MetricsRegistry::merge_histogram(HistogramHandle h,
+                                      const HistogramSnapshot& snap) {
+  if (snap.count == 0) return;
+  HistogramSlot& slot = histograms_[h.slot];
+  const std::size_t shared = std::min(slot.buckets.size(),
+                                      snap.buckets.size());
+  for (std::size_t i = 0; i < shared; ++i)
+    slot.buckets[i].fetch_add(snap.buckets[i], std::memory_order_relaxed);
+  std::uint64_t excess = 0;
+  for (std::size_t i = shared; i < snap.buckets.size(); ++i)
+    excess += snap.buckets[i];
+  if (excess > 0)
+    slot.buckets.back().fetch_add(excess, std::memory_order_relaxed);
+  slot.count.fetch_add(snap.count, std::memory_order_relaxed);
+  slot.sum.fetch_add(snap.sum, std::memory_order_relaxed);
+  double cur = slot.min.load(std::memory_order_relaxed);
+  while (snap.min < cur &&
+         !slot.min.compare_exchange_weak(cur, snap.min,
+                                         std::memory_order_relaxed)) {
+  }
+  cur = slot.max.load(std::memory_order_relaxed);
+  while (snap.max > cur &&
+         !slot.max.compare_exchange_weak(cur, snap.max,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+void MetricsRegistry::import_scoped(std::string_view prefix,
+                                    const MetricsSnapshot& snap) {
+  std::string name;
+  for (const auto& [n, v] : snap.counters) {
+    name.assign(prefix);
+    name += n;
+    set_counter(counter(name), v);
+  }
+  for (const auto& [n, v] : snap.gauges) {
+    name.assign(prefix);
+    name += n;
+    set(gauge(name), v);
+  }
+  for (const auto& h : snap.histograms) {
+    name.assign(prefix);
+    name += h.name;
+    merge_histogram(histogram(name, h.spec), h);
+  }
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   const std::lock_guard<std::mutex> lock(registration_mutex_);
   MetricsSnapshot snap;
@@ -139,6 +186,29 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (std::uint32_t i = 0; i < histograms_.size(); ++i)
     snap.histograms.push_back(histogram_snapshot(HistogramHandle{i}));
   return snap;
+}
+
+MetricsSnapshot filter_snapshot(const MetricsSnapshot& snap,
+                                std::string_view prefix, bool strip) {
+  const auto matches = [&](const std::string& name) {
+    return name.size() >= prefix.size() &&
+           name.compare(0, prefix.size(), prefix) == 0;
+  };
+  const auto view_name = [&](const std::string& name) {
+    return strip ? name.substr(prefix.size()) : name;
+  };
+  MetricsSnapshot out;
+  for (const auto& [n, v] : snap.counters)
+    if (matches(n)) out.counters.emplace_back(view_name(n), v);
+  for (const auto& [n, v] : snap.gauges)
+    if (matches(n)) out.gauges.emplace_back(view_name(n), v);
+  for (const auto& h : snap.histograms) {
+    if (!matches(h.name)) continue;
+    HistogramSnapshot copy = h;
+    copy.name = view_name(h.name);
+    out.histograms.push_back(std::move(copy));
+  }
+  return out;
 }
 
 }  // namespace grasp::obs

@@ -133,6 +133,20 @@ class MetricsRegistry {
   /// Histogram recording that bypasses the enabled gate (tests).
   void observe_always(HistogramHandle h, double v);
 
+  /// Merge an already-recorded histogram into slot `h`: bucket counts,
+  /// count, sum and min/max all accumulate.  Mismatched layouts collapse
+  /// the source's excess buckets into the overflow bucket.  Bypasses the
+  /// enabled gate — the data was recorded elsewhere; this is an import,
+  /// not a new observation.
+  void merge_histogram(HistogramHandle h, const HistogramSnapshot& snap);
+
+  /// Import a whole snapshot under `prefix` (e.g. "job.3."): counters and
+  /// gauges are set to the source values, histograms merged via
+  /// merge_histogram.  This is how the service layer publishes each
+  /// retired job's private registry into the shared one — read back with
+  /// filter_snapshot for a per-job view.
+  void import_scoped(std::string_view prefix, const MetricsSnapshot& snap);
+
   /// Gate for the detail tier (histograms; span recording mirrors it in
   /// SpanRecorder).  Counters and gauges ignore this.
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
@@ -181,5 +195,13 @@ class MetricsRegistry {
   std::atomic<bool> enabled_{true};
   mutable std::mutex registration_mutex_;
 };
+
+/// The sub-snapshot whose metric names start with `prefix` — the per-job
+/// registry view over a shared service registry.  `strip` removes the
+/// prefix from the returned names, so the view reads like the job's own
+/// private registry.
+[[nodiscard]] MetricsSnapshot filter_snapshot(const MetricsSnapshot& snap,
+                                              std::string_view prefix,
+                                              bool strip = true);
 
 }  // namespace grasp::obs

@@ -1,5 +1,7 @@
 #include "obs/span.hpp"
 
+#include <unordered_map>
+
 namespace grasp::obs {
 
 SpanId SpanRecorder::begin(const char* name, SpanId parent, NodeId node,
@@ -47,6 +49,33 @@ void SpanRecorder::instant(const char* name, SpanId parent, NodeId node,
 void SpanRecorder::append(SpanRecord record) {
   record.id = records_.size() + 1;
   records_.push_back(record);
+}
+
+SpanId SpanRecorder::import_tree(const char* root_name, double begin_s,
+                                 double end_s, double value,
+                                 const std::vector<SpanRecord>& subtree) {
+  if (!enabled_) return 0;
+  SpanRecord root;
+  root.id = records_.size() + 1;
+  root.name = root_name;
+  root.begin_s = begin_s;
+  root.end_s = end_s < begin_s ? begin_s : end_s;
+  root.value = value;
+  records_.push_back(root);
+  const SpanId root_id = root.id;
+  // Source ids are assigned in record order, so a single forward pass sees
+  // every parent before its children.
+  std::unordered_map<SpanId, SpanId> remap;
+  remap.reserve(subtree.size());
+  for (const SpanRecord& rec : subtree) {
+    SpanRecord copy = rec;
+    copy.id = records_.size() + 1;
+    remap[rec.id] = copy.id;
+    const auto parent = remap.find(rec.parent);
+    copy.parent = parent != remap.end() ? parent->second : root_id;
+    records_.push_back(copy);
+  }
+  return root_id;
 }
 
 std::size_t SpanRecorder::open_count() const {

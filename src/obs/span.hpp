@@ -75,6 +75,16 @@ class SpanRecorder {
   /// Append a fully formed record (the TraceRecorder bridge uses this).
   void append(SpanRecord record);
 
+  /// Graft another recorder's records under a fresh root span: a record
+  /// named `root_name` covering [begin_s, end_s] is appended, then every
+  /// record of `subtree` follows with re-assigned ids, parent links
+  /// remapped and former roots re-parented onto the new root.  Unlike
+  /// begin/end this needs no clock — the stamps are already in the records
+  /// — so a shared service-level recorder can collect per-job span trees
+  /// after each job retires.  Returns the root's id (0 when disabled).
+  SpanId import_tree(const char* root_name, double begin_s, double end_s,
+                     double value, const std::vector<SpanRecord>& subtree);
+
   [[nodiscard]] const std::vector<SpanRecord>& records() const {
     return records_;
   }

@@ -100,4 +100,12 @@ void FailoverCoordinator::account_flush(const ReplicaLog::FlushStats& stats) {
   replication_bytes_ += stats.bytes;
 }
 
+Seconds FailoverCoordinator::handshake_cost(std::size_t live_workers) {
+  const Seconds cost{params_.handshake.value +
+                     params_.handshake_per_worker.value *
+                         static_cast<double>(live_workers)};
+  handshake_cost_s_ += cost.value;
+  return cost;
+}
+
 }  // namespace grasp::resil

@@ -48,6 +48,12 @@ class FailoverCoordinator {
     /// Reconnect cost after promotion: dispatching is suspended and raced
     /// completions stay parked at their workers for this long.
     Seconds handshake{2.0};
+    /// Additional reconnect cost per live worker the successor must
+    /// re-establish channels with: the handshake window is
+    /// handshake + handshake_per_worker * live_workers, so a promotion
+    /// over a large membership pays proportionally more than one over a
+    /// decimated pool.  Zero keeps the flat-constant model.
+    Seconds handshake_per_worker{0.0};
     /// How long a farmerless farm waits for a promotable node (a live
     /// standby, a rejoining dead one, or the farmer itself) before the
     /// engine declares the run lost.
@@ -127,6 +133,14 @@ class FailoverCoordinator {
   /// back so the virtual-time farm books traffic without charging time).
   void account_flush(const ReplicaLog::FlushStats& stats);
 
+  /// The reconnect window for a promotion over `live_workers` reachable
+  /// members: handshake + handshake_per_worker * live_workers.  Accounts
+  /// the window into handshake_cost_s — call once per armed handshake
+  /// (abandoned handshakes were still paid for).
+  [[nodiscard]] Seconds handshake_cost(std::size_t live_workers);
+  /// Total reconnect-handshake time paid across every armed handshake.
+  [[nodiscard]] double handshake_cost_s() const { return handshake_cost_s_; }
+
  private:
   void open_outage(Seconds now);
 
@@ -142,6 +156,7 @@ class FailoverCoordinator {
 
   std::size_t failovers_ = 0;
   double failover_latency_s_ = 0.0;
+  double handshake_cost_s_ = 0.0;
   std::size_t recruits_ = 0;
   std::size_t replication_records_ = 0;
   double replication_bytes_ = 0.0;

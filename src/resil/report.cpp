@@ -25,6 +25,7 @@ ResilienceMetrics ResilienceMetrics::register_in(
   rm.results_rolled_back = metrics.counter("resil.results_rolled_back");
   rm.replication_records = metrics.counter("resil.replication_records");
   rm.replication_bytes = metrics.gauge("resil.replication_bytes");
+  rm.handshake_cost_s = metrics.gauge("resil.handshake_cost_s");
   return rm;
 }
 
@@ -51,6 +52,7 @@ ResilienceReport ResilienceMetrics::snapshot(
   report.results_rolled_back = metrics.counter_value(results_rolled_back);
   report.replication_records = metrics.counter_value(replication_records);
   report.replication_bytes = metrics.gauge_value(replication_bytes);
+  report.handshake_cost_s = metrics.gauge_value(handshake_cost_s);
   return report;
 }
 
@@ -81,6 +83,7 @@ ResilienceReport subtract(const ResilienceReport& after,
   d.replication_records =
       after.replication_records - before.replication_records;
   d.replication_bytes = after.replication_bytes - before.replication_bytes;
+  d.handshake_cost_s = after.handshake_cost_s - before.handshake_cost_s;
   return d;
 }
 

@@ -51,6 +51,11 @@ struct ResilienceReport {
   /// Replication traffic volume (log records + result/snapshot state); like
   /// checkpoint_state_bytes, accounted but not charged to the virtual clock.
   double replication_bytes = 0.0;
+  /// Total reconnect-handshake time paid across promotions.  Each armed
+  /// handshake window costs handshake + handshake_per_worker * live_workers
+  /// (see FailoverCoordinator::Params), so the column scales with the
+  /// membership the successor had to re-establish channels with.
+  double handshake_cost_s = 0.0;
 };
 
 /// Registry handles mirroring ResilienceReport field for field (size_t
@@ -79,6 +84,7 @@ struct ResilienceMetrics {
   obs::CounterHandle results_rolled_back;
   obs::CounterHandle replication_records;
   obs::GaugeHandle replication_bytes;
+  obs::GaugeHandle handshake_cost_s;
 
   [[nodiscard]] static ResilienceMetrics register_in(
       obs::MetricsRegistry& metrics);

@@ -1,0 +1,53 @@
+#include "svc/calibration_cache.hpp"
+
+namespace grasp::svc {
+
+std::optional<double> CalibrationCache::lookup(NodeId node,
+                                               Seconds now) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(node);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  const double age = (now - it->second.at).value;
+  if (age > params_.max_age.value) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second.spm;
+}
+
+void CalibrationCache::store(NodeId node, double spm, Seconds now) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_[node] = Entry{spm, now};
+  ++stores_;
+}
+
+std::size_t CalibrationCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t CalibrationCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t CalibrationCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t CalibrationCache::stores() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stores_;
+}
+
+void CalibrationCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace grasp::svc

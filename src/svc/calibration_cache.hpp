@@ -1,0 +1,66 @@
+// Pool-wide calibration cache: one tenant's measurements warm another's
+// start.
+//
+// Algorithm 1 probes every pool node before dispatch; in a job stream
+// most of those probes re-measure nodes another tenant sampled seconds
+// ago.  The service threads this cache through every job's
+// CalibrationParams (core::SpmCache seam): the calibrator consults it
+// before probing — a fresh entry seeds the node's spm statistic directly
+// and the probe chain for that node is skipped — and stores every spm it
+// does measure back, stamped with the backend clock.  Recalibrations
+// always re-probe (warm_start is cleared after a job's initial
+// calibration) but still publish their fresh measurements here.
+//
+// Entries expire after `max_age`: grid load drifts, so a stale spm is
+// worse than a probe.  Thread-safe — concurrent tenants calibrate from
+// their own job threads.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "core/calibration.hpp"
+#include "support/ids.hpp"
+
+namespace grasp::svc {
+
+class CalibrationCache final : public core::SpmCache {
+ public:
+  struct Params {
+    /// Entries older than this (backend seconds) are treated as absent.
+    Seconds max_age = Seconds{600.0};
+  };
+
+  CalibrationCache() : CalibrationCache(Params{}) {}
+  explicit CalibrationCache(Params params) : params_(params) {}
+
+  [[nodiscard]] std::optional<double> lookup(NodeId node,
+                                             Seconds now) const override;
+  void store(NodeId node, double spm, Seconds now) override;
+
+  /// Live entries (age is evaluated lazily at lookup, so this counts
+  /// stored entries including ones that would now read as stale).
+  [[nodiscard]] std::size_t size() const;
+  /// Lookups served by a fresh entry / total lookups that found nothing
+  /// usable / stores.
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+  [[nodiscard]] std::size_t stores() const;
+  void clear();
+
+ private:
+  struct Entry {
+    double spm = 0.0;
+    Seconds at{0.0};
+  };
+
+  Params params_;
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, Entry> entries_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+  std::size_t stores_ = 0;
+};
+
+}  // namespace grasp::svc

@@ -1,0 +1,51 @@
+#include "svc/job.hpp"
+
+#include <stdexcept>
+
+namespace grasp::svc {
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::Queued:
+      return "queued";
+    case JobStatus::Running:
+      return "running";
+    case JobStatus::Completed:
+      return "completed";
+    case JobStatus::Failed:
+      return "failed";
+    case JobStatus::Rejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+const core::FarmReport& JobHandle::farm_report() const {
+  if (!state_->farm_report)
+    throw std::logic_error("JobHandle: no farm report (job \"" +
+                           state_->name + "\" is " +
+                           to_string(state_->status) + ")");
+  return *state_->farm_report;
+}
+
+const core::PipelineReport& JobHandle::pipeline_report() const {
+  if (!state_->pipeline_report)
+    throw std::logic_error("JobHandle: no pipeline report (job \"" +
+                           state_->name + "\" is " +
+                           to_string(state_->status) + ")");
+  return *state_->pipeline_report;
+}
+
+double JobHandle::makespan_s() const {
+  if (state_->status != JobStatus::Completed) return 0.0;
+  const Seconds finish = state_->farm_report
+                             ? state_->farm_report->makespan
+                             : state_->pipeline_report->makespan;
+  return (finish - state_->started_at).value;
+}
+
+void JobHandle::rethrow() const {
+  if (state_->error) std::rethrow_exception(state_->error);
+}
+
+}  // namespace grasp::svc

@@ -1,0 +1,72 @@
+// Per-job Backend proxy: the seam that lets unmodified engines time-share
+// one real backend.
+//
+// Each threaded job runs its engine against a JobBackend instead of the
+// service's real backend.  The proxy translates the engine's private op
+// tokens into a pool-global space — the job's 1-based sequence number in
+// the bits above kJobSeqShift, the engine's token below — so concurrent
+// tenants' submissions never collide, and the service can route every
+// completion coming off the real backend back to its owner (sequence 0 is
+// reserved for the service's own job-arrival timers).
+//
+// wait_next is where the turn-based handoff lives: when the job's inbox
+// is empty but it still has work in flight, the proxy parks the engine
+// thread and hands the turn back to the service loop, which pumps the
+// real backend and routes completions one at a time (grid_service.cpp
+// documents the full protocol).  When the job has nothing in flight and
+// no pending timer, wait_next returns nullopt immediately — the exact
+// semantics a standalone backend gives a deadlocked engine, so engine
+// error paths behave identically under the service.
+#pragma once
+
+#include <optional>
+
+#include "core/backend.hpp"
+#include "svc/job.hpp"
+
+namespace grasp::svc {
+
+class GridService;
+
+namespace detail {
+
+/// Bit position splitting a global token into (job seq, local token).
+inline constexpr unsigned kJobSeqShift = 40;
+inline constexpr core::OpToken kLocalTokenMask =
+    (core::OpToken{1} << kJobSeqShift) - 1;
+
+[[nodiscard]] inline core::OpToken to_global(std::uint64_t seq,
+                                             core::OpToken local) {
+  return (seq << kJobSeqShift) | (local & kLocalTokenMask);
+}
+[[nodiscard]] inline std::uint64_t seq_of(core::OpToken global) {
+  return global >> kJobSeqShift;
+}
+[[nodiscard]] inline core::OpToken to_local(core::OpToken global) {
+  return global & kLocalTokenMask;
+}
+
+class JobBackend final : public core::Backend {
+ public:
+  JobBackend(GridService& service, JobState& job)
+      : service_(service), job_(job) {}
+
+  [[nodiscard]] Seconds now() const override;
+  void submit_compute(core::OpToken token, NodeId node, Mops work,
+                      std::function<void()> body = {}) override;
+  void submit_transfer(core::OpToken token, NodeId from, NodeId to,
+                       Bytes payload) override;
+  void submit_timer(core::OpToken token, Seconds delay) override;
+  bool cancel_timer(core::OpToken token) override;
+  void submit_batch(std::vector<core::OpRequest> requests) override;
+  [[nodiscard]] double compute_progress(core::OpToken token) const override;
+  [[nodiscard]] std::optional<core::Completion> wait_next() override;
+  [[nodiscard]] std::size_t in_flight() const override;
+
+ private:
+  GridService& service_;
+  JobState& job_;
+};
+
+}  // namespace detail
+}  // namespace grasp::svc

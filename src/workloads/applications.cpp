@@ -134,4 +134,45 @@ PipelineSpec make_uniform_pipeline(std::size_t depth, double stage_mops,
   return spec;
 }
 
+const char* to_string(ApplicationKind kind) {
+  switch (kind) {
+    case ApplicationKind::MandelbrotSweep:
+      return "mandelbrot";
+    case ApplicationKind::AlignmentBatch:
+      return "alignment";
+    case ApplicationKind::QuadraturePanels:
+      return "quadrature";
+  }
+  return "?";
+}
+
+TaskSet make_application_task_set(ApplicationKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case ApplicationKind::MandelbrotSweep: {
+      MandelbrotSweepParams p;
+      p.tiles_x = 8;
+      p.tiles_y = 8;
+      p.probe_resolution = 8;
+      // The sweep itself is deterministic; the seed perturbs the per-task
+      // cost scale so distinct tenants are not byte-identical workloads.
+      p.mops_per_kilo_iteration =
+          1.0 + 0.5 * Rng(seed).uniform();
+      return make_mandelbrot_sweep(p);
+    }
+    case ApplicationKind::AlignmentBatch: {
+      AlignmentBatchParams p;
+      p.pairs = 120;
+      p.seed = seed;
+      return make_alignment_batch(p);
+    }
+    case ApplicationKind::QuadraturePanels: {
+      QuadratureParams p;
+      p.panels = 300;
+      p.seed = seed;
+      return make_quadrature_panels(p);
+    }
+  }
+  throw std::invalid_argument("make_application_task_set: unknown kind");
+}
+
 }  // namespace grasp::workloads

@@ -70,4 +70,21 @@ struct ImagePipelineParams {
                                                  double stage_mops,
                                                  double item_bytes);
 
+/// The farm applications above as an indexable mix, sized for job-stream
+/// runs: a GridService tenant is one of these task sets, not a
+/// benchmark-scale sweep, so each kind materialises a few dozen to a few
+/// hundred tasks.  `seed` varies the stochastic kinds (alignment lengths,
+/// quadrature refinement; the Mandelbrot tile costs are the function's
+/// own, so there it scales the sweep window instead).
+enum class ApplicationKind : std::size_t {
+  MandelbrotSweep = 0,
+  AlignmentBatch = 1,
+  QuadraturePanels = 2,
+};
+
+[[nodiscard]] constexpr std::size_t application_mix_size() { return 3; }
+[[nodiscard]] const char* to_string(ApplicationKind kind);
+[[nodiscard]] TaskSet make_application_task_set(ApplicationKind kind,
+                                                std::uint64_t seed);
+
 }  // namespace grasp::workloads

@@ -84,4 +84,60 @@ TaskSet make_task_set(const TaskSetParams& params) {
   return set;
 }
 
+std::vector<JobArrival> make_job_arrivals(const JobArrivalParams& params) {
+  if (params.base_rate_per_s <= 0.0)
+    throw std::invalid_argument(
+        "make_job_arrivals: base_rate_per_s must be positive");
+  if (params.diurnal_amplitude < 0.0 || params.diurnal_amplitude >= 1.0)
+    throw std::invalid_argument(
+        "make_job_arrivals: diurnal_amplitude must be in [0, 1)");
+  if (params.diurnal_period.value <= 0.0)
+    throw std::invalid_argument(
+        "make_job_arrivals: diurnal_period must be positive");
+  double weight_total = 0.0;
+  for (const double w : params.kind_weights) {
+    if (w < 0.0)
+      throw std::invalid_argument(
+          "make_job_arrivals: kind weights must be non-negative");
+    weight_total += w;
+  }
+
+  const auto rate_at = [&](double t) {
+    const double angle =
+        2.0 * std::numbers::pi *
+        (t / params.diurnal_period.value + params.diurnal_phase);
+    return params.base_rate_per_s *
+           (1.0 + params.diurnal_amplitude * std::sin(angle));
+  };
+  const double peak_rate =
+      params.base_rate_per_s * (1.0 + params.diurnal_amplitude);
+
+  Rng rng(params.seed);
+  std::vector<JobArrival> arrivals;
+  double t = 0.0;
+  for (;;) {
+    // Thinning: candidates at the peak rate, accepted with probability
+    // rate(t) / peak — what survives is the non-homogeneous process.
+    t += rng.exponential(peak_rate);
+    if (t >= params.horizon.value) break;
+    if (rng.uniform() * peak_rate > rate_at(t)) continue;
+    JobArrival arrival;
+    arrival.at = Seconds{t};
+    if (weight_total > 0.0) {
+      double pick = rng.uniform() * weight_total;
+      for (std::size_t k = 0; k < params.kind_weights.size(); ++k) {
+        pick -= params.kind_weights[k];
+        if (pick <= 0.0) {
+          arrival.kind = k;
+          break;
+        }
+        arrival.kind = k;  // numeric tail: last non-zero-weight kind wins
+      }
+    }
+    arrival.seed = rng.next();
+    arrivals.push_back(arrival);
+  }
+  return arrivals;
+}
+
 }  // namespace grasp::workloads

@@ -39,4 +39,39 @@ struct TaskSetParams {
 /// Generate `params.count` tasks with ids 0..count-1.
 [[nodiscard]] TaskSet make_task_set(const TaskSetParams& params);
 
+// ---------------------------------------------------------------------------
+// Open-loop job-arrival streams (the GridService workload).
+// ---------------------------------------------------------------------------
+
+/// One scheduled job arrival.
+struct JobArrival {
+  Seconds at;             ///< absolute arrival time on the backend clock
+  std::size_t kind = 0;   ///< index into the caller's job mix
+  std::uint64_t seed = 0; ///< per-job workload seed (derived, deterministic)
+};
+
+/// Non-homogeneous Poisson process with a diurnal rate profile:
+///
+///   rate(t) = base_rate_per_s * (1 + diurnal_amplitude *
+///             sin(2*pi * (t/diurnal_period + diurnal_phase)))
+///
+/// sampled by thinning against the peak rate, so arrivals cluster around
+/// the profile's crests the way grid submissions cluster around working
+/// hours (the period is typically compressed far below 86400 s to fit
+/// simulation horizons).  Each accepted arrival gets a kind drawn from
+/// `kind_weights` and an independent workload seed.  Seed-deterministic.
+struct JobArrivalParams {
+  Seconds horizon = Seconds{3600.0};   ///< generate arrivals in [0, horizon)
+  double base_rate_per_s = 1.0 / 120.0;
+  double diurnal_amplitude = 0.6;      ///< rate swing fraction, in [0, 1)
+  Seconds diurnal_period = Seconds{1200.0};
+  double diurnal_phase = 0.0;          ///< fraction of a period, in [0, 1)
+  /// Relative weight per job kind; empty means one kind (all zeros).
+  std::vector<double> kind_weights;
+  std::uint64_t seed = 42;
+};
+
+[[nodiscard]] std::vector<JobArrival> make_job_arrivals(
+    const JobArrivalParams& params);
+
 }  // namespace grasp::workloads

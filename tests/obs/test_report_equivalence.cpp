@@ -36,6 +36,7 @@ core::FarmParams resilient_params(Telemetry* telemetry) {
   params.resilience.checkpoint_period = Seconds{4.0};
   params.resilience.failover.standby_count = 1;
   params.resilience.failover.handshake = Seconds{2.0};
+  params.resilience.failover.handshake_per_worker = Seconds{0.25};
   params.telemetry = telemetry;
   return params;
 }
@@ -58,6 +59,7 @@ void expect_report_equals(const resil::ResilienceReport& a,
   EXPECT_DOUBLE_EQ(a.checkpoint_state_bytes, b.checkpoint_state_bytes);
   EXPECT_EQ(a.failovers, b.failovers);
   EXPECT_DOUBLE_EQ(a.failover_latency_s, b.failover_latency_s);
+  EXPECT_DOUBLE_EQ(a.handshake_cost_s, b.handshake_cost_s);
   EXPECT_EQ(a.standby_recruits, b.standby_recruits);
   EXPECT_EQ(a.results_rolled_back, b.results_rolled_back);
   EXPECT_EQ(a.replication_records, b.replication_records);

@@ -1,0 +1,111 @@
+#include "svc/calibration_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/backend_sim.hpp"
+#include "core/baselines.hpp"
+#include "core/task_farm.hpp"
+#include "gridsim/scenarios.hpp"
+#include "svc/grid_service.hpp"
+#include "workloads/generators.hpp"
+
+namespace grasp::svc {
+namespace {
+
+workloads::TaskSet tasks(std::size_t n, std::uint64_t seed = 42) {
+  workloads::TaskSetParams p;
+  p.count = n;
+  p.mean_mops = 100.0;
+  p.cv = 0.6;
+  p.seed = seed;
+  return workloads::make_task_set(p);
+}
+
+TEST(SvcCalibrationCache, StoreThenLookupWithinMaxAge) {
+  CalibrationCache::Params p;
+  p.max_age = Seconds{100.0};
+  CalibrationCache cache(p);
+  EXPECT_FALSE(cache.lookup(NodeId{3}, Seconds{0.0}).has_value());
+  cache.store(NodeId{3}, 0.02, Seconds{10.0});
+  const auto fresh = cache.lookup(NodeId{3}, Seconds{50.0});
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_DOUBLE_EQ(*fresh, 0.02);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stores(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SvcCalibrationCache, EntriesExpireAfterMaxAge) {
+  CalibrationCache::Params p;
+  p.max_age = Seconds{100.0};
+  CalibrationCache cache(p);
+  cache.store(NodeId{1}, 0.01, Seconds{0.0});
+  EXPECT_TRUE(cache.lookup(NodeId{1}, Seconds{100.0}).has_value());
+  EXPECT_FALSE(cache.lookup(NodeId{1}, Seconds{100.1}).has_value());
+  // A re-store refreshes the stamp.
+  cache.store(NodeId{1}, 0.015, Seconds{150.0});
+  const auto refreshed = cache.lookup(NodeId{1}, Seconds{200.0});
+  ASSERT_TRUE(refreshed.has_value());
+  EXPECT_DOUBLE_EQ(*refreshed, 0.015);
+}
+
+TEST(SvcCalibrationCache, LatestStoreWins) {
+  CalibrationCache cache;
+  cache.store(NodeId{0}, 0.02, Seconds{0.0});
+  cache.store(NodeId{0}, 0.04, Seconds{5.0});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(*cache.lookup(NodeId{0}, Seconds{6.0}), 0.04);
+}
+
+TEST(SvcCalibrationCache, WarmStartSkipsProbesForTheSecondTenant) {
+  // Two identical jobs through one service: the first job's Algorithm-1
+  // samples land in the pool-wide cache, so the second job's calibration
+  // warm-starts from them and consumes no probe tasks at all.
+  const gridsim::Grid grid = gridsim::make_uniform_grid(6, 100.0);
+  core::SimBackend backend(grid);
+  GridService service(backend, grid, grid.node_ids());
+
+  const JobHandle first =
+      service.submit(FarmJob{core::make_adaptive_farm_params(), tasks(160, 1)});
+  service.wait(first);
+  EXPECT_GT(service.calibration_cache().stores(), 0u);
+  EXPECT_GT(first.farm_report().calibration_tasks, 0u);
+
+  const JobHandle second =
+      service.submit(FarmJob{core::make_adaptive_farm_params(), tasks(160, 2)});
+  service.wait(second);
+
+  EXPECT_EQ(second.farm_report().calibration_tasks, 0u);
+  EXPECT_LT(second.farm_report().calibration_tasks,
+            first.farm_report().calibration_tasks);
+  // Conservation holds for both tenants regardless of the warm start.
+  EXPECT_EQ(first.farm_report().tasks_completed +
+                first.farm_report().calibration_tasks,
+            160u);
+  EXPECT_EQ(second.farm_report().tasks_completed +
+                second.farm_report().calibration_tasks,
+            160u);
+}
+
+TEST(SvcCalibrationCache, CacheOffReproducesStandaloneCalibration) {
+  const gridsim::Grid grid = gridsim::make_uniform_grid(6, 100.0);
+  const auto run_once = [&](bool use_cache) {
+    core::SimBackend backend(grid);
+    GridService::Params sp;
+    sp.use_calibration_cache = use_cache;
+    GridService service(backend, grid, grid.node_ids(), sp);
+    const JobHandle a = service.submit(
+        FarmJob{core::make_adaptive_farm_params(), tasks(160, 1)});
+    service.wait(a);
+    const JobHandle b = service.submit(
+        FarmJob{core::make_adaptive_farm_params(), tasks(160, 2)});
+    service.wait(b);
+    return b.farm_report().calibration_tasks;
+  };
+  EXPECT_GT(run_once(false), 0u);
+  EXPECT_EQ(run_once(true), 0u);
+}
+
+}  // namespace
+}  // namespace grasp::svc
