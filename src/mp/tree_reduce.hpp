@@ -1,0 +1,92 @@
+// Shard-scoped tree reduction over mp point-to-point messages.
+//
+// The flat collectives in Comm are linear in world size — fine for tens
+// of ranks, exactly the ceiling the hierarchical farm exists to break.
+// This header adds an arity-k reduction over an explicit *group* of
+// ranks: leaves send up, interior positions combine their own value with
+// each child's subtotal (in child order, so the result is deterministic
+// for non-associative floating-point ops), and only the group's first
+// member holds the result.  Depth is log_arity(group), so the root of a
+// farm-of-farms absorbs O(arity) messages per monitor round instead of
+// O(workers).
+//
+// The topology helpers are shared with the simulated engine: HierFarm
+// models its monitor aggregation as transfers along the same implicit
+// heap-shaped tree these functions describe, so the threaded and
+// simulated paths agree on who talks to whom.
+//
+// Concurrency contract: one tree_reduce per group at a time (matching
+// the existing collectives' in-order rule); disjoint groups may reduce
+// concurrently because every receive names its exact child rank.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "mp/communicator.hpp"
+
+namespace grasp::mp {
+
+/// Reserved tag for tree-reduce contributions (the flat collectives own
+/// kInternalTagBase + 0..5 in communicator.cpp).
+inline constexpr int kTreeReduceTag = kInternalTagBase + 6;
+
+/// Parent position of `pos` (> 0) in the implicit arity-k heap tree.
+[[nodiscard]] constexpr std::size_t tree_parent(std::size_t pos,
+                                                std::size_t arity) {
+  return (pos - 1) / arity;
+}
+
+/// Child positions of `pos` among `size` tree slots, in combine order.
+[[nodiscard]] inline std::vector<std::size_t> tree_children(
+    std::size_t pos, std::size_t size, std::size_t arity) {
+  std::vector<std::size_t> kids;
+  const std::size_t first = pos * arity + 1;
+  for (std::size_t c = first; c < first + arity && c < size; ++c)
+    kids.push_back(c);
+  return kids;
+}
+
+/// Rounds a value climbs from the deepest leaf to the root: the number of
+/// sequential message hops a tree reduction over `size` positions costs.
+[[nodiscard]] inline std::size_t tree_depth(std::size_t size,
+                                            std::size_t arity) {
+  if (size <= 1) return 0;
+  std::size_t depth = 0;
+  for (std::size_t pos = size - 1; pos > 0; pos = tree_parent(pos, arity))
+    ++depth;
+  return depth;
+}
+
+/// Reduce `value` across `group` (world ranks; position in the vector is
+/// tree position) with binary op `op`, combining along an arity-k tree.
+/// Every member of `group` must call this with the same group and arity.
+/// The result is valid on group.front() only (0.0 elsewhere).  The
+/// combine order — own value, then children left to right, each child
+/// already folded the same way — is a pure function of (group, arity),
+/// so the result is deterministic even for non-associative ops.
+template <typename Op>
+[[nodiscard]] double tree_reduce(Comm& comm, const std::vector<int>& group,
+                                 double value, Op&& op,
+                                 std::size_t arity = 2) {
+  if (arity == 0) throw std::invalid_argument("tree_reduce: arity 0");
+  std::size_t pos = group.size();
+  for (std::size_t i = 0; i < group.size(); ++i)
+    if (group[i] == comm.rank()) {
+      pos = i;
+      break;
+    }
+  if (pos == group.size())
+    throw std::invalid_argument(
+        "tree_reduce: calling rank is not in the group");
+
+  double acc = value;
+  for (const std::size_t child : tree_children(pos, group.size(), arity))
+    acc = op(acc, comm.recv_value<double>(group[child], kTreeReduceTag));
+  if (pos == 0) return acc;
+  comm.send_value(group[tree_parent(pos, arity)], kTreeReduceTag, acc);
+  return 0.0;
+}
+
+}  // namespace grasp::mp

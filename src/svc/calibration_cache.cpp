@@ -25,6 +25,13 @@ void CalibrationCache::store(NodeId node, double spm, Seconds now) {
   ++stores_;
 }
 
+bool CalibrationCache::invalidate(NodeId node) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const bool removed = entries_.erase(node) > 0;
+  if (removed) ++invalidations_;
+  return removed;
+}
+
 std::size_t CalibrationCache::size() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
@@ -43,6 +50,11 @@ std::size_t CalibrationCache::misses() const {
 std::size_t CalibrationCache::stores() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return stores_;
+}
+
+std::size_t CalibrationCache::invalidations() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return invalidations_;
 }
 
 void CalibrationCache::clear() {

@@ -39,6 +39,14 @@ class CalibrationCache final : public core::SpmCache {
                                              Seconds now) const override;
   void store(NodeId node, double spm, Seconds now) override;
 
+  /// Drop a node's entry (no-op when absent).  The service calls this on
+  /// membership Crash/Leave and degradation evictions: a crashed node's
+  /// spm is meaningless on rejoin, and a degraded node's cached speed is
+  /// exactly the measurement that got it evicted — warm-starting the next
+  /// tenant from either ranks the node by a machine that no longer
+  /// exists.  Returns true when an entry was actually removed.
+  bool invalidate(NodeId node);
+
   /// Live entries (age is evaluated lazily at lookup, so this counts
   /// stored entries including ones that would now read as stale).
   [[nodiscard]] std::size_t size() const;
@@ -47,6 +55,8 @@ class CalibrationCache final : public core::SpmCache {
   [[nodiscard]] std::size_t hits() const;
   [[nodiscard]] std::size_t misses() const;
   [[nodiscard]] std::size_t stores() const;
+  /// Entries removed via invalidate (counts removals, not no-op calls).
+  [[nodiscard]] std::size_t invalidations() const;
   void clear();
 
  private:
@@ -61,6 +71,7 @@ class CalibrationCache final : public core::SpmCache {
   mutable std::size_t hits_ = 0;
   mutable std::size_t misses_ = 0;
   std::size_t stores_ = 0;
+  std::size_t invalidations_ = 0;
 };
 
 }  // namespace grasp::svc

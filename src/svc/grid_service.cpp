@@ -36,6 +36,7 @@ GridService::GridService(core::Backend& backend, const gridsim::Grid& grid,
     met_.completed = m.counter("svc.jobs_completed");
     met_.failed = m.counter("svc.jobs_failed");
     met_.rejected = m.counter("svc.jobs_rejected");
+    met_.reclamped = m.counter("svc.min_nodes_reclamped");
     met_.running = m.gauge("svc.jobs_running");
     met_.queued = m.gauge("svc.jobs_queued");
     met_.queue_wait_s = m.histogram("svc.queue_wait_s");
@@ -239,6 +240,14 @@ bool GridService::pump_one(std::unique_lock<std::mutex>& lk) {
 }
 
 void GridService::try_admit(std::unique_lock<std::mutex>& lk) {
+  const Seconds now = backend_.now();
+  invalidate_departed(now);
+  // Allocate only over live members: handing a crashed/departed node to a
+  // tenant wastes its allocation (and an all-dead grant kills the engine
+  // at t=0).  Churn-free grids take the identity path.
+  const gridsim::ChurnTimeline* churn = grid_.churn();
+  const std::vector<NodeId> live =
+      churn != nullptr ? churn->members_at(pool_, now) : pool_;
   while (!queue_.empty()) {
     if (params_.max_concurrent_jobs != 0 &&
         running_.size() >= params_.max_concurrent_jobs)
@@ -250,6 +259,15 @@ void GridService::try_admit(std::unique_lock<std::mutex>& lk) {
       start_job(lk, job, {});
       continue;
     }
+    if (live.empty()) break;  // nobody alive: the head waits for a rejoin
+    // min_nodes was clamped against the pool at submit; churn may have
+    // shrunk live membership below it since, and with FIFO head-only
+    // admission an unclamped head would starve the whole queue forever.
+    if (job->min_nodes > live.size()) {
+      job->min_nodes = live.size();
+      ++min_nodes_reclamps_;
+      if (telemetry_ != nullptr) telemetry_->metrics.inc(met_.reclamped);
+    }
     std::unordered_set<NodeId> busy;
     for (const auto& r : running_)
       busy.insert(r->nodes.begin(), r->nodes.end());
@@ -257,19 +275,32 @@ void GridService::try_admit(std::unique_lock<std::mutex>& lk) {
     for (const auto& r : running_) running_weight += r->weight;
     std::vector<NodeCapacity> free_nodes;
     double total_mops = 0.0;
-    for (const NodeId node : pool_) {
+    for (const NodeId node : live) {
       const double mops = capacity_mops(node);
       total_mops += mops;
       if (busy.count(node) == 0) free_nodes.push_back({node, mops});
     }
     std::vector<NodeId> allocation = pick_allocation(
         free_nodes, total_mops, running_weight,
-        ShareRequest{job->weight, job->min_nodes, job->max_share});
+        ShareRequest{job->weight, job->min_nodes, job->max_share,
+                     params_.cap_share_to_free});
     if (allocation.empty()) break;  // head-of-line waits: FIFO, no skipping
     queue_.pop_front();
     start_job(lk, job, std::move(allocation));
   }
   update_gauges();
+}
+
+void GridService::invalidate_departed(Seconds now) {
+  if (!params_.use_calibration_cache) return;
+  const gridsim::ChurnTimeline* churn = grid_.churn();
+  if (churn == nullptr) return;
+  for (const auto& ev : churn->events_between(churn_scan_, now)) {
+    if (ev.kind == gridsim::ChurnEventKind::Crash ||
+        ev.kind == gridsim::ChurnEventKind::Leave)
+      cache_.invalidate(ev.node);
+  }
+  churn_scan_ = now;
 }
 
 double GridService::capacity_mops(NodeId node) const {
@@ -354,6 +385,17 @@ void GridService::finalize(const StatePtr& job) {
     ++completed_;
   else
     ++failed_;
+  if (params_.use_calibration_cache && job->farm_report.has_value()) {
+    // A tenant that evicted a node for persistent degradation (or caught
+    // a crash the membership scan hasn't seen yet) has just proven the
+    // cached spm wrong — the next tenant must re-probe, not warm-start
+    // from the measurement that got the node thrown out.
+    for (const auto& ev : job->farm_report->trace.events()) {
+      if (ev.kind == gridsim::TraceEventKind::NodeEvicted ||
+          ev.kind == gridsim::TraceEventKind::NodeCrashDetected)
+        cache_.invalidate(ev.node);
+    }
+  }
   if (telemetry_ != nullptr) {
     auto& m = telemetry_->metrics;
     m.inc(ok ? met_.completed : met_.failed);
@@ -484,6 +526,11 @@ std::size_t GridService::jobs_queued() const {
 std::size_t GridService::max_concurrent_observed() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return peak_running_;
+}
+
+std::size_t GridService::min_nodes_reclamps() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return min_nodes_reclamps_;
 }
 
 std::vector<JobHandle> GridService::jobs() const {

@@ -71,6 +71,12 @@ class GridService {
     bool use_calibration_cache = true;
     /// Freshness horizon for cached spm entries.
     Seconds calibration_max_age = Seconds{600.0};
+    /// Cap every admission grant at max_share of the *free* capacity as
+    /// well as of the total (fair_share.hpp documents the busy-pool
+    /// over-grab this guards against).  Off by default: the recorded
+    /// bench baselines rely on the work-conserving grab-the-remainder
+    /// policy.
+    bool cap_share_to_free = false;
     /// Shared observability sink (non-owning; may be null).  Service
     /// counters live here, and each retired job's private telemetry is
     /// imported under a "job.<seq>." metric prefix and a "job" span root
@@ -127,6 +133,9 @@ class GridService {
   /// Peak number of simultaneously running jobs over the service's life —
   /// the multi-tenancy witness the bench smoke gate asserts on.
   [[nodiscard]] std::size_t max_concurrent_observed() const;
+  /// Times a queued head job's min_nodes was re-clamped because churn
+  /// shrank live membership below it (head-of-line anti-starvation).
+  [[nodiscard]] std::size_t min_nodes_reclamps() const;
   /// Every handle ever produced, in submission order.
   [[nodiscard]] std::vector<JobHandle> jobs() const;
 
@@ -158,6 +167,10 @@ class GridService {
   [[nodiscard]] bool inline_eligible() const;
   [[nodiscard]] StatePtr find_running(std::uint64_t seq) const;
   [[nodiscard]] double capacity_mops(NodeId node) const;
+  /// Drop cached spm for nodes with a churn Crash/Leave in
+  /// (churn_scan_, now]; advances the watermark.  No-op without a churn
+  /// timeline or with the cache disabled.
+  void invalidate_departed(Seconds now);
   void update_gauges();
 
   void job_thread_main(StatePtr job);
@@ -170,7 +183,7 @@ class GridService {
   obs::Telemetry* telemetry_ = nullptr;
 
   struct SvcMetrics {
-    obs::CounterHandle submitted, completed, failed, rejected;
+    obs::CounterHandle submitted, completed, failed, rejected, reclamped;
     obs::GaugeHandle running, queued;
     obs::HistogramHandle queue_wait_s, makespan_s;
   } met_;
@@ -191,6 +204,9 @@ class GridService {
   std::size_t failed_ = 0;
   std::size_t rejected_ = 0;
   std::size_t peak_running_ = 0;
+  std::size_t min_nodes_reclamps_ = 0;
+  /// High-water mark of the churn-event scan feeding cache invalidation.
+  Seconds churn_scan_{0.0};
 };
 
 }  // namespace grasp::svc

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "core/backend.hpp"
 #include "svc/job.hpp"
@@ -34,10 +36,27 @@ namespace detail {
 inline constexpr unsigned kJobSeqShift = 40;
 inline constexpr core::OpToken kLocalTokenMask =
     (core::OpToken{1} << kJobSeqShift) - 1;
+/// Job sequence numbers occupy the bits above the shift; anything wider
+/// would alias into another job's token space.
+inline constexpr std::uint64_t kMaxJobSeq =
+    (std::uint64_t{1} << (64 - kJobSeqShift)) - 1;
 
 [[nodiscard]] inline core::OpToken to_global(std::uint64_t seq,
                                              core::OpToken local) {
-  return (seq << kJobSeqShift) | (local & kLocalTokenMask);
+  // Both halves must fit their fields: masking an overflowing local token
+  // (or letting the seq carry into the high bits) would silently collide
+  // with another tenant's ops and misroute its completions.
+  if (local > kLocalTokenMask) {
+    throw std::overflow_error(
+        "JobBackend: local op token " + std::to_string(local) +
+        " exceeds the 2^40-1 per-job token space");
+  }
+  if (seq > kMaxJobSeq) {
+    throw std::overflow_error(
+        "JobBackend: job sequence " + std::to_string(seq) +
+        " exceeds the 2^24-1 job-id space");
+  }
+  return (seq << kJobSeqShift) | local;
 }
 [[nodiscard]] inline std::uint64_t seq_of(core::OpToken global) {
   return global >> kJobSeqShift;

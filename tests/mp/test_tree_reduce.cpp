@@ -1,0 +1,137 @@
+// Tree reduction over rank groups: topology, determinism, message cost.
+#include "mp/tree_reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+namespace grasp::mp {
+namespace {
+
+TEST(CommTreeReduce, TopologyHelpersDescribeAnArityKHeap) {
+  // Binary tree over 7 positions: 0 -> {1,2}, 1 -> {3,4}, 2 -> {5,6}.
+  EXPECT_EQ(tree_parent(1, 2), 0u);
+  EXPECT_EQ(tree_parent(2, 2), 0u);
+  EXPECT_EQ(tree_parent(6, 2), 2u);
+  EXPECT_EQ(tree_children(0, 7, 2), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(tree_children(1, 7, 2), (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(tree_children(3, 7, 2), (std::vector<std::size_t>{}));
+  // Partial last level.
+  EXPECT_EQ(tree_children(2, 6, 2), (std::vector<std::size_t>{5}));
+  // Arity 4 flattens the tree.
+  EXPECT_EQ(tree_children(0, 5, 4), (std::vector<std::size_t>{1, 2, 3, 4}));
+  EXPECT_EQ(tree_depth(1, 2), 0u);
+  EXPECT_EQ(tree_depth(2, 2), 1u);
+  EXPECT_EQ(tree_depth(7, 2), 2u);
+  EXPECT_EQ(tree_depth(5, 4), 1u);
+  EXPECT_EQ(tree_depth(17, 4), 2u);
+}
+
+TEST(CommTreeReduce, SumsAcrossTheWholeWorld) {
+  const int n = 9;
+  World world(n);
+  std::vector<int> group(n);
+  for (int r = 0; r < n; ++r) group[r] = r;
+  std::vector<double> results(n, -1.0);
+  world.run([&](Comm& comm) {
+    results[comm.rank()] =
+        tree_reduce(comm, group, static_cast<double>(comm.rank() + 1),
+                    [](double a, double b) { return a + b; }, 3);
+  });
+  EXPECT_DOUBLE_EQ(results[0], 45.0);  // 1 + 2 + ... + 9
+  for (int r = 1; r < n; ++r) EXPECT_DOUBLE_EQ(results[r], 0.0);
+}
+
+TEST(CommTreeReduce, MaxAndMinReduceOverASubgroup) {
+  // Only the odd ranks participate; even ranks do unrelated work.
+  World world(8);
+  const std::vector<int> group = {1, 3, 5, 7};
+  double max_seen = 0.0;
+  world.run([&](Comm& comm) {
+    if (comm.rank() % 2 == 0) return;
+    const double v = 10.0 * comm.rank();
+    const double r = tree_reduce(
+        comm, group, v, [](double a, double b) { return a > b ? a : b; });
+    if (comm.rank() == group.front()) max_seen = r;
+  });
+  EXPECT_DOUBLE_EQ(max_seen, 70.0);
+}
+
+TEST(CommTreeReduce, DisjointGroupsReduceConcurrently) {
+  // Two shards reduce at the same time; exact-source receives keep the
+  // trees from cross-talking even though they share the tag.
+  World world(8);
+  const std::vector<int> left = {0, 1, 2, 3};
+  const std::vector<int> right = {4, 5, 6, 7};
+  double left_sum = -1.0, right_sum = -1.0;
+  world.run([&](Comm& comm) {
+    const auto& group = comm.rank() < 4 ? left : right;
+    const double r = tree_reduce(comm, group, 1.0,
+                                 [](double a, double b) { return a + b; });
+    if (comm.rank() == 0) left_sum = r;
+    if (comm.rank() == 4) right_sum = r;
+  });
+  EXPECT_DOUBLE_EQ(left_sum, 4.0);
+  EXPECT_DOUBLE_EQ(right_sum, 4.0);
+}
+
+TEST(CommTreeReduce, NonAssociativeOpIsDeterministicAcrossRuns) {
+  // Floating-point subtraction chained through the tree: any run-to-run
+  // variation in combine order would change the result.  The fold is a
+  // pure function of (group, arity), so ten runs agree bit-for-bit.
+  const int n = 6;
+  std::vector<int> group(n);
+  for (int r = 0; r < n; ++r) group[r] = r;
+  double first = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    World world(n);
+    double got = 0.0;
+    world.run([&](Comm& comm) {
+      const double v = 1.0 / (1.0 + comm.rank());
+      const double r = tree_reduce(comm, group, v,
+                                   [](double a, double b) { return a - b; });
+      if (comm.rank() == 0) got = r;
+    });
+    if (trial == 0)
+      first = got;
+    else
+      EXPECT_EQ(got, first);
+  }
+}
+
+TEST(CommTreeReduce, CostsExactlyGroupMinusOneMessages) {
+  // Every non-root position sends exactly one subtotal: O(group) traffic
+  // total, O(arity) per receiver — the property the hierarchical farm's
+  // root depends on.
+  World world(7);
+  std::atomic<std::size_t> messages{0};
+  world.set_send_hook([&](int, int, std::size_t) { ++messages; });
+  std::vector<int> group(7);
+  for (int r = 0; r < 7; ++r) group[r] = r;
+  world.run([&](Comm& comm) {
+    (void)tree_reduce(comm, group, 1.0,
+                      [](double a, double b) { return a + b; });
+  });
+  EXPECT_EQ(messages.load(), 6u);
+}
+
+TEST(CommTreeReduce, RejectsForeignRanksAndZeroArity) {
+  World world(3);
+  world.run([&](Comm& comm) {
+    if (comm.rank() != 2) return;
+    const std::vector<int> group = {0, 1};
+    EXPECT_THROW((void)tree_reduce(comm, group, 1.0,
+                                   [](double a, double b) { return a + b; }),
+                 std::invalid_argument);
+    const std::vector<int> own = {2};
+    EXPECT_THROW((void)tree_reduce(comm, own, 1.0,
+                                   [](double a, double b) { return a + b; },
+                                   0),
+                 std::invalid_argument);
+  });
+}
+
+}  // namespace
+}  // namespace grasp::mp

@@ -58,6 +58,22 @@ TEST(SvcCalibrationCache, LatestStoreWins) {
   EXPECT_DOUBLE_EQ(*cache.lookup(NodeId{0}, Seconds{6.0}), 0.04);
 }
 
+TEST(SvcCalibrationCache, InvalidateDropsOnlyTheNamedNode) {
+  CalibrationCache cache;
+  cache.store(NodeId{1}, 0.01, Seconds{0.0});
+  cache.store(NodeId{2}, 0.02, Seconds{0.0});
+  EXPECT_TRUE(cache.invalidate(NodeId{1}));
+  EXPECT_FALSE(cache.invalidate(NodeId{1}));  // idempotent, counts once
+  EXPECT_FALSE(cache.invalidate(NodeId{9}));  // never stored
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.lookup(NodeId{1}, Seconds{1.0}).has_value());
+  EXPECT_TRUE(cache.lookup(NodeId{2}, Seconds{1.0}).has_value());
+  // A fresh measurement resurrects the node.
+  cache.store(NodeId{1}, 0.03, Seconds{5.0});
+  EXPECT_DOUBLE_EQ(*cache.lookup(NodeId{1}, Seconds{6.0}), 0.03);
+}
+
 TEST(SvcCalibrationCache, WarmStartSkipsProbesForTheSecondTenant) {
   // Two identical jobs through one service: the first job's Algorithm-1
   // samples land in the pool-wide cache, so the second job's calibration

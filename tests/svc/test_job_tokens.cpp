@@ -1,0 +1,62 @@
+// Boundary tests for the JobBackend token partition.
+//
+// The (job_seq << 40) | local split is only collision-free while both
+// halves stay inside their fields; before the range checks landed,
+// to_global silently masked an overflowing local token onto another
+// job's space.  These tests pin the exact boundaries.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "svc/job_backend.hpp"
+
+namespace grasp::svc::detail {
+namespace {
+
+// Computed from the public shift so these tests compile (and fail) against
+// the unchecked pre-fix to_global as well.
+constexpr std::uint64_t kSeqLimit =
+    (std::uint64_t{1} << (64 - kJobSeqShift)) - 1;
+
+TEST(SvcJobTokens, RoundTripsAtTheFieldBoundaries) {
+  // Largest representable halves must survive the split unchanged.
+  const core::OpToken max_local = kLocalTokenMask;
+  const std::uint64_t max_seq = kSeqLimit;
+
+  const core::OpToken g = to_global(max_seq, max_local);
+  EXPECT_EQ(seq_of(g), max_seq);
+  EXPECT_EQ(to_local(g), max_local);
+
+  // Sequence 0 is the service's own timer space; local tokens pass through.
+  EXPECT_EQ(to_global(0, 7), core::OpToken{7});
+  EXPECT_EQ(seq_of(to_global(1, 0)), 1u);
+  EXPECT_EQ(to_local(to_global(1, 0)), core::OpToken{0});
+}
+
+TEST(SvcJobTokens, LocalTokenPastFortyBitsFailsFast) {
+  // One past the mask would alias into the next job's sequence number:
+  // to_global(1, 2^40) == to_global(2, 0) under the old masking code.
+  const core::OpToken overflow = kLocalTokenMask + 1;
+  EXPECT_THROW((void)to_global(1, overflow), std::overflow_error);
+  // Way past, too — no wrap-around acceptance.
+  EXPECT_THROW((void)to_global(1, ~core::OpToken{0}), std::overflow_error);
+}
+
+TEST(SvcJobTokens, JobSequencePastTwentyFourBitsFailsFast) {
+  // One past the limit shifts a bit off the top of the token; the old
+  // code produced to_global(2^24, x) == to_global(0, x), colliding with
+  // the service's reserved timer space.
+  EXPECT_THROW((void)to_global(kSeqLimit + 1, 0), std::overflow_error);
+}
+
+TEST(SvcJobTokens, DistinctJobsNeverCollideInsideTheirFields) {
+  // Spot-check the no-alias guarantee the checks are protecting.
+  const core::OpToken a = to_global(1, kLocalTokenMask);
+  const core::OpToken b = to_global(2, 0);
+  EXPECT_EQ(a + 1, b);  // adjacent, but distinct
+  EXPECT_NE(seq_of(a), seq_of(b));
+}
+
+}  // namespace
+}  // namespace grasp::svc::detail
