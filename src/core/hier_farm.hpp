@@ -88,7 +88,12 @@ struct HierFarmParams {
   /// Master switch; active only when the grid carries a ChurnTimeline.
   bool resilience = true;
   /// Worker-level detector (one instance per shard, owned by its
-  /// sub-farmer) and the root's sub-farmer watch (same settings).
+  /// sub-farmer) and the root's sub-farmer watch (same settings).  The
+  /// detection mode threads through whole: with DetectionMode::Accrual
+  /// every per-shard detector keeps per-node inter-arrival statistics for
+  /// its own workers, and the root's watch does the same for the K
+  /// sub-farmers — the `timeout + period` hard cap bounds promotion
+  /// latency in either mode.
   resil::FailureDetector::Params detector;
   /// Replica-log standbys per shard (clamped to the shard size - 1).
   std::size_t standby_count = 2;

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "resil/adaptive_policy.hpp"
 #include "resil/membership.hpp"
 #include "support/flat_map.hpp"
 #include "support/log.hpp"
@@ -24,6 +25,17 @@ Pipeline::Pipeline(PipelineParams params)
   if (params_.replicate_imbalance_factor < 0.0)
     throw std::invalid_argument(
         "Pipeline: replicate_imbalance_factor must be >= 0");
+  if (params_.adaptive_patience) {
+    if (params_.patience_sigma < 0.0)
+      throw std::invalid_argument("Pipeline: patience_sigma must be >= 0");
+    if (params_.min_patience.value <= 0.0 ||
+        params_.min_patience > params_.down_stage_patience)
+      throw std::invalid_argument(
+          "Pipeline: min_patience must lie in (0, down_stage_patience]");
+    if (params_.patience_min_samples == 0)
+      throw std::invalid_argument(
+          "Pipeline: patience_min_samples must be positive");
+  }
 }
 
 namespace {
@@ -192,6 +204,21 @@ PipelineReport Pipeline::run_engine(Backend& backend,
   // Last completion or membership event: the reference point for the
   // down-stage patience window while the liveness tick idles.
   Seconds last_activity = backend.now();
+  // Adaptive patience: when a loss is first noticed the node's departure
+  // time is parked here; its rejoin feeds the outage-duration estimator,
+  // which tightens (never loosens — down_stage_patience stays the cap) the
+  // wedged-wait bound once enough rejoins have been seen.
+  std::unordered_map<std::uint64_t, Seconds> down_at;
+  resil::WelfordEstimator outage_stats;
+  auto effective_patience = [&]() -> Seconds {
+    if (!params_.adaptive_patience ||
+        outage_stats.count() < params_.patience_min_samples)
+      return params_.down_stage_patience;
+    const double bound =
+        outage_stats.mean() + params_.patience_sigma * outage_stats.stddev();
+    return Seconds{std::clamp(bound, params_.min_patience.value,
+                              params_.down_stage_patience.value)};
+  };
 
   // ForeignOps for the *initial* calibration, so the t=0 stage mapping
   // tolerates a pool that is already churning: losses crossed mid-probe
@@ -498,6 +525,7 @@ PipelineReport Pipeline::run_engine(Backend& backend,
       }
     }
     if (first_loss) {
+      if (params_.adaptive_patience) down_at[node.value] = backend.now();
       if (crashed) {
         met.inc(rm.crashes_detected);
         tel.spans.instant("crash_detected", 0, node);
@@ -519,6 +547,10 @@ PipelineReport Pipeline::run_engine(Backend& backend,
     met.inc(rm.joins);
     last_activity = backend.now();
     lost_nodes.erase(node.value);
+    if (const auto it = down_at.find(node.value); it != down_at.end()) {
+      outage_stats.add((backend.now() - it->second).value);
+      down_at.erase(it);
+    }
     report.trace.record({backend.now(),
                          gridsim::TraceEventKind::NodeJoinedPool, node,
                          TaskId::invalid(), 0.0, ""});
@@ -814,8 +846,7 @@ PipelineReport Pipeline::run_engine(Backend& backend,
                   "Pipeline: deadlock — items remain but nothing "
                   "in flight (stage lost with no spare?)");
             }
-            if (backend.now() - last_activity >
-                params_.down_stage_patience) {
+            if (backend.now() - last_activity > effective_patience()) {
               backend.cancel_timer(tick_token);
               throw std::runtime_error(
                   "Pipeline: stage down with no spare and no joiner "

@@ -82,6 +82,20 @@ struct PipelineParams {
   /// loop alive while waiting.
   Seconds down_stage_patience{1e4};
 
+  /// Statistics-driven patience: when enabled, the wedged-wait bound
+  /// adapts to the outage durations observed this run (Welford mean and
+  /// variance over loss-to-rejoin gaps).  Once `patience_min_samples`
+  /// rejoins have been measured, the effective bound becomes
+  /// clamp(mean + patience_sigma * stddev, min_patience,
+  /// down_stage_patience): a pool whose nodes return in seconds stops
+  /// wasting the full fixed window on a node that will never come back,
+  /// while `down_stage_patience` stays the hard cap, so the wedged-run
+  /// guarantee is never weakened — only tightened.
+  bool adaptive_patience = false;
+  double patience_sigma = 4.0;
+  Seconds min_patience{30.0};
+  std::size_t patience_min_samples = 2;
+
   /// Observability sink (non-owning; must outlive the run).  Null: the
   /// pipeline uses a private detail-disabled instance — counters still
   /// drive the report, histograms and spans are skipped.

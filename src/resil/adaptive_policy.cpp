@@ -1,0 +1,61 @@
+#include "resil/adaptive_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace grasp::resil {
+
+double WelfordEstimator::stddev() const { return std::sqrt(variance()); }
+
+std::size_t QuantileTracker::bucket_of(double v) {
+  if (!(v > kLo)) return 0;
+  const double b = std::log(v / kLo) / std::log(kRatio);
+  if (b >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<std::size_t>(b);
+}
+
+double QuantileTracker::bucket_mid(std::size_t b) {
+  // Geometric midpoint of [kLo * ratio^b, kLo * ratio^(b+1)).
+  return kLo * std::pow(kRatio, static_cast<double>(b) + 0.5);
+}
+
+void QuantileTracker::record(double v) {
+  counts_[bucket_of(v)] += 1;
+  ++total_;
+}
+
+double QuantileTracker::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based; q=1 maps to the last sample.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(total_)));
+  const std::size_t want = std::max<std::size_t>(rank, 1);
+  std::size_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cum += counts_[b];
+    if (cum >= want) return bucket_mid(b);
+  }
+  return bucket_mid(kBuckets - 1);
+}
+
+void CostModel::record(NodeId node, double spm) {
+  per_node_[node].record(spm);
+  pool_.record(spm);
+}
+
+double CostModel::node_spm_quantile(NodeId node, double q,
+                                    std::size_t min_samples,
+                                    double fallback) const {
+  const QuantileTracker& mine = per_node_.at_or_default(node);
+  if (mine.count() >= std::max<std::size_t>(min_samples, 1)) {
+    return mine.quantile(q);
+  }
+  return pool_spm_quantile(q, fallback);
+}
+
+double CostModel::pool_spm_quantile(double q, double fallback) const {
+  return pool_.count() > 0 ? pool_.quantile(q) : fallback;
+}
+
+}  // namespace grasp::resil

@@ -107,6 +107,22 @@ JobHandle GridService::submit_impl(std::variant<FarmJob, PipelineJob> spec,
   if (!pool_.empty()) job->min_nodes = std::min(job->min_nodes, pool_.size());
   job->max_share = options.max_share;
   job->spec = std::move(spec);
+  // Per-job detection / economics policy: rewrite the engine params
+  // bundled with the spec before the engine ever sees them.  Jobs that
+  // leave the optionals empty run whatever the spec's params say, so the
+  // default service behaviour is untouched.
+  if (options.detection_mode.has_value() || options.farm_econ.has_value()) {
+    if (auto* farm = std::get_if<FarmJob>(&job->spec)) {
+      if (options.detection_mode.has_value())
+        farm->params.resilience.detector.mode = *options.detection_mode;
+      if (options.farm_econ.has_value())
+        farm->params.econ.enabled = *options.farm_econ;
+    } else if (auto* pipe = std::get_if<PipelineJob>(&job->spec)) {
+      if (options.detection_mode.has_value())
+        pipe->params.adaptive_patience =
+            *options.detection_mode == resil::DetectionMode::Accrual;
+    }
+  }
   all_jobs_.push_back(job);
   if (telemetry_ != nullptr) telemetry_->metrics.inc(met_.submitted);
 

@@ -1,0 +1,159 @@
+// Planted scenarios for the farm's waste-aware dispatch economics: the
+// reissue budget must suppress marginal tail steals (and say so in the
+// report and trace), must never block a genuinely valuable rescue, and the
+// checkpoint-vs-redo break-even must evict a crawling holder mid-chunk.
+#include <gtest/gtest.h>
+
+#include "core/backend_sim.hpp"
+#include "core/baselines.hpp"
+#include "core/task_farm.hpp"
+#include "gridsim/churn.hpp"
+#include "gridsim/scenarios.hpp"
+#include "workloads/generators.hpp"
+
+namespace grasp::core {
+namespace {
+
+workloads::TaskSet tasks(std::size_t n, double mops = 100.0,
+                         std::uint64_t seed = 42) {
+  workloads::TaskSetParams p;
+  p.count = n;
+  p.mean_mops = mops;
+  p.cv = 0.0;  // uniform work: planted scenarios stay arithmetic
+  p.seed = seed;
+  return workloads::make_task_set(p);
+}
+
+/// Two-node planted pool: one fast, one 5x slower.  The empty churn
+/// timeline activates the resilience layer (and with it the econ policy)
+/// without any actual membership events.
+gridsim::Grid fast_slow_grid() {
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  b.add_node(s, 100.0);
+  b.add_node(s, 20.0);
+  gridsim::Grid grid = b.build();
+  grid.set_churn(gridsim::ChurnTimeline{{}});
+  return grid;
+}
+
+FarmParams econ_params() {
+  FarmParams p = make_demand_farm_params();
+  p.reissue_stragglers = true;
+  p.resilience.enabled = true;
+  p.econ.enabled = true;
+  return p;
+}
+
+TEST(EconFarm, HugeBudgetSuppressesMarginalTailSteal) {
+  // The slow holder grinds through its chunk; the fast node goes idle with
+  // the queue dry.  The steal would save a few virtual seconds — real but
+  // marginal — so an absurd waste budget must reject it, count it, trace
+  // it, and still let the holder finish its own work.  The task count is
+  // parity-sensitive: 10 tasks (8 after calibration, 4 chunks of 2) leave
+  // the slow node holding a fresh chunk exactly when the fast one idles.
+  const gridsim::Grid grid = fast_slow_grid();
+  FarmParams p = econ_params();
+  p.chunk_size = 2;
+  p.econ.reissue_waste_budget = 1e9;
+  SimBackend backend(grid);
+  const FarmReport r =
+      TaskFarm(p).run(backend, grid, grid.node_ids(), tasks(10));
+  EXPECT_EQ(r.tasks_completed + r.calibration_tasks, 10u);
+  EXPECT_EQ(r.reissues, 0u);
+  EXPECT_GE(r.reissues_suppressed, 1u);
+  EXPECT_EQ(r.trace.count(gridsim::TraceEventKind::ReissueSuppressed),
+            r.reissues_suppressed);
+}
+
+TEST(EconFarm, FixedModeStealsWhatTheBudgetSuppresses) {
+  // Same planted scenario with economics off: the classic fixed-margin
+  // tail steal fires, confirming the suppression above rejected a steal
+  // that would otherwise have been taken.
+  const gridsim::Grid grid = fast_slow_grid();
+  FarmParams p = econ_params();
+  p.chunk_size = 2;
+  p.econ.enabled = false;
+  SimBackend backend(grid);
+  const FarmReport r =
+      TaskFarm(p).run(backend, grid, grid.node_ids(), tasks(10));
+  EXPECT_EQ(r.tasks_completed + r.calibration_tasks, 10u);
+  EXPECT_GE(r.reissues, 1u);
+  EXPECT_EQ(r.reissues_suppressed, 0u);
+}
+
+TEST(EconFarm, BudgetNeverBlocksRescueOfStuckChunk) {
+  // Node 1 seizes (downtime, not a crash: its heartbeats keep flowing so
+  // the detector never fires).  Once the chunk ages past its 99th-quantile
+  // ETA the holder is presumed dead and expected savings are unbounded —
+  // the reissue must go through even under the absurd budget.
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  b.add_node(s, 100.0);
+  b.add_node(s, 100.0);
+  gridsim::Grid grid = b.build();
+  grid.node(NodeId{1}).add_downtime({Seconds{2.0}, Seconds{1e7}});
+  grid.set_churn(gridsim::ChurnTimeline{{}});
+
+  FarmParams p = econ_params();
+  p.econ.reissue_waste_budget = 1e9;
+  SimBackend backend(grid);
+  const FarmReport r =
+      TaskFarm(p).run(backend, grid, grid.node_ids(), tasks(20));
+  EXPECT_EQ(r.tasks_completed + r.calibration_tasks, 20u);
+  EXPECT_GE(r.reissues, 1u);
+  // Finished by rescue, not by outliving the 1e7 s downtime.
+  EXPECT_LT(r.makespan.value, 1e6);
+}
+
+TEST(EconFarm, BreakEvenEvictsCrawlingHolderMidChunk) {
+  // Four equal nodes; node 0 degrades 20x shortly after the run starts.
+  // With checkpointing on, progress reports expose the crawl and the
+  // stay-vs-redo break-even must evict mid-chunk (counted in the report,
+  // EconEvicted in the trace) instead of waiting out a 20x chunk.
+  gridsim::GridBuilder b;
+  const SiteId s = b.add_site("a");
+  for (int i = 0; i < 4; ++i) b.add_node(s, 100.0);
+  gridsim::Grid grid = b.build();
+  gridsim::inject_load_step_on(grid, NodeId{0}, Seconds{6.0}, 19.0);
+  grid.set_churn(gridsim::ChurnTimeline{{}});
+
+  FarmParams p = econ_params();
+  p.chunk_size = 4;
+  p.resilience.checkpoint_period = Seconds{1.0};
+  SimBackend backend(grid);
+  const FarmReport r =
+      TaskFarm(p).run(backend, grid, grid.node_ids(), tasks(60));
+  EXPECT_EQ(r.tasks_completed + r.calibration_tasks, 60u);
+  EXPECT_GE(r.econ_evictions, 1u);
+  EXPECT_EQ(r.trace.count(gridsim::TraceEventKind::EconEvicted),
+            r.econ_evictions);
+  EXPECT_GE(r.resilience.evictions, r.econ_evictions);
+}
+
+TEST(EconFarm, ValidationErrors) {
+  FarmParams bad;
+  bad.tail_steal_margin = 1.0;  // break-even: every tail chunk duplicates
+  EXPECT_THROW(TaskFarm{bad}, std::invalid_argument);
+  bad = FarmParams{};
+  bad.econ.reissue_waste_budget = -0.1;
+  EXPECT_THROW(TaskFarm{bad}, std::invalid_argument);
+  bad = FarmParams{};
+  bad.econ.holder_quantile = 1.5;
+  EXPECT_THROW(TaskFarm{bad}, std::invalid_argument);
+  bad = FarmParams{};
+  bad.econ.relief_quantile = 0.0;
+  EXPECT_THROW(TaskFarm{bad}, std::invalid_argument);
+  bad = FarmParams{};
+  bad.econ.min_samples = 0;
+  EXPECT_THROW(TaskFarm{bad}, std::invalid_argument);
+  bad = FarmParams{};
+  bad.econ.evict_break_even = 0.0;
+  EXPECT_THROW(TaskFarm{bad}, std::invalid_argument);
+  bad = FarmParams{};
+  bad.econ.exposure_budget_mops = -1.0;
+  EXPECT_THROW(TaskFarm{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grasp::core

@@ -47,6 +47,11 @@ struct ChurnPropertyConfig {
   std::size_t protected_prefix = 1;
   std::size_t standby_count = 0;  ///< hot standbys (farmer failover)
   Seconds handshake{2.0};         ///< post-promotion reconnect cost
+  /// Failure-detection mode under test (Accrual tightens per-node timeouts
+  /// but must never exceed the kPropertyTimeout hard cap).
+  resil::DetectionMode detection_mode = resil::DetectionMode::Fixed;
+  /// Waste-aware dispatch economics (quantile cost model + reissue budget).
+  bool econ = false;
 };
 
 /// Detector settings the harness always uses (the failover latency bound
@@ -85,6 +90,8 @@ inline core::FarmParams make_property_params(const ChurnPropertyConfig& cfg) {
   p.resilience.pool.evict_ratio = cfg.evict_ratio;
   p.resilience.failover.standby_count = cfg.standby_count;
   p.resilience.failover.handshake = cfg.handshake;
+  p.resilience.detector.mode = cfg.detection_mode;
+  p.econ.enabled = cfg.econ;
   return p;
 }
 
@@ -229,6 +236,48 @@ inline void check_churn_invariants(const ChurnRun& run, std::uint64_t seed) {
     if (e.kind == TraceEventKind::FarmerPromoted && e.note == "prompt") {
       EXPECT_LE(e.value, run.cfg.handshake.value + 1e-6);
     }
+  }
+}
+
+/// Worker-crash detection bounds, valid in both detector modes:
+///
+///   * no false positive — every silence-declared death corresponds to a
+///     real crash at or before the detection timestamp (an accrual
+///     detector that tightened its leash past the heartbeat cadence would
+///     fail here by evicting a live node);
+///   * bounded latency — detection lands within `timeout +
+///     heartbeat_period` of the crash.  In accrual mode the per-node
+///     effective timeout may be shorter, never longer: `timeout` is the
+///     hard cap, so the same bound must hold verbatim.
+///
+/// The bound applies to the live phase only.  Once every task is done the
+/// farm cancels its liveness tick ("liveness no longer matters") and the
+/// drain phase settles late twins off the clock; a node that falls silent
+/// there is declared dead whenever its zombie completion surfaces, which
+/// can be arbitrarily later than timeout + period.  Those drain-phase
+/// detections (timestamped after the makespan) are exempt.
+inline void check_detection_latency_bound(const ChurnRun& run,
+                                          std::uint64_t seed) {
+  using gridsim::TraceEventKind;
+  SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+  for (const auto& e : run.report.trace.events()) {
+    if (e.kind != TraceEventKind::NodeCrashDetected ||
+        e.note != "heartbeat timeout")
+      continue;
+    if (e.at.value > run.report.makespan.value + 1e-9) continue;
+    double crash_at = -1.0;
+    for (const auto& c : run.timeline.events())
+      if (c.kind == gridsim::ChurnEventKind::Crash && c.node == e.node &&
+          c.at.value <= e.at.value + 1e-9)
+        crash_at = c.at.value;
+    // False eviction of a live node: silence declared without any crash.
+    ASSERT_GE(crash_at, 0.0) << "node " << e.node.value
+                             << " declared dead at t=" << e.at.value
+                             << " without a preceding crash";
+    EXPECT_LE(e.at.value - crash_at,
+              kPropertyTimeout + kPropertyHeartbeat + 1e-6)
+        << "node " << e.node.value << " crash at t=" << crash_at
+        << " detected at t=" << e.at.value;
   }
 }
 

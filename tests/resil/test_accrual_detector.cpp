@@ -1,0 +1,188 @@
+// FailureDetector accrual mode: per-node inter-arrival statistics tighten
+// the silence threshold while `timeout` stays a hard cap.  These tests pin
+// the estimator's contract (warmup fallback, floor, cap, outage exclusion,
+// re-watch persistence) and the no-false-positive property under bounded
+// heartbeat jitter across 100 seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resil/failure_detector.hpp"
+#include "support/rng.hpp"
+
+namespace grasp::resil {
+namespace {
+
+FailureDetector::Params accrual_params(double period = 1.0,
+                                       double timeout = 10.0) {
+  FailureDetector::Params p;
+  p.heartbeat_period = Seconds{period};
+  p.timeout = Seconds{timeout};
+  p.mode = DetectionMode::Accrual;
+  return p;
+}
+
+TEST(AccrualDetector, FixedModeKeepsNoStatistics) {
+  FailureDetector::Params p = accrual_params();
+  p.mode = DetectionMode::Fixed;
+  FailureDetector d(p);
+  d.watch(NodeId{0}, Seconds{0.0});
+  for (int k = 1; k <= 20; ++k)
+    d.heartbeat(NodeId{0}, Seconds{static_cast<double>(k)});
+  EXPECT_EQ(d.beat_samples(NodeId{0}), 0u);
+  EXPECT_DOUBLE_EQ(d.effective_timeout(NodeId{0}).value, 10.0);
+}
+
+TEST(AccrualDetector, WarmupFallsBackToFixedTimeout) {
+  FailureDetector d(accrual_params());
+  d.watch(NodeId{0}, Seconds{0.0});
+  d.heartbeat(NodeId{0}, Seconds{1.0});
+  d.heartbeat(NodeId{0}, Seconds{2.0});
+  // Two samples < min_samples (3): the fixed timeout still applies.
+  EXPECT_LT(d.beat_samples(NodeId{0}), d.params().min_samples);
+  EXPECT_DOUBLE_EQ(d.effective_timeout(NodeId{0}).value, 10.0);
+  EXPECT_TRUE(d.suspects(Seconds{11.9}).empty());
+}
+
+TEST(AccrualDetector, RegularCadenceTightensToFloor) {
+  FailureDetector d(accrual_params(1.0, 10.0));
+  d.watch(NodeId{0}, Seconds{0.0});
+  for (int k = 1; k <= 30; ++k)
+    d.heartbeat(NodeId{0}, Seconds{static_cast<double>(k)});
+  // Perfectly regular beats: mean 1, stddev 0 -> clamped up to the
+  // automatic floor of 1.5 * period.
+  EXPECT_EQ(d.beat_samples(NodeId{0}), 30u);
+  EXPECT_DOUBLE_EQ(d.effective_timeout(NodeId{0}).value, 1.5);
+  // Suspected well before the fixed timeout would have fired...
+  const auto s = d.suspects(Seconds{32.0});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], NodeId{0});
+  // ...but not between two healthy beats.
+  EXPECT_TRUE(d.suspects(Seconds{31.4}).empty());
+}
+
+TEST(AccrualDetector, JitteryLinkEarnsLongerLeash) {
+  FailureDetector d(accrual_params(1.0, 10.0));
+  d.watch(NodeId{0}, Seconds{0.0});
+  // Alternating gaps 0.5 / 1.5: mean 1.0, population stddev 0.5.
+  double t = 0.0;
+  for (int k = 0; k < 40; ++k) {
+    t += (k % 2 == 0) ? 0.5 : 1.5;
+    d.heartbeat(NodeId{0}, Seconds{t});
+  }
+  // effective = mean + sigma * stddev = 1.0 + 4 * 0.5 = 3.0.
+  EXPECT_NEAR(d.effective_timeout(NodeId{0}).value, 3.0, 1e-6);
+}
+
+TEST(AccrualDetector, TimeoutRemainsHardCap) {
+  FailureDetector d(accrual_params(1.0, 5.0));
+  d.watch(NodeId{0}, Seconds{0.0});
+  // Erratic but sub-timeout gaps whose mean + 4 sigma blows past the cap.
+  double t = 0.0;
+  for (int k = 0; k < 40; ++k) {
+    t += (k % 2 == 0) ? 0.5 : 4.5;
+    d.heartbeat(NodeId{0}, Seconds{t});
+  }
+  EXPECT_DOUBLE_EQ(d.effective_timeout(NodeId{0}).value, 5.0);
+}
+
+TEST(AccrualDetector, OutageGapsExcludedFromStatistics) {
+  FailureDetector d(accrual_params(1.0, 4.0));
+  d.watch(NodeId{0}, Seconds{0.0});
+  for (int k = 1; k <= 10; ++k)
+    d.heartbeat(NodeId{0}, Seconds{static_cast<double>(k)});
+  const std::size_t before = d.beat_samples(NodeId{0});
+  // A 50 s silence (an outage being survived, not link cadence) must not
+  // inflate the estimator.
+  d.heartbeat(NodeId{0}, Seconds{60.0});
+  EXPECT_EQ(d.beat_samples(NodeId{0}), before);
+  EXPECT_DOUBLE_EQ(d.effective_timeout(NodeId{0}).value, 1.5);
+}
+
+TEST(AccrualDetector, StatsSurviveRewatch) {
+  FailureDetector d(accrual_params());
+  d.watch(NodeId{0}, Seconds{0.0});
+  for (int k = 1; k <= 10; ++k)
+    d.heartbeat(NodeId{0}, Seconds{static_cast<double>(k)});
+  const std::size_t samples = d.beat_samples(NodeId{0});
+  d.unwatch(NodeId{0});
+  d.watch(NodeId{0}, Seconds{20.0});  // same link, same cadence
+  EXPECT_EQ(d.beat_samples(NodeId{0}), samples);
+  EXPECT_DOUBLE_EQ(d.effective_timeout(NodeId{0}).value, 1.5);
+}
+
+TEST(AccrualDetector, SuspicionCrossesOneAtEffectiveTimeout) {
+  FailureDetector d(accrual_params(1.0, 10.0));
+  d.watch(NodeId{0}, Seconds{0.0});
+  for (int k = 1; k <= 30; ++k)
+    d.heartbeat(NodeId{0}, Seconds{static_cast<double>(k)});
+  // Last beat at t=30, effective timeout 1.5.
+  EXPECT_LT(d.suspicion(NodeId{0}, Seconds{31.4}), 1.0);
+  EXPECT_GT(d.suspicion(NodeId{0}, Seconds{31.6}), 1.0);
+}
+
+TEST(AccrualDetector, AdvanceCreditsEveryTickSoCadenceIsThePeriod) {
+  FailureDetector d(accrual_params(1.0, 10.0));
+  d.watch(NodeId{0}, Seconds{0.0});
+  // One coarse advance spanning 20 periods: accrual mode must credit every
+  // intermediate tick (20 samples of gap 1.0), not one sample of gap 20 —
+  // a backward scan would record the advance-call spacing as the cadence
+  // and neuter the estimator.
+  d.advance(Seconds{20.0}, [](NodeId, Seconds) { return true; });
+  EXPECT_EQ(d.beat_samples(NodeId{0}), 20u);
+  EXPECT_DOUBLE_EQ(d.effective_timeout(NodeId{0}).value, 1.5);
+}
+
+TEST(AccrualDetector, MinEffectiveOverridesAutomaticFloor) {
+  FailureDetector::Params p = accrual_params(1.0, 10.0);
+  p.min_effective = Seconds{4.0};
+  FailureDetector d(p);
+  d.watch(NodeId{0}, Seconds{0.0});
+  for (int k = 1; k <= 30; ++k)
+    d.heartbeat(NodeId{0}, Seconds{static_cast<double>(k)});
+  EXPECT_DOUBLE_EQ(d.effective_timeout(NodeId{0}).value, 4.0);
+}
+
+TEST(AccrualDetector, ValidationErrors) {
+  FailureDetector::Params bad = accrual_params();
+  bad.suspicion_sigma = -1.0;
+  EXPECT_THROW(FailureDetector{bad}, std::invalid_argument);
+  bad = accrual_params();
+  bad.min_samples = 0;
+  EXPECT_THROW(FailureDetector{bad}, std::invalid_argument);
+  bad = accrual_params(1.0, 5.0);
+  bad.min_effective = Seconds{6.0};  // above the hard cap
+  EXPECT_THROW(FailureDetector{bad}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Property: under bounded jitter (gaps uniform in [0.8, 1.2] periods) a
+// live node is never suspected, across 100 seeded cadences.  The automatic
+// floor of 1.5 * period is what guarantees this: the largest possible gap
+// (1.2) stays strictly below every reachable effective timeout.
+TEST(AccrualDetectorProperty, NoFalseSuspicionUnderBoundedJitter) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    FailureDetector d(accrual_params(1.0, 10.0));
+    d.watch(NodeId{0}, Seconds{0.0});
+    SplitMix64 rng(0xACC0A1 ^ (seed * 0x9E3779B97F4A7C15ull));
+    double t = 0.0;
+    for (int k = 0; k < 300; ++k) {
+      const double unit =
+          static_cast<double>(rng.next() >> 11) / 9007199254740992.0;
+      const double gap = 0.8 + 0.4 * unit;
+      // Just before the next beat lands the node must still be trusted.
+      EXPECT_TRUE(d.suspects(Seconds{t + gap - 1e-9}).empty())
+          << "false suspicion at t=" << t + gap << " after " << k << " beats"
+          << " (effective_timeout="
+          << d.effective_timeout(NodeId{0}).value << ")";
+      t += gap;
+      d.heartbeat(NodeId{0}, Seconds{t});
+    }
+    // And the leash never exceeded the hard cap along the way.
+    EXPECT_LE(d.effective_timeout(NodeId{0}).value, 10.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace grasp::resil
