@@ -27,6 +27,7 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <optional>
 
 #include "bench/common.hpp"
 #include "core/hier_farm.hpp"
@@ -59,7 +60,9 @@ std::size_t total_grants(const core::HierFarmReport& r) {
   return n;
 }
 
-ScaleResult run_scale(std::size_t workers) {
+/// `telemetry` (may be null) instruments the Grasp run only — the export
+/// flags observe the adaptive hierarchy, never perturb the Static row.
+ScaleResult run_scale(std::size_t workers, obs::Telemetry* telemetry) {
   ScaleResult out;
   out.workers = workers;
   const std::size_t total = 8 * workers;
@@ -67,8 +70,10 @@ ScaleResult run_scale(std::size_t workers) {
       bench::irregular_tasks(total, 2000.0, 41 + workers, 0.6);
 
   core::HierFarmParams grasp;
+  grasp.telemetry = telemetry;
   core::HierFarmParams fixed = grasp;
   fixed.mode = core::HierMode::Static;
+  fixed.telemetry = nullptr;
 
   {
     const gridsim::Grid grid = hetero_grid(workers);
@@ -157,7 +162,22 @@ bool check_gates(const std::vector<ScaleResult>& sweep, const char* tag) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bench::ObsOptions obs_opts = bench::parse_obs_options(argc, argv);
+  const std::vector<std::string> rest = bench::non_obs_args(argc, argv);
+  const bool smoke = !rest.empty() && rest.front() == "--smoke";
+
+  // Telemetry is attached only when an export flag asks for it, so the
+  // default sweep (and the recorded BENCH_e15.json baseline) runs the
+  // exact same uninstrumented path as before.
+  std::optional<obs::Telemetry> telemetry;
+  obs::FlightRecorder flight;
+  if (obs_opts.any()) {
+    telemetry.emplace(/*detail_enabled=*/true);
+    if (!obs_opts.flight_out.empty()) {
+      flight.set_dump_path(obs_opts.flight_out);
+      telemetry->flight = &flight;
+    }
+  }
 
   std::vector<std::size_t> scales =
       smoke ? std::vector<std::size_t>{16, 128}
@@ -172,8 +192,14 @@ int main(int argc, char** argv) {
         "monitor rounds over an arity-4 reduction tree.\nThe root's "
         "event rate must stay flat as W grows 256x.");
 
+  // Instrument only the largest scale: each SimBackend restarts virtual
+  // time at zero, so mixing spans from two runs would fold their
+  // timelines together and garble the blame analysis.
   std::vector<ScaleResult> sweep;
-  for (const std::size_t w : scales) sweep.push_back(run_scale(w));
+  for (const std::size_t w : scales)
+    sweep.push_back(run_scale(
+        w, telemetry.has_value() && w == scales.back() ? &*telemetry
+                                                       : nullptr));
 
   Table table({"workers", "variant", "shards", "makespan_s", "root_ev",
                "root_ev/vs", "shard_ev", "grants"});
@@ -181,6 +207,13 @@ int main(int argc, char** argv) {
   std::cout << table.to_string();
 
   const bool ok = check_gates(sweep, smoke ? "--smoke" : "sweep");
+
+  if (telemetry.has_value()) {
+    if (!ok && telemetry->flight != nullptr)
+      flight.note(sweep.back().grasp.makespan.value, "gate", "smoke_failed");
+    bench::export_telemetry(*telemetry, obs_opts,
+                            sweep.back().grasp.makespan.value);
+  }
 
   if (smoke) {
     if (ok)

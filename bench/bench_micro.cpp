@@ -9,9 +9,12 @@
 //   M5  NodeModel::compute_time load integration,
 //   M6  M4 with a telemetry sink attached, detail disabled (the
 //       observability layer's disabled-path overhead; CI asserts it stays
-//       within 2% of M4).
+//       within 2% of M4),
+//   M7  M6 plus the diagnosis tier: SLO watchdogs armed and a flight
+//       recorder attached (CI asserts it also stays within 2% of M4 —
+//       the always-on monitoring path must be near-free).
 // bench/run_micro.sh records them into BENCH_micro.json (the repo's
-// wall-clock perf baseline); CI gates M1/M4/M6 against it.
+// wall-clock perf baseline); CI gates M1/M4/M6/M7 against it.
 #include <benchmark/benchmark.h>
 
 #include "core/backend_sim.hpp"
@@ -19,6 +22,7 @@
 #include "core/task_farm.hpp"
 #include "gridsim/event_queue.hpp"
 #include "gridsim/scenarios.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "perfmon/forecaster.hpp"
 #include "support/regression.hpp"
@@ -143,6 +147,40 @@ void BM_SimulatedFarmRunTelemetry(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_SimulatedFarmRunTelemetry)->Unit(benchmark::kMillisecond);
+
+// M7: M6 plus the online diagnosis tier — SLO watchdogs armed (bounds
+// loose enough that a healthy run never breaches, so this times the
+// checking, not the alerting) and a flight recorder absorbing event
+// notes.  Same scenario as M4/M6 for direct items/s comparison.
+void BM_SimulatedFarmRunDiagnosis(benchmark::State& state) {
+  gridsim::ScenarioParams sp;
+  sp.node_count = 16;
+  sp.dynamics = gridsim::Dynamics::Mixed;
+  sp.seed = 5;
+  workloads::TaskSetParams tp;
+  tp.count = 500;
+  tp.seed = 6;
+  const workloads::TaskSet tasks = workloads::make_task_set(tp);
+  obs::Telemetry telemetry(/*detail=*/false);
+  obs::FlightRecorder flight;
+  telemetry.flight = &flight;
+  core::FarmParams params = core::make_adaptive_farm_params();
+  params.telemetry = &telemetry;
+  params.slos.heartbeat_staleness_s = 1e6;
+  params.slos.detection_latency_s = 1e6;
+  params.slos.wasted_mops_rate = 1e12;
+  params.slos.calibration_stall_s = 1e6;
+  for (auto _ : state) {
+    gridsim::Grid grid = gridsim::make_grid(sp);
+    core::SimBackend backend(grid);
+    core::FarmReport report =
+        core::TaskFarm(params).run(backend, grid, grid.node_ids(), tasks);
+    benchmark::DoNotOptimize(report.makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tp.count) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimulatedFarmRunDiagnosis)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

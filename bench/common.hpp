@@ -5,6 +5,7 @@
 // runs are virtual-time simulations and deterministic per seed.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -16,9 +17,11 @@
 #include "core/pipeline.hpp"
 #include "core/task_farm.hpp"
 #include "gridsim/scenarios.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/export_chrome.hpp"
 #include "obs/export_jsonl.hpp"
 #include "obs/export_text.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "support/table.hpp"
 #include "workloads/generators.hpp"
@@ -88,15 +91,21 @@ inline workloads::TaskSet irregular_tasks(std::size_t count, double mean_mops,
 }
 
 /// Telemetry-export flags shared by the bench and example binaries:
-/// `--trace-out PATH` (Chrome trace-event JSON, Perfetto-loadable) and
-/// `--metrics-out PATH` (JSONL metrics + span stream).  Both accept the
+/// `--trace-out PATH` (Chrome trace-event JSON, Perfetto-loadable),
+/// `--metrics-out PATH` (JSONL metrics + span stream), `--blame-out PATH`
+/// (critical-path blame report as JSON, see obs/critical_path.hpp) and
+/// `--flight-out PREFIX` (attach a crash flight recorder and dump its
+/// ring to PREFIX.jsonl + PREFIX.trace.json at exit).  All accept the
 /// `--flag=PATH` spelling too.  Empty path = flag absent.
 struct ObsOptions {
   std::string trace_out;
   std::string metrics_out;
+  std::string blame_out;
+  std::string flight_out;
 
   [[nodiscard]] bool any() const {
-    return !trace_out.empty() || !metrics_out.empty();
+    return !trace_out.empty() || !metrics_out.empty() ||
+           !blame_out.empty() || !flight_out.empty();
   }
 };
 
@@ -117,6 +126,8 @@ inline ObsOptions parse_obs_options(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (match(i, "--trace-out", opts.trace_out)) continue;
     if (match(i, "--metrics-out", opts.metrics_out)) continue;
+    if (match(i, "--blame-out", opts.blame_out)) continue;
+    if (match(i, "--flight-out", opts.flight_out)) continue;
   }
   return opts;
 }
@@ -128,8 +139,12 @@ inline std::vector<std::string> non_obs_args(int argc, char** argv) {
   std::vector<std::string> rest;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--trace-out", 0) == 0 || a.rfind("--metrics-out", 0) == 0) {
-      if ((a == "--trace-out" || a == "--metrics-out") && i + 1 < argc) ++i;
+    if (a.rfind("--trace-out", 0) == 0 || a.rfind("--metrics-out", 0) == 0 ||
+        a.rfind("--blame-out", 0) == 0 || a.rfind("--flight-out", 0) == 0) {
+      if ((a == "--trace-out" || a == "--metrics-out" || a == "--blame-out" ||
+           a == "--flight-out") &&
+          i + 1 < argc)
+        ++i;
       continue;
     }
     rest.push_back(a);
@@ -138,11 +153,14 @@ inline std::vector<std::string> non_obs_args(int argc, char** argv) {
 }
 
 /// Write the run's telemetry to the requested files: a Chrome trace of the
-/// recorded spans, and/or a JSONL stream of the metrics snapshot followed
-/// by every span.  Returns false (with a message on stderr) if any output
-/// file cannot be opened.
+/// recorded spans, a JSONL stream of the metrics snapshot followed by
+/// every span, a blame-report JSON, and/or a flight-recorder dump.
+/// `makespan_s` bounds the blame analysis window; <= 0 derives it from the
+/// latest closed span.  Returns false (with a message on stderr) if any
+/// output file cannot be opened.
 inline bool export_telemetry(const obs::Telemetry& telemetry,
-                             const ObsOptions& opts) {
+                             const ObsOptions& opts,
+                             double makespan_s = -1.0) {
   bool ok = true;
   if (!opts.trace_out.empty()) {
     if (obs::write_chrome_trace_file(opts.trace_out,
@@ -162,6 +180,36 @@ inline bool export_telemetry(const obs::Telemetry& telemetry,
       std::cout << "wrote metrics stream: " << opts.metrics_out << "\n";
     } else {
       std::cerr << "cannot write metrics file: " << opts.metrics_out << "\n";
+      ok = false;
+    }
+  }
+  if (!opts.blame_out.empty()) {
+    const auto& spans = telemetry.spans.records();
+    if (makespan_s <= 0.0)
+      for (const obs::SpanRecord& rec : spans)
+        if (!rec.open()) makespan_s = std::max(makespan_s, rec.end_s);
+    std::ofstream out(opts.blame_out);
+    if (out && makespan_s > 0.0) {
+      out << obs::export_blame_json(
+                 obs::analyze_blame(spans, makespan_s))
+          << "\n";
+      std::cout << "wrote blame report: " << opts.blame_out << "\n";
+    } else {
+      std::cerr << "cannot write blame report: " << opts.blame_out
+                << (makespan_s <= 0.0 ? " (no closed spans recorded)" : "")
+                << "\n";
+      ok = false;
+    }
+  }
+  if (!opts.flight_out.empty()) {
+    if (telemetry.flight != nullptr &&
+        telemetry.flight->dump(opts.flight_out)) {
+      std::cout << "wrote flight dump: " << opts.flight_out << ".jsonl\n";
+    } else {
+      std::cerr << "cannot write flight dump: " << opts.flight_out
+                << (telemetry.flight == nullptr ? " (no recorder attached)"
+                                                : "")
+                << "\n";
       ok = false;
     }
   }

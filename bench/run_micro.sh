@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Run the bench_micro microbenchmarks (M1-M6, google-benchmark) and record
+# Run the bench_micro microbenchmarks (M1-M7, google-benchmark) and record
 # the results as BENCH_micro.json — the repository's wall-clock performance
 # baseline.  Every perf PR re-runs this and must keep M1 (event-queue
-# schedule+drain), M4 (simulated farm step rate) and M6 (M4 with a
-# detail-disabled telemetry sink) within the regression budget; the check
-# also asserts M6 stays within 2% of the same run's M4 (the observability
-# layer's disabled-path overhead).  M2/M3/M5 are tracked informationally.
+# schedule+drain), M4 (simulated farm step rate), M6 (M4 with a
+# detail-disabled telemetry sink) and M7 (M6 plus armed SLO watchdogs and
+# a flight recorder) within the regression budget; the check also asserts
+# M6 and M7 each stay within 2% of the same run's M4 (the observability
+# and diagnosis tiers' overhead).  M2/M3/M5 are tracked informationally.
 #
 # Usage:
 #   bench/run_micro.sh [--smoke] [--build-dir DIR] [--out FILE]
@@ -77,6 +78,7 @@ GATED = {  # name prefix -> M label; these fail the --check gate on regression
     "BM_EventQueueScheduleDrain": "M1",
     "BM_SimulatedFarmRun": "M4",
     "BM_SimulatedFarmRunTelemetry": "M6",
+    "BM_SimulatedFarmRunDiagnosis": "M7",
 }
 LABELS = {
     "BM_EventQueueScheduleDrain": "M1",
@@ -85,6 +87,7 @@ LABELS = {
     "BM_SimulatedFarmRun": "M4",
     "BM_ComputeTimeIntegration": "M5",
     "BM_SimulatedFarmRunTelemetry": "M6",
+    "BM_SimulatedFarmRunDiagnosis": "M7",
 }
 REGRESSION_BUDGET = 0.20  # fail --check when > 20% slower than the baseline
 # M6 runs M4's scenario with a detail-disabled telemetry sink attached; the
@@ -143,23 +146,30 @@ if check_path:
               f"[{row['metric']}] {status}")
         if regressed:
             failures.append(row["name"])
-    # Same-run overhead gate: M6 (telemetry attached, detail off) vs M4.
+    # Same-run overhead gates: M6 (telemetry attached, detail off) and M7
+    # (M6 plus watchdogs + flight recorder), each vs M4.
     current = {family(r["name"]): r["after"] for r in rows
                if r["metric"] == "items_per_s"}
     m4 = current.get("BM_SimulatedFarmRun")
-    m6 = current.get("BM_SimulatedFarmRunTelemetry")
-    if m4 and m6:
-        overhead = 1.0 - m6 / m4
+    for fam, label, tag in (
+            ("BM_SimulatedFarmRunTelemetry", "M6",
+             "telemetry-disabled-path-overhead"),
+            ("BM_SimulatedFarmRunDiagnosis", "M7",
+             "diagnosis-tier-overhead")):
+        other = current.get(fam)
+        if not (m4 and other):
+            continue
+        overhead = 1.0 - other / m4
         status = "REGRESSED" if overhead > TELEMETRY_OVERHEAD_BUDGET else "ok"
-        print(f"  M6 vs M4 disabled-path overhead: {overhead * 100:.2f}% "
+        print(f"  {label} vs M4 overhead: {overhead * 100:.2f}% "
               f"(budget {TELEMETRY_OVERHEAD_BUDGET * 100:.0f}%) {status}")
         if overhead > TELEMETRY_OVERHEAD_BUDGET:
-            failures.append("telemetry-disabled-path-overhead")
+            failures.append(tag)
     if failures:
         print(f"run_micro.sh: regression gate failed for: {', '.join(failures)}",
               file=sys.stderr)
         sys.exit(1)
-    print("run_micro.sh: M1/M4/M6 within the regression budget")
+    print("run_micro.sh: M1/M4/M6/M7 within the regression budget")
     sys.exit(0)
 
 before = load_after(baseline_path) if baseline_path else {}
@@ -182,8 +192,9 @@ doc = {
     "build": "CMAKE_BUILD_TYPE=Release",
     "context": {k: raw["context"].get(k)
                 for k in ("num_cpus", "mhz_per_cpu")},
-    "gate": "CI fails when M1, M4 or M6 regress > 20% against the after "
-            "column, or when M6 trails the same run's M4 by > 2%",
+    "gate": "CI fails when M1, M4, M6 or M7 regress > 20% against the "
+            "after column, or when M6 or M7 trails the same run's M4 by "
+            "> 2%",
     "rows": rows,
 }
 json.dump(doc, open(out_path, "w"), indent=2)

@@ -23,6 +23,7 @@
 #include "core/task_farm.hpp"
 #include "gridsim/scenarios.hpp"
 #include "obs/bridge.hpp"
+#include "obs/flight_recorder.hpp"
 #include "support/config.hpp"
 #include "support/table.hpp"
 #include "workloads/generators.hpp"
@@ -70,6 +71,11 @@ int main(int argc, char** argv) {
 
   obs::Telemetry telemetry;  // detail on: spans + histograms recorded
   params.telemetry = &telemetry;
+  obs::FlightRecorder flight(256);
+  if (!obs_opts.flight_out.empty()) {
+    flight.set_dump_path(obs_opts.flight_out);
+    telemetry.flight = &flight;
+  }
 
   core::SimBackend backend(grid);
   const core::FarmReport farm =

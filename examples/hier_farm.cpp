@@ -21,6 +21,7 @@
 #include "bench/common.hpp"
 #include "core/backend_sim.hpp"
 #include "core/hier_farm.hpp"
+#include "obs/flight_recorder.hpp"
 #include "support/config.hpp"
 #include "support/table.hpp"
 #include "workloads/generators.hpp"
@@ -83,6 +84,11 @@ int main(int argc, char** argv) {
 
   obs::Telemetry telemetry;  // detail on: per-shard span subtrees
   params.telemetry = &telemetry;
+  obs::FlightRecorder flight(256);
+  if (!obs_opts.flight_out.empty()) {
+    flight.set_dump_path(obs_opts.flight_out);
+    telemetry.flight = &flight;
+  }
 
   core::SimBackend backend(grid);
   const core::HierFarmReport r =

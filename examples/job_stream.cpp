@@ -19,6 +19,7 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "obs/flight_recorder.hpp"
 #include "svc/grid_service.hpp"
 #include "support/config.hpp"
 #include "workloads/applications.hpp"
@@ -53,6 +54,11 @@ int main(int argc, char** argv) {
   const auto arrivals = workloads::make_job_arrivals(ap);
 
   obs::Telemetry telemetry;
+  obs::FlightRecorder flight(256);
+  if (!obs_opts.flight_out.empty()) {
+    flight.set_dump_path(obs_opts.flight_out);
+    telemetry.flight = &flight;
+  }
   svc::GridService::Params params;
   params.telemetry = &telemetry;
   core::SimBackend backend(grid);

@@ -21,6 +21,8 @@
 #include <utility>
 
 #include "mp/tree_reduce.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/span.hpp"
 #include "resil/chunk_ledger.hpp"
 #include "resil/replica_log.hpp"
@@ -172,6 +174,17 @@ HierFarmReport HierFarm::run(Backend& backend, const gridsim::Grid& grid,
   obs::Telemetry& tel =
       params_.telemetry != nullptr ? *params_.telemetry : private_tel;
   BackendClock clock(backend);
+  // Online SLO watchdogs (observation only), probed on the liveness tick:
+  // one per shard (scoped alert subjects) plus the root's sub-farmer
+  // watch.  Deque: Watchdog holds registry handles, never moves.
+  std::deque<obs::Watchdog> shard_dogs;
+  std::optional<obs::Watchdog> root_dog;
+  if (params_.slos.any()) root_dog.emplace(params_.slos, tel, "root.");
+  // Crash flight recorder (non-owning, may be null).
+  obs::FlightRecorder* const flight = tel.flight;
+  if (flight != nullptr)
+    flight->note(t0.value, "run", "hier_begin", root,
+                 static_cast<double>(tasks.tasks.size()));
 
   const std::size_t total = tasks.tasks.size();
   std::unordered_map<TaskId, std::size_t> index;
@@ -278,6 +291,10 @@ HierFarmReport HierFarm::run(Backend& backend, const gridsim::Grid& grid,
     shards.push_back(std::move(sh));
   }
   report.shards = shards.size();
+  if (params_.slos.any())
+    for (std::size_t k = 0; k < shards.size(); ++k)
+      shard_dogs.emplace_back(params_.slos, tel,
+                              "shard." + std::to_string(k) + ".");
 
   // ------------------------------------------------------------ counters
   std::size_t root_events = 0, shard_events = 0, grants_total = 0;
@@ -485,6 +502,11 @@ HierFarmReport HierFarm::run(Backend& backend, const gridsim::Grid& grid,
     Shard& sh = shards[k];
     trace(gridsim::TraceEventKind::NodeCrashDetected, w, TaskId::invalid(),
           static_cast<double>(k));
+    sh.spans.instant("crash_detected", 0, w, TaskId::invalid(),
+                     static_cast<double>(k), "heartbeat timeout");
+    if (flight != nullptr)
+      flight->note(now_s().value, "crash", "worker", w,
+                   static_cast<double>(k));
     sh.detector.unwatch(w);
     sh.drop_member(w);
     sh.busy[w] = 0;
@@ -551,6 +573,11 @@ HierFarmReport HierFarm::run(Backend& backend, const gridsim::Grid& grid,
     const Seconds now = now_s();
     trace(gridsim::TraceEventKind::FarmerCrashDetected, dead_sub,
           TaskId::invalid(), static_cast<double>(k));
+    sh.spans.instant("crash_detected", 0, dead_sub, TaskId::invalid(),
+                     static_cast<double>(k), "sub-farmer silent");
+    if (flight != nullptr)
+      flight->note(now.value, "failover", "sub_farmer_down", dead_sub,
+                   static_cast<double>(k));
     root_det.unwatch(dead_sub);
     sh.drop_member(dead_sub);
     abort_reduction();  // the round routed through a corpse; drop it
@@ -646,6 +673,9 @@ HierFarmReport HierFarm::run(Backend& backend, const gridsim::Grid& grid,
     recruit_standby(k);
     trace(gridsim::TraceEventKind::FarmerPromoted, promoted, TaskId::invalid(),
           params_.promotion_handshake.value);
+    if (flight != nullptr)
+      flight->note(now.value, "failover", "promoted", promoted,
+                   static_cast<double>(k));
     sh.promoting = true;
     backend.submit_timer(make_token(OpKind::PromoteTimer, k, seq++),
                          params_.promotion_handshake);
@@ -728,12 +758,24 @@ HierFarmReport HierFarm::run(Backend& backend, const gridsim::Grid& grid,
       Shard& sh = shards[k];
       if (sh.dead) continue;
       ++live_shards;
+      // Staleness SLO before the detector advances: an early-warning bound
+      // tighter than the timeout must fire even on the beat the detector
+      // finally declares the node dead.
+      if (!shard_dogs.empty() &&
+          shard_dogs[k].rules().heartbeat_staleness_s > 0.0)
+        for (NodeId w : sh.detector.watched())
+          shard_dogs[k].check_heartbeat(
+              w, now.value, sh.detector.last_heartbeat(w).value);
       sh.detector.advance(now, alive);
       for (NodeId w : sh.detector.suspects(now)) worker_crash(k, w);
       sh.log.flush([&](NodeId n) { return churn->is_member(n, now); });
       ++sh.events;  // the sub-farmer ran its own tick
       ++shard_events;
     }
+    if (root_dog && root_dog->rules().heartbeat_staleness_s > 0.0)
+      for (NodeId s : root_det.watched())
+        root_dog->check_heartbeat(s, now.value,
+                                  root_det.last_heartbeat(s).value);
     root_det.advance(now, alive);
     for (NodeId s : root_det.suspects(now)) {
       for (std::size_t k = 0; k < shards.size(); ++k)
@@ -1002,6 +1044,15 @@ HierFarmReport HierFarm::run(Backend& backend, const gridsim::Grid& grid,
       tel.spans.import_tree("shard", t0.value, finish_time.value,
                             static_cast<double>(k), sh.spans.records());
   }
+  // Post-run blame diagnosis over the merged tree (root spans + grafted
+  // shard subtrees): per-cause seconds, per-shard groups, obs.blame.*
+  // gauges.  Detail tier only — without spans there is nothing to walk.
+  if (met.enabled() && !tel.spans.records().empty())
+    obs::publish_blame(
+        obs::analyze_blame(tel.spans.records(), finish_time.value), met);
+  if (flight != nullptr)
+    flight->note(finish_time.value, "run", "hier_end", root,
+                 static_cast<double>(report.tasks_completed));
   return report;
 }
 

@@ -39,6 +39,7 @@
 #include "gridsim/grid.hpp"
 #include "gridsim/trace.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/watchdog.hpp"
 #include "resil/failure_detector.hpp"
 #include "workloads/task.hpp"
 
@@ -103,6 +104,12 @@ struct HierFarmParams {
   /// Root location; invalid means pool.front().  The root coordinates
   /// only — it is not a member of any shard.
   NodeId root;
+
+  /// Online SLO bounds, evaluated on the liveness tick: heartbeat
+  /// staleness is probed per shard (alert subjects "shard.<k>.node.<id>")
+  /// and for the root's sub-farmer watch ("root.node.<id>").  All-zero
+  /// disables the watchdogs.
+  obs::SloRules slos;
 
   /// Observability sink (non-owning; may be null).  Per-shard counters
   /// land under "shard.<k>." prefixes and each shard's chunk spans are

@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/critical_path.hpp"
+#include "obs/flight_recorder.hpp"
 #include "resil/adaptive_policy.hpp"
 #include "resil/membership.hpp"
 #include "support/flat_map.hpp"
@@ -161,9 +163,18 @@ PipelineReport Pipeline::run_engine(Backend& backend,
   } clock_guard{tel};
   tel.set_clock(&obs_clock);
   const resil::ResilienceMetrics rm = resil::ResilienceMetrics::register_in(met);
-  const resil::ResilienceReport resil_base = rm.snapshot(met);
+  // Whole-registry pre-run baseline: the report delta is one generic
+  // subtraction, decoded by metric name (resil::from_snapshot).
+  const obs::MetricsSnapshot base_snap = met.snapshot();
   const obs::HistogramHandle h_item_latency =
       met.histogram("pipeline.item_latency_seconds", {1e-3, 2.0, 48});
+  // Online SLO watchdog (observation only) + crash flight recorder.
+  std::optional<obs::Watchdog> watchdog;
+  if (params_.slos.any()) watchdog.emplace(params_.slos, tel);
+  obs::FlightRecorder* const flight = tel.flight;
+  if (flight != nullptr)
+    flight->note(backend.now().value, "run", "pipeline_begin", source,
+                 static_cast<double>(item_count));
 
   perfmon::MonitorDaemon::Params mon_params = params_.monitor;
   mon_params.root = source;
@@ -529,6 +540,8 @@ PipelineReport Pipeline::run_engine(Backend& backend,
       if (crashed) {
         met.inc(rm.crashes_detected);
         tel.spans.instant("crash_detected", 0, node);
+        if (flight != nullptr)
+          flight->note(backend.now().value, "crash", "stage lost", node, 0.0);
       } else {
         met.inc(rm.leaves);
       }
@@ -817,6 +830,12 @@ PipelineReport Pipeline::run_engine(Backend& backend,
       if (tick_token != 0 && completion->token == tick_token) {
         tick_token = 0;
         arm_tick();
+        // Stream-staleness SLO: the pipeline has no per-node heartbeats, so
+        // the watchdog's heartbeat rule bounds the time since the last
+        // completion or membership event (subject: the source node).
+        if (watchdog)
+          watchdog->check_heartbeat(source, backend.now().value,
+                                    last_activity.value);
         if (ops.empty() && dead_tokens.empty()) {
           // Nothing in flight and no zombie pending.  Re-arming forever
           // would spin, so classify the lull: work schedule() can still
@@ -969,7 +988,7 @@ PipelineReport Pipeline::run_engine(Backend& backend,
   // The resilience report is a registry snapshot (delta against the run
   // baseline, so a Telemetry reused across runs still yields per-run
   // numbers); mirror the pipeline scalars for dashboards/exporters.
-  report.resilience = resil::subtract(rm.snapshot(met), resil_base);
+  report.resilience = resil::from_snapshot(met.snapshot().diff(base_snap));
   met.set_counter(met.counter("pipeline.items_completed"),
                   report.items_completed);
   met.set_counter(met.counter("pipeline.remaps"), report.remaps);
@@ -978,6 +997,13 @@ PipelineReport Pipeline::run_engine(Backend& backend,
   met.set(met.gauge("pipeline.makespan_s"), report.makespan.value);
   met.set(met.gauge("pipeline.mean_latency_s"), report.mean_latency_s);
   met.set(met.gauge("pipeline.p95_latency_s"), report.p95_latency_s);
+  // Post-run blame diagnosis on the recorded spans (detail tier only).
+  if (met.enabled() && !tel.spans.records().empty())
+    obs::publish_blame(
+        obs::analyze_blame(tel.spans.records(), report.makespan.value), met);
+  if (flight != nullptr)
+    flight->note(report.makespan.value, "run", "pipeline_end", source,
+                 static_cast<double>(report.items_completed));
   return report;
 }
 

@@ -21,6 +21,7 @@
 #include "gridsim/grid.hpp"
 #include "gridsim/trace.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/watchdog.hpp"
 #include "perfmon/monitor.hpp"
 #include "resil/report.hpp"
 #include "workloads/task.hpp"
@@ -95,6 +96,12 @@ struct PipelineParams {
   double patience_sigma = 4.0;
   Seconds min_patience{30.0};
   std::size_t patience_min_samples = 2;
+
+  /// Online SLO bounds, evaluated on the liveness tick (see
+  /// obs/watchdog.hpp).  The pipeline probes stream staleness (time since
+  /// the last completion or membership event, against
+  /// heartbeat_staleness_s).  All-zero disables the watchdog.
+  obs::SloRules slos;
 
   /// Observability sink (non-owning; must outlive the run).  Null: the
   /// pipeline uses a private detail-disabled instance — counters still

@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/critical_path.hpp"
+#include "obs/flight_recorder.hpp"
 #include "resil/adaptive_policy.hpp"
 #include "resil/chunk_ledger.hpp"
 #include "resil/membership.hpp"
@@ -132,8 +134,12 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
   const resil::ResilienceMetrics rm =
       resil::ResilienceMetrics::register_in(met);
   // Baseline snapshot: a Telemetry reused across runs keeps accumulating,
-  // and this run's report is the delta against these values.
+  // and this run's report is the delta against these values.  The typed
+  // baseline feeds the component-total imports at the end of the run (they
+  // re-add it under set_counter); the generic whole-registry snapshot is
+  // what the report delta is actually computed from.
   const resil::ResilienceReport resil_base = rm.snapshot(met);
+  const obs::MetricsSnapshot base_snap = met.snapshot();
   const obs::HistogramHandle h_service =
       met.histogram("farm.task_service_seconds", {1e-3, 2.0, 48});
   const obs::HistogramHandle h_detect =
@@ -155,6 +161,16 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
   const obs::CounterHandle c_chunk_caps = met.counter("farm.econ.chunk_caps");
   const obs::HistogramHandle h_eff_timeout =
       met.histogram("resil.detector.effective_timeout_s", {1e-2, 2.0, 16});
+  // Online SLO watchdog (observation only, never steers): probed from the
+  // liveness ticks and the crash-declaration path below.
+  std::optional<obs::Watchdog> watchdog;
+  if (params_.slos.any()) watchdog.emplace(params_.slos, tel);
+  // Crash flight recorder: load-bearing events only, noted when attached.
+  obs::FlightRecorder* const flight = tel.flight;
+  const Seconds run_started = backend.now();
+  if (flight != nullptr)
+    flight->note(run_started.value, "run", "farm_begin", root,
+                 static_cast<double>(tasks.size()));
 
   // Mean task work, used for chunk sizing and straggler expectations.
   const double mean_work =
@@ -227,6 +243,9 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
   bool promotion_waited = false;  ///< successor not available at detection
   std::vector<Completion> parked;
   bool in_calibration = false;
+  // Backend time the open calibration pass began (-1 when none is open);
+  // feeds the watchdog's calibration-stall rule.
+  double calibration_opened_s = -1.0;
   auto is_handshake = [&](OpToken token) {
     return handshake_token != 0 && token == handshake_token;
   };
@@ -320,6 +339,10 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
 
   // ---- Phase: calibration (Algorithm 1) -------------------------------
   in_calibration = true;
+  calibration_opened_s = backend.now().value;
+  if (flight != nullptr)
+    flight->note(calibration_opened_s, "calibration", "begin", root,
+                 static_cast<double>(initial_members.size()));
   const obs::SpanId cal_span = tel.spans.begin("calibration");
   CalibrationResult calibration =
       calibrator.run(backend, initial_members, source, &monitor,
@@ -327,6 +350,10 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
   tel.spans.end(cal_span,
                 static_cast<double>(calibration.tasks_consumed), "initial");
   in_calibration = false;
+  calibration_opened_s = -1.0;
+  if (flight != nullptr)
+    flight->note(backend.now().value, "calibration", "end", root,
+                 static_cast<double>(calibration.chosen.size()));
   report.calibration_tasks += calibration.tasks_consumed;
   // Only the initial calibration warm-starts from the shared cache: a
   // recalibration is triggered by evidence that conditions moved, so it
@@ -545,22 +572,31 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
       if (failover->is_standby(node)) failover->standby_lost(node);
     }
     met.inc(rm.crashes_detected);
-    if (met.enabled()) {
-      // Detection latency: now minus the actual crash instant (the latest
-      // Crash event for this node).  Rare path, so the timeline scan is
-      // affordable — and gated off with the detail tier anyway.
+    // Detection latency: now minus the actual crash instant (the latest
+    // Crash event for this node).  Rare path, so the timeline scan is
+    // affordable.  Computed when either consumer wants it: the detail-tier
+    // histogram, or a detection-latency SLO (which must fire even with the
+    // detail tier off).
+    if (met.enabled() ||
+        (watchdog && watchdog->rules().detection_latency_s > 0.0)) {
       const auto& events = churn->events();
       for (auto it = events.rbegin(); it != events.rend(); ++it) {
         if (it->at > backend.now()) continue;
         if (it->node != node ||
             it->kind != gridsim::ChurnEventKind::Crash)
           continue;
-        met.observe(h_detect, (backend.now() - it->at).value);
+        const double latency = (backend.now() - it->at).value;
+        met.observe(h_detect, latency);
+        if (watchdog)
+          watchdog->check_detection(node, backend.now().value, latency);
         break;
       }
+    }
+    if (met.enabled())
       tel.spans.instant("crash_detected", 0, node, TaskId::invalid(), 0.0,
                         why);
-    }
+    if (flight != nullptr)
+      flight->note(backend.now().value, "crash", why, node, 0.0);
     report.trace.record({backend.now(),
                          gridsim::TraceEventKind::NodeCrashDetected, node,
                          TaskId::invalid(), 0.0, why});
@@ -571,6 +607,9 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
       if (auto [found, lost] = in_flight.take(token); found) {
         dead_tokens.insert(token);
         tel.spans.end(lost.span, 0.0, "lost");
+        if (flight != nullptr)
+          flight->note(backend.now().value, "chunk", "lost", node,
+                       lost.work().value);
       }
       recover_checkpointed(entry);
       requeue_pending(entry.tasks, node);
@@ -925,6 +964,8 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
                            "heartbeat timeout"});
       GRASP_LOG_INFO("farm") << "farmer " << farmer.value
                              << " declared dead at t=" << now.value;
+      if (flight != nullptr)
+        flight->note(now.value, "failover", "farmer_down", farmer, 0.0);
       declare_dead(farmer, "farmer silent");  // its worker-side chunks
     }
     // Promotion waits out an in-flight Algorithm 1 pass: the calibration
@@ -971,6 +1012,20 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
   handle_tick = [&] {
     tick_token = 0;
     consume_membership(backend.now());
+    // SLO probes ride the liveness tick: same cadence as the failure
+    // detector, no timers of their own.  (Ticks only exist on resilient
+    // runs, so `detector` is always engaged here.)
+    if (watchdog) {
+      const double now_s = backend.now().value;
+      if (watchdog->rules().heartbeat_staleness_s > 0.0)
+        for (const NodeId n : detector->watched())
+          watchdog->check_heartbeat(n, now_s,
+                                    detector->last_heartbeat(n).value);
+      watchdog->check_wasted_rate(now_s, ledger.wasted_mops(),
+                                  now_s - run_started.value);
+      if (in_calibration)
+        watchdog->check_calibration_stall(now_s, calibration_opened_s);
+    }
     // Every ckpt_every-th beat carries the piggybacked progress reports —
     // unless the farm is farmerless, in which case nobody collects them.
     if (ckpt_on && ++ticks_seen % ckpt_every == 0 && !farmer_down())
@@ -1190,6 +1245,9 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
       // re-queue it here, exactly once (the ledger entry dies with it).
       met.inc(rm.zombie_completions);
       tel.spans.end(a.span, 0.0, "zombie");
+      if (flight != nullptr)
+        flight->note(backend.now().value, "chunk", "zombie", a.node,
+                     a.work().value);
       if (resil_on) {
         const auto entry = ledger.invalidate(
             c.token, [&](TaskId id) { return source.is_completed(id); });
@@ -1342,6 +1400,10 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
                                               : "prompt"});
     GRASP_LOG_INFO("farm") << "farmer promoted: node " << farmer.value
                            << " at t=" << now.value;
+    if (flight != nullptr)
+      flight->note(now.value, "failover",
+                   pending_is_recovery ? "recovered" : "promoted", farmer,
+                   promotion_latency);
     // Re-root the support daemons on the new coordinator.
     monitor.reroot(farmer);
     cal_params.root = farmer;
@@ -1407,6 +1469,10 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
     // rejoin, in which case its fresh samples must not be abandoned).
     newly_dead.clear();
     in_calibration = true;
+    calibration_opened_s = backend.now().value;
+    if (flight != nullptr)
+      flight->note(calibration_opened_s, "calibration", "begin", farmer,
+                   static_cast<double>(recal_pool.size()));
     const obs::SpanId recal_span = tel.spans.begin("calibration");
     CalibrationResult recal =
         calibrator.run(backend, recal_pool, source, &monitor, &report.trace,
@@ -1414,6 +1480,10 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
     tel.spans.end(recal_span, static_cast<double>(recal.tasks_consumed),
                   "recalibration");
     in_calibration = false;
+    calibration_opened_s = -1.0;
+    if (flight != nullptr)
+      flight->note(backend.now().value, "calibration", "end", farmer,
+                   static_cast<double>(recal.chosen.size()));
     report.calibration_tasks += recal.tasks_consumed;
     if (!finished && source.all_done()) {
       finished = true;
@@ -1561,7 +1631,11 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
     met.set(rm.handshake_cost_s,
             resil_base.handshake_cost_s + failover->handshake_cost_s());
   }
-  report.resilience = resil::subtract(rm.snapshot(met), resil_base);
+  // One generic subtraction replaces the old per-field resil copy: the
+  // report is the registry delta against the run-start snapshot, decoded
+  // by metric name.  resil::subtract(rm.snapshot(met), resil_base) is the
+  // equivalent typed spelling (pinned by a test).
+  report.resilience = resil::from_snapshot(met.snapshot().diff(base_snap));
   // Mirror the farm-level scalars so the registry carries the full run
   // summary too (absolute values of the latest run; RunSummary reads the
   // resilience block, dashboards read these).
@@ -1579,6 +1653,15 @@ FarmReport TaskFarm::run_engine(Backend& backend, const gridsim::Grid& grid,
                   report.monitor_samples);
   met.set_counter(met.counter("farm.rounds"), report.rounds);
   met.set(met.gauge("farm.makespan_s"), report.makespan.value);
+  // Post-run causal diagnosis: blame the makespan on its causes and
+  // publish the top-level fractions as obs.blame.* gauges next to the
+  // farm scalars.  Needs spans, so it follows the detail tier.
+  if (met.enabled() && !tel.spans.records().empty())
+    obs::publish_blame(
+        obs::analyze_blame(tel.spans.records(), finish_time.value), met);
+  if (flight != nullptr)
+    flight->note(finish_time.value, "run", "farm_end", farmer,
+                 static_cast<double>(report.tasks_completed));
   return report;
 }
 

@@ -23,6 +23,7 @@
 #include "gridsim/grid.hpp"
 #include "gridsim/trace.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/watchdog.hpp"
 #include "perfmon/monitor.hpp"
 #include "resil/elastic_pool.hpp"
 #include "resil/failover.hpp"
@@ -162,6 +163,11 @@ struct FarmParams {
 
   /// Node-churn handling (crash recovery + elastic worker set).
   FarmResilience resilience;
+
+  /// Online SLO bounds, evaluated on the farm's liveness ticks (see
+  /// obs/watchdog.hpp).  All-zero (the default) disables the watchdog
+  /// entirely.  Observation only — breaches alert, they never steer.
+  obs::SloRules slos;
 
   /// Observability sink (non-owning; must outlive the run).  The run
   /// registers its counters/histograms there and records chunk spans

@@ -1,0 +1,112 @@
+// Critical-path and blame analysis over a finished run's span DAG.
+//
+// The telemetry layer records what happened; this header answers *why the
+// makespan is what it is*.  `analyze_blame` partitions the run's wall
+// clock into six mutually exclusive causes:
+//
+//   calibration         an Algorithm-1 pass (initial or re-) was running
+//   failover            a coordinator promotion (failover/handshake span)
+//                       held the farm, and no compute masked it
+//   detection+recovery  a checkpoint pass was running, or the farm sat
+//                       idle after a crash marker (crash_detected /
+//                       rollback instant, or a chunk that ended
+//                       lost/zombie/evicted) with work still to dispatch
+//   compute             at least one chunk/probe span was executing
+//   dispatch wait       idle with more work coming and no recovery marker
+//                       outstanding (queueing / transfer / scheduling gap)
+//   idle tail           idle with no categorised span ever starting again
+//                       (the straggler-bound run-out)
+//
+// Causes are assigned per elementary interval of the span-boundary
+// timeline with the priority failover > calibration > recovery > compute,
+// so the intervals partition [0, makespan] exactly and the per-cause
+// seconds sum to the makespan by construction — the conservation law the
+// tests pin.
+//
+// Shard- and job-grafted subtrees (SpanRecorder::import_tree keeps
+// absolute stamps) aggregate correctly in the top-level sweep and are
+// *also* broken out per group: every "shard"/"job" root yields a
+// `shard.<k>` / `job.<seq>` row blamed over its own window.  Per-node
+// rows restrict the sweep to one node's spans (global calibration spans
+// count for every node).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace grasp::obs {
+
+struct BlameBreakdown {
+  double calibration_s = 0.0;
+  double dispatch_wait_s = 0.0;
+  double compute_s = 0.0;
+  double detection_recovery_s = 0.0;
+  double failover_s = 0.0;
+  double idle_tail_s = 0.0;
+
+  [[nodiscard]] double total() const {
+    return calibration_s + dispatch_wait_s + compute_s +
+           detection_recovery_s + failover_s + idle_tail_s;
+  }
+  BlameBreakdown& operator+=(const BlameBreakdown& o) {
+    calibration_s += o.calibration_s;
+    dispatch_wait_s += o.dispatch_wait_s;
+    compute_s += o.compute_s;
+    detection_recovery_s += o.detection_recovery_s;
+    failover_s += o.failover_s;
+    idle_tail_s += o.idle_tail_s;
+    return *this;
+  }
+};
+
+/// One blamed scope: a node ("node.<id>") or a grafted subtree
+/// ("shard.<k>" / "job.<seq>").  `window_s` is the scope's own analysis
+/// window; its breakdown sums to window_s, not to the run makespan.
+struct BlameGroup {
+  std::string key;
+  double window_s = 0.0;
+  BlameBreakdown blame;
+};
+
+struct CriticalPathStep {
+  SpanId id = 0;
+  std::string name;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  NodeId node = NodeId::invalid();
+  std::string detail;
+
+  [[nodiscard]] double duration() const { return end_s - begin_s; }
+};
+
+struct BlameReport {
+  double makespan_s = 0.0;
+  BlameBreakdown total;                         ///< sums to makespan_s
+  std::vector<BlameGroup> nodes;                ///< key "node.<id>"
+  std::vector<BlameGroup> groups;               ///< "shard.<k>" / "job.<seq>"
+  std::vector<CriticalPathStep> critical_path;  ///< chronological order
+};
+
+/// Walk the span records of a finished run (absolute stamps, grafted
+/// subtrees included) and produce the blame partition of [0, makespan_s]
+/// plus the backward-chained critical path ending at the latest span.
+/// Deterministic; tolerant of open spans (clipped to the window).
+[[nodiscard]] BlameReport analyze_blame(const std::vector<SpanRecord>& spans,
+                                        double makespan_s);
+
+/// Human-readable blame block (examples print it after the dashboard).
+[[nodiscard]] std::string export_blame_text(const BlameReport& report);
+
+/// Single JSON object: makespan, per-cause seconds + fractions, node and
+/// group rows, and the critical path.  Parses back with obs::parse_json.
+[[nodiscard]] std::string export_blame_json(const BlameReport& report);
+
+/// Surface the top-level breakdown as `obs.blame.*` gauges (seconds per
+/// cause plus `_frac` fractions of the makespan) so RunSummary dashboards
+/// and metric exports carry the diagnosis without re-walking the spans.
+void publish_blame(const BlameReport& report, MetricsRegistry& metrics);
+
+}  // namespace grasp::obs

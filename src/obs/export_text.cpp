@@ -1,9 +1,12 @@
 #include "obs/export_text.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace grasp::obs {
 
@@ -15,38 +18,118 @@ std::string fmt(double v) {
   return buf;
 }
 
-}  // namespace
+/// "shard.3.queue_wait_s" -> "shard.3"; empty when `name` carries no
+/// all-digit scope under a "shard."/"job." label.
+std::string scope_of(std::string_view name) {
+  for (const std::string_view label : {"shard.", "job."}) {
+    if (name.size() <= label.size() || name.substr(0, label.size()) != label)
+      continue;
+    const std::size_t dot = name.find('.', label.size());
+    if (dot == std::string_view::npos || dot == label.size()) continue;
+    const std::string_view k = name.substr(label.size(), dot - label.size());
+    if (std::all_of(k.begin(), k.end(),
+                    [](char c) { return c >= '0' && c <= '9'; }))
+      return std::string(name.substr(0, dot));
+  }
+  return {};
+}
 
-std::string text_dashboard(const MetricsSnapshot& metrics,
-                           const std::vector<SpanRecord>* spans) {
-  std::ostringstream out;
-  out << "== telemetry dashboard ==\n";
-
+void emit_sections(std::ostream& out, const MetricsSnapshot& metrics,
+                   const char* indent) {
   bool any = false;
   for (const auto& [name, value] : metrics.counters) {
     if (value == 0) continue;
-    if (!any) out << "-- counters --\n";
+    if (!any) out << indent << "-- counters --\n";
     any = true;
-    out << "  " << name << ": " << value << '\n';
+    out << indent << "  " << name << ": " << value << '\n';
   }
   any = false;
   for (const auto& [name, value] : metrics.gauges) {
     if (value == 0.0) continue;
-    if (!any) out << "-- gauges --\n";
+    if (!any) out << indent << "-- gauges --\n";
     any = true;
-    out << "  " << name << ": " << fmt(value) << '\n';
+    out << indent << "  " << name << ": " << fmt(value) << '\n';
   }
   any = false;
   for (const HistogramSnapshot& h : metrics.histograms) {
     if (h.count == 0) continue;
     if (!any) {
-      out << "-- histograms --\n";
-      out << "  " << "name: count mean p50 p95 p99 max\n";
+      out << indent << "-- histograms --\n";
+      out << indent << "  name: count mean p50 p95 p99 max\n";
     }
     any = true;
-    out << "  " << h.name << ": " << h.count << ' ' << fmt(h.mean()) << ' '
-        << fmt(h.percentile(0.50)) << ' ' << fmt(h.percentile(0.95)) << ' '
-        << fmt(h.percentile(0.99)) << ' ' << fmt(h.max) << '\n';
+    out << indent << "  " << h.name << ": " << h.count << ' ' << fmt(h.mean())
+        << ' ' << fmt(h.percentile(0.50)) << ' ' << fmt(h.percentile(0.95))
+        << ' ' << fmt(h.percentile(0.99)) << ' ' << fmt(h.max) << '\n';
+  }
+}
+
+}  // namespace
+
+std::string text_dashboard(const MetricsSnapshot& metrics,
+                           const std::vector<SpanRecord>* spans,
+                           const BlameReport* blame) {
+  std::ostringstream out;
+  out << "== telemetry dashboard ==\n";
+
+  // Split scoped metrics out of the top-level view.  Groups keep
+  // first-seen order — shard.0, shard.1, … as the engines registered them.
+  MetricsSnapshot top;
+  std::vector<std::string> group_order;
+  std::map<std::string, MetricsSnapshot> groups;
+  const auto group_for = [&](const std::string& scope) -> MetricsSnapshot& {
+    auto [it, fresh] = groups.try_emplace(scope);
+    if (fresh) group_order.push_back(scope);
+    return it->second;
+  };
+  for (const auto& c : metrics.counters) {
+    const std::string scope = scope_of(c.first);
+    (scope.empty() ? top : group_for(scope)).counters.push_back(c);
+  }
+  for (const auto& g : metrics.gauges) {
+    const std::string scope = scope_of(g.first);
+    (scope.empty() ? top : group_for(scope)).gauges.push_back(g);
+  }
+  for (const HistogramSnapshot& h : metrics.histograms) {
+    const std::string scope = scope_of(h.name);
+    (scope.empty() ? top : group_for(scope)).histograms.push_back(h);
+  }
+
+  emit_sections(out, top, "");
+
+  for (const std::string& scope : group_order) {
+    // Strip the scope prefix inside the section: each group reads like
+    // its own private dashboard.
+    MetricsSnapshot view = filter_snapshot(metrics, scope + ".");
+    bool empty = true;
+    for (const auto& [name, v] : view.counters)
+      if (v != 0) empty = false;
+    for (const auto& [name, v] : view.gauges)
+      if (v != 0.0) empty = false;
+    for (const HistogramSnapshot& h : view.histograms)
+      if (h.count != 0) empty = false;
+    if (empty) continue;
+    out << "== " << scope << " ==\n";
+    emit_sections(out, view, "  ");
+  }
+
+  // Cross-scope rollups: one merged histogram per shared suffix, so the
+  // fleet-wide distribution is readable without adding per-shard tables.
+  for (const std::string_view label : {"shard", "job"}) {
+    const std::vector<HistogramSnapshot> rolled =
+        rollup_histograms(metrics, label);
+    bool any = false;
+    for (const HistogramSnapshot& h : rolled) {
+      if (h.count == 0) continue;
+      if (!any) {
+        out << "== rollup over " << label << ".* ==\n";
+        out << "  name: count mean p50 p95 p99 max\n";
+      }
+      any = true;
+      out << "  " << h.name << ": " << h.count << ' ' << fmt(h.mean()) << ' '
+          << fmt(h.percentile(0.50)) << ' ' << fmt(h.percentile(0.95)) << ' '
+          << fmt(h.percentile(0.99)) << ' ' << fmt(h.max) << '\n';
+    }
   }
 
   if (spans != nullptr && !spans->empty()) {
@@ -62,6 +145,8 @@ std::string text_dashboard(const MetricsSnapshot& metrics,
     for (const auto& [name, count] : per_name)
       out << "  " << name << ": " << count << '\n';
   }
+
+  if (blame != nullptr) out << export_blame_text(*blame);
   return out.str();
 }
 

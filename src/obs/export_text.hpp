@@ -3,12 +3,18 @@
 // Human-readable summary of a registry snapshot: non-zero counters,
 // gauges, and a percentile table (count/mean/p50/p95/p99/max) per
 // histogram, plus per-category span counts when a recorder is supplied.
-// Examples print this after their own report tables.
+// Scoped metrics ("shard.<k>.*" / "job.<seq>.*" — the prefixes HierFarm
+// and GridService import under) are broken out into their own sections
+// with the prefix stripped, followed by a cross-scope histogram rollup,
+// so a multi-tenant or sharded run reads as per-group sub-dashboards
+// instead of one flat name soup.  Pass a BlameReport to append the
+// makespan blame block.  Examples print this after their report tables.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -16,6 +22,7 @@ namespace grasp::obs {
 
 [[nodiscard]] std::string text_dashboard(
     const MetricsSnapshot& metrics,
-    const std::vector<SpanRecord>* spans = nullptr);
+    const std::vector<SpanRecord>* spans = nullptr,
+    const BlameReport* blame = nullptr);
 
 }  // namespace grasp::obs

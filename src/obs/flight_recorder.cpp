@@ -1,0 +1,101 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace grasp::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::note(double at_s, const char* kind, const char* name,
+                          NodeId node, double value, const char* detail) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push({at_s, kind, name, node, value, detail});
+  ++seen_;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.to_vector();
+}
+
+std::size_t FlightRecorder::seen() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return seen_;
+}
+
+void FlightRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  seen_ = 0;
+}
+
+void FlightRecorder::dump_jsonl(std::ostream& out) const {
+  std::vector<FlightEvent> evs;
+  std::size_t seen;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    evs = ring_.to_vector();
+    seen = seen_;
+  }
+  out << "{\"type\": \"flight_header\", \"seen\": " << seen
+      << ", \"retained\": " << evs.size() << ", \"capacity\": " << capacity_
+      << "}\n";
+  for (const FlightEvent& e : evs) {
+    out << "{\"type\": \"flight\", \"at_s\": " << e.at_s << ", \"kind\": \""
+        << json_escape(e.kind) << "\", \"name\": \"" << json_escape(e.name)
+        << "\"";
+    if (e.node.is_valid()) out << ", \"node\": " << e.node.value;
+    if (e.value != 0.0) out << ", \"value\": " << e.value;
+    if (e.detail[0] != '\0')
+      out << ", \"detail\": \"" << json_escape(e.detail) << "\"";
+    out << "}\n";
+  }
+}
+
+void FlightRecorder::dump_chrome(std::ostream& out) const {
+  const std::vector<FlightEvent> evs = events();
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const FlightEvent& e : evs) {
+    const std::uint64_t tid = e.node.is_valid() ? e.node.value + 1 : 0;
+    out << (first ? "\n" : ",\n") << "  {\"name\": \"" << json_escape(e.name)
+        << "\", \"cat\": \"" << json_escape(e.kind)
+        << "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " << e.at_s * 1e6
+        << ", \"pid\": 1, \"tid\": " << tid << ", \"args\": {\"value\": "
+        << e.value << ", \"detail\": \"" << json_escape(e.detail) << "\"}}";
+    first = false;
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void FlightRecorder::set_dump_path(std::string prefix) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  dump_path_ = std::move(prefix);
+}
+
+bool FlightRecorder::dump() const {
+  std::string prefix;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    prefix = dump_path_;
+  }
+  if (prefix.empty()) return false;
+  return dump(prefix);
+}
+
+bool FlightRecorder::dump(const std::string& prefix) const {
+  std::ofstream jsonl(prefix + ".jsonl");
+  if (!jsonl) return false;
+  dump_jsonl(jsonl);
+  std::ofstream chrome(prefix + ".trace.json");
+  if (!chrome) return false;
+  dump_chrome(chrome);
+  return true;
+}
+
+}  // namespace grasp::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <optional>
 
 namespace grasp::obs {
 
@@ -186,6 +188,109 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (std::uint32_t i = 0; i < histograms_.size(); ++i)
     snap.histograms.push_back(histogram_snapshot(HistogramHandle{i}));
   return snap;
+}
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& base) const {
+  std::map<std::string_view, std::uint64_t> base_counters;
+  for (const auto& [n, v] : base.counters) base_counters.emplace(n, v);
+  std::map<std::string_view, double> base_gauges;
+  for (const auto& [n, v] : base.gauges) base_gauges.emplace(n, v);
+  std::map<std::string_view, const HistogramSnapshot*> base_hists;
+  for (const auto& h : base.histograms) base_hists.emplace(h.name, &h);
+
+  MetricsSnapshot out;
+  out.counters.reserve(counters.size());
+  for (const auto& [n, v] : counters) {
+    const auto it = base_counters.find(n);
+    const std::uint64_t b = it == base_counters.end() ? 0 : it->second;
+    out.counters.emplace_back(n, v >= b ? v - b : 0);
+  }
+  out.gauges.reserve(gauges.size());
+  for (const auto& [n, v] : gauges) {
+    const auto it = base_gauges.find(n);
+    out.gauges.emplace_back(n, it == base_gauges.end() ? v : v - it->second);
+  }
+  out.histograms.reserve(histograms.size());
+  for (const auto& h : histograms) {
+    HistogramSnapshot d = h;
+    const auto it = base_hists.find(h.name);
+    if (it != base_hists.end()) {
+      const HistogramSnapshot& b = *it->second;
+      d.count = h.count >= b.count ? h.count - b.count : 0;
+      d.sum = h.sum - b.sum;
+      const std::size_t shared = std::min(d.buckets.size(),
+                                          b.buckets.size());
+      for (std::size_t i = 0; i < shared; ++i)
+        d.buckets[i] =
+            h.buckets[i] >= b.buckets[i] ? h.buckets[i] - b.buckets[i] : 0;
+      if (d.count == 0) {
+        d.sum = 0.0;
+        d.min = d.max = 0.0;
+      }
+    }
+    out.histograms.push_back(std::move(d));
+  }
+  return out;
+}
+
+MetricsSnapshot subtract(const MetricsSnapshot& after,
+                         const MetricsSnapshot& before) {
+  return after.diff(before);
+}
+
+void merge_into(HistogramSnapshot& dst, const HistogramSnapshot& src) {
+  if (src.count == 0) return;
+  if (dst.buckets.empty()) {
+    const std::string name = dst.name;  // keep the destination's identity
+    dst = src;
+    if (!name.empty()) dst.name = name;
+    return;
+  }
+  const std::size_t shared = std::min(dst.buckets.size(), src.buckets.size());
+  for (std::size_t i = 0; i < shared; ++i) dst.buckets[i] += src.buckets[i];
+  std::uint64_t excess = 0;
+  for (std::size_t i = shared; i < src.buckets.size(); ++i)
+    excess += src.buckets[i];
+  dst.buckets.back() += excess;
+  const bool was_empty = dst.count == 0;
+  dst.count += src.count;
+  dst.sum += src.sum;
+  dst.min = was_empty ? src.min : std::min(dst.min, src.min);
+  dst.max = was_empty ? src.max : std::max(dst.max, src.max);
+}
+
+std::vector<HistogramSnapshot> rollup_histograms(const MetricsSnapshot& snap,
+                                                 std::string_view scope) {
+  // Scoped names look like "<scope>.<k>.<rest>" with <k> all digits.
+  const auto scoped_rest =
+      [&](const std::string& name) -> std::optional<std::string> {
+    if (name.size() <= scope.size() + 2 ||
+        name.compare(0, scope.size(), scope) != 0 ||
+        name[scope.size()] != '.')
+      return std::nullopt;
+    std::size_t i = scope.size() + 1;
+    const std::size_t digits_start = i;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9') ++i;
+    if (i == digits_start || i >= name.size() || name[i] != '.' ||
+        i + 1 >= name.size())
+      return std::nullopt;
+    return name.substr(i + 1);
+  };
+  std::vector<HistogramSnapshot> rollups;
+  std::map<std::string, std::size_t> index;
+  for (const HistogramSnapshot& h : snap.histograms) {
+    const auto rest = scoped_rest(h.name);
+    if (!rest.has_value()) continue;
+    const auto [it, inserted] = index.emplace(*rest, rollups.size());
+    if (inserted) {
+      HistogramSnapshot fresh;
+      fresh.name = *rest;
+      fresh.spec = h.spec;
+      rollups.push_back(std::move(fresh));
+    }
+    merge_into(rollups[it->second], h);
+  }
+  return rollups;
 }
 
 MetricsSnapshot filter_snapshot(const MetricsSnapshot& snap,

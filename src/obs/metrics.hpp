@@ -93,7 +93,36 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSnapshot> histograms;
+
+  /// Per-run delta: this snapshot minus `base`, matched by name.  Names
+  /// absent from `base` pass through unchanged; names only in `base` are
+  /// dropped (they recorded nothing this run).  Counters clamp at 0 so a
+  /// `set_counter` rewind can never underflow.  Histogram deltas subtract
+  /// count/sum/buckets bucket-wise (layouts must match — same name, same
+  /// spec — which registry-produced snapshots guarantee) and keep this
+  /// snapshot's min/max: the registry only tracks run-global extrema, so
+  /// the delta's extrema are exact when `base` was empty and conservative
+  /// otherwise.  This is the one subtraction the engines build their
+  /// per-run reports from (see resil::from_snapshot).
+  [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& base) const;
 };
+
+/// Free-function spelling of `after.diff(before)`.
+[[nodiscard]] MetricsSnapshot subtract(const MetricsSnapshot& after,
+                                       const MetricsSnapshot& before);
+
+/// Merge `src` into `dst` with MetricsRegistry::merge_histogram semantics
+/// (bucket-wise add, excess source buckets collapse into overflow, min/max
+/// widen), but on snapshots — no registry required.
+void merge_into(HistogramSnapshot& dst, const HistogramSnapshot& src);
+
+/// Roll scoped histograms up across their scopes: every histogram named
+/// `<scope>.<k>.<rest>` for the given scope label ("shard" / "job")
+/// merges into one rollup named `<rest>`, so per-shard or per-job service
+/// time distributions can be read as a single population.  Unscoped
+/// histograms are ignored; rollups come back in first-seen order.
+[[nodiscard]] std::vector<HistogramSnapshot> rollup_histograms(
+    const MetricsSnapshot& snap, std::string_view scope);
 
 class MetricsRegistry {
  public:

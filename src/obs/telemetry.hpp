@@ -17,9 +17,15 @@
 
 namespace grasp::obs {
 
+class FlightRecorder;
+
 struct Telemetry {
   MetricsRegistry metrics;
   SpanRecorder spans;
+  /// Optional crash flight recorder (non-owning; must outlive the runs
+  /// recording into it).  Engines note load-bearing events here when set;
+  /// null costs one pointer compare per event site.
+  FlightRecorder* flight = nullptr;
 
   /// `detail` gates histograms + spans; counters are always live.
   explicit Telemetry(bool detail = true) { set_detail_enabled(detail); }

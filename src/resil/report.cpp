@@ -56,6 +56,42 @@ ResilienceReport ResilienceMetrics::snapshot(
   return report;
 }
 
+ResilienceReport from_snapshot(const obs::MetricsSnapshot& snap) {
+  const auto counter = [&](const char* name) -> std::size_t {
+    for (const auto& [n, v] : snap.counters)
+      if (n == name) return v;
+    return 0;
+  };
+  const auto gauge = [&](const char* name) -> double {
+    for (const auto& [n, v] : snap.gauges)
+      if (n == name) return v;
+    return 0.0;
+  };
+  ResilienceReport report;
+  report.crashes_detected = counter("resil.crashes_detected");
+  report.leaves = counter("resil.leaves");
+  report.joins = counter("resil.joins");
+  report.admissions = counter("resil.admissions");
+  report.rejections = counter("resil.rejections");
+  report.evictions = counter("resil.evictions");
+  report.chunks_lost = counter("resil.chunks_lost");
+  report.tasks_redispatched = counter("resil.tasks_redispatched");
+  report.zombie_completions = counter("resil.zombie_completions");
+  report.wasted_mops = gauge("resil.wasted_mops");
+  report.checkpoints = counter("resil.checkpoints");
+  report.tasks_recovered = counter("resil.tasks_recovered");
+  report.recovered_mops = gauge("resil.recovered_mops");
+  report.checkpoint_state_bytes = gauge("resil.checkpoint_state_bytes");
+  report.failovers = counter("resil.failovers");
+  report.failover_latency_s = gauge("resil.failover_latency_s");
+  report.standby_recruits = counter("resil.standby_recruits");
+  report.results_rolled_back = counter("resil.results_rolled_back");
+  report.replication_records = counter("resil.replication_records");
+  report.replication_bytes = gauge("resil.replication_bytes");
+  report.handshake_cost_s = gauge("resil.handshake_cost_s");
+  return report;
+}
+
 ResilienceReport subtract(const ResilienceReport& after,
                           const ResilienceReport& before) {
   ResilienceReport d;

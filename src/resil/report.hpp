@@ -92,6 +92,14 @@ struct ResilienceMetrics {
       const obs::MetricsRegistry& metrics) const;
 };
 
+/// Rebuild a report from a generic registry snapshot by its "resil.<field>"
+/// metric names.  Combined with `MetricsSnapshot::diff` this is the
+/// centralized per-run baseline subtraction: engines capture
+/// `base = metrics.snapshot()` at run start and read
+/// `from_snapshot(metrics.snapshot().diff(base))` at the end.  Names absent
+/// from the snapshot read as zero.
+[[nodiscard]] ResilienceReport from_snapshot(const obs::MetricsSnapshot& snap);
+
 /// Field-wise `after - before`.  Engines snapshot a baseline at run start
 /// so a Telemetry reused across runs still yields per-run reports
 /// (counters in the registry keep accumulating; reports are deltas).

@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "obs/flight_recorder.hpp"
 #include "svc/fair_share.hpp"
 
 namespace grasp::svc {
@@ -41,6 +42,7 @@ GridService::GridService(core::Backend& backend, const gridsim::Grid& grid,
     met_.queued = m.gauge("svc.jobs_queued");
     met_.queue_wait_s = m.histogram("svc.queue_wait_s");
     met_.makespan_s = m.histogram("svc.job_makespan_s");
+    if (params_.slos.any()) watchdog_.emplace(params_.slos, *telemetry_, "svc.");
   }
 }
 
@@ -111,16 +113,19 @@ JobHandle GridService::submit_impl(std::variant<FarmJob, PipelineJob> spec,
   // bundled with the spec before the engine ever sees them.  Jobs that
   // leave the optionals empty run whatever the spec's params say, so the
   // default service behaviour is untouched.
-  if (options.detection_mode.has_value() || options.farm_econ.has_value()) {
+  if (options.detection_mode.has_value() || options.farm_econ.has_value() ||
+      options.slos.has_value()) {
     if (auto* farm = std::get_if<FarmJob>(&job->spec)) {
       if (options.detection_mode.has_value())
         farm->params.resilience.detector.mode = *options.detection_mode;
       if (options.farm_econ.has_value())
         farm->params.econ.enabled = *options.farm_econ;
+      if (options.slos.has_value()) farm->params.slos = *options.slos;
     } else if (auto* pipe = std::get_if<PipelineJob>(&job->spec)) {
       if (options.detection_mode.has_value())
         pipe->params.adaptive_patience =
             *options.detection_mode == resil::DetectionMode::Accrual;
+      if (options.slos.has_value()) pipe->params.slos = *options.slos;
     }
   }
   all_jobs_.push_back(job);
@@ -417,6 +422,17 @@ void GridService::finalize(const StatePtr& job) {
     m.inc(ok ? met_.completed : met_.failed);
     m.observe(met_.queue_wait_s,
               (job->started_at - job->submitted_at).value);
+    if (watchdog_)
+      watchdog_->check_queue_wait(backend_.now().value,
+                                  m.histogram_snapshot(met_.queue_wait_s));
+    if (!ok && telemetry_->flight != nullptr) {
+      // Postmortem: a job died with an engine exception — freeze the
+      // flight ring to disk while the evidence is still warm.
+      telemetry_->flight->note(backend_.now().value, "engine", "job_failed",
+                               NodeId::invalid(),
+                               static_cast<double>(job->seq));
+      telemetry_->flight->dump();
+    }
     if (ok) {
       const Seconds finish = job->farm_report
                                  ? job->farm_report->makespan
@@ -489,6 +505,9 @@ void GridService::prepare_params(detail::JobState& job) {
   if (telemetry_ != nullptr && *tel == nullptr) {
     job.own_telemetry =
         std::make_unique<obs::Telemetry>(telemetry_->detail_enabled());
+    // The flight ring is shared, not private: its whole point is one
+    // postmortem stream across tenants (the mutex makes that safe).
+    job.own_telemetry->flight = telemetry_->flight;
     *tel = job.own_telemetry.get();
   }
   job.telemetry = *tel;

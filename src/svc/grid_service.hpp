@@ -52,6 +52,7 @@
 #include "core/backend.hpp"
 #include "gridsim/grid.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/watchdog.hpp"
 #include "svc/calibration_cache.hpp"
 #include "svc/job.hpp"
 #include "svc/job_backend.hpp"
@@ -82,6 +83,11 @@ class GridService {
     /// imported under a "job.<seq>." metric prefix and a "job" span root
     /// (read back per-job with obs::filter_snapshot).
     obs::Telemetry* telemetry = nullptr;
+    /// Service-level SLO bounds (requires `telemetry`).  The service's own
+    /// watchdog checks queue-wait p99 against `queue_wait_p99_s` every time
+    /// a job retires; per-tenant engine rules go through JobOptions::slos
+    /// instead.  All-zero disables it.
+    obs::SloRules slos;
     /// Disable the single-job inline fast path (tests: forces the
     /// threaded protocol even for one tenant).
     bool force_threaded = false;
@@ -187,6 +193,9 @@ class GridService {
     obs::GaugeHandle running, queued;
     obs::HistogramHandle queue_wait_s, makespan_s;
   } met_;
+  /// Service-level SLO watchdog (queue-wait p99 at job retirement); engaged
+  /// only when params.slos has a bound set and a telemetry sink exists.
+  std::optional<obs::Watchdog> watchdog_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -85,6 +85,11 @@ struct JobOptions {
   /// break-even, exposure cap).  Ignored for pipeline jobs, which have no
   /// speculative-duplication economy.
   std::optional<bool> farm_econ;
+  /// Per-tenant SLO bounds (obs/watchdog.hpp), installed into the engine
+  /// params so breaches are evaluated on the engine's own liveness ticks.
+  /// Breach counters land under the job's "job.<seq>." metric prefix when
+  /// the service imports the retired job's telemetry.
+  std::optional<obs::SloRules> slos;
 };
 
 namespace detail {

@@ -177,5 +177,106 @@ TEST(Metrics, ConcurrentRecordingIsLossFree) {
             static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
+TEST(Metrics, SingleBucketHistogramPercentileBoundaries) {
+  MetricsRegistry reg;
+  // One finite bucket plus overflow: everything <= 10 piles into bucket 0.
+  const HistogramHandle h = reg.histogram("coarse", {10.0, 2.0, 1});
+  reg.observe_always(h, 2.0);
+  reg.observe_always(h, 5.0);
+  reg.observe_always(h, 8.0);
+  const HistogramSnapshot snap = reg.histogram_snapshot(h);
+  // p=1 is the exact observed max; every other percentile interpolates
+  // inside the bucket but can never leave the observed [min, max].
+  EXPECT_DOUBLE_EQ(snap.percentile(1.0), 8.0);
+  const double p0 = snap.percentile(0.0);
+  const double p50 = snap.percentile(0.5);
+  EXPECT_GE(p0, 2.0);
+  EXPECT_LE(p0, p50);
+  EXPECT_LE(p50, 8.0);
+  // A single-sample histogram reports that sample for every percentile:
+  // min == max collapses the interpolation interval to a point.
+  const HistogramHandle s = reg.histogram("single", {10.0, 2.0, 1});
+  reg.observe_always(s, 7.0);
+  const HistogramSnapshot one = reg.histogram_snapshot(s);
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(one.percentile(1.0), 7.0);
+}
+
+TEST(Metrics, DiffClampsCountersAndMatchesByName) {
+  MetricsRegistry reg;
+  const CounterHandle a = reg.counter("a");
+  const GaugeHandle g = reg.gauge("g");
+  const HistogramHandle h = reg.histogram("h", {1.0, 2.0, 4});
+  reg.inc(a, 5);
+  reg.set(g, 2.0);
+  reg.observe_always(h, 0.5);
+  const MetricsSnapshot before = reg.snapshot();
+
+  reg.inc(a, 3);
+  reg.set(g, 7.0);
+  reg.observe_always(h, 3.0);
+  const CounterHandle fresh = reg.counter("fresh");  // absent from `before`
+  reg.inc(fresh, 2);
+  MetricsSnapshot after = reg.snapshot();
+  const MetricsSnapshot delta = after.diff(before);
+
+  ASSERT_EQ(delta.counters.size(), 2u);
+  EXPECT_EQ(delta.counters[0].first, "a");
+  EXPECT_EQ(delta.counters[0].second, 3u);  // 8 - 5
+  EXPECT_EQ(delta.counters[1].first, "fresh");
+  EXPECT_EQ(delta.counters[1].second, 2u);  // passes through unchanged
+  ASSERT_EQ(delta.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(delta.gauges[0].second, 5.0);  // 7 - 2
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].count, 1u);  // only the 3.0 observation
+  EXPECT_DOUBLE_EQ(delta.histograms[0].sum, 3.0);
+
+  // A rewound counter (set_counter below the baseline) clamps at zero
+  // instead of wrapping to 2^64 - epsilon.
+  reg.set_counter(a, 1);
+  const MetricsSnapshot rewound = reg.snapshot().diff(before);
+  EXPECT_EQ(rewound.counters[0].second, 0u);
+
+  // Free-function spelling is the same operation.
+  const MetricsSnapshot free_delta = subtract(after, before);
+  EXPECT_EQ(free_delta.counters[0].second, 3u);
+}
+
+TEST(Metrics, MergeIntoAccumulatesAndWidensExtrema) {
+  MetricsRegistry reg;
+  const HistogramHandle h1 = reg.histogram("m1", {1.0, 2.0, 4});
+  const HistogramHandle h2 = reg.histogram("m2", {1.0, 2.0, 4});
+  reg.observe_always(h1, 0.5);
+  reg.observe_always(h1, 3.0);
+  reg.observe_always(h2, 100.0);  // overflow bucket
+  HistogramSnapshot dst = reg.histogram_snapshot(h1);
+  merge_into(dst, reg.histogram_snapshot(h2));
+  EXPECT_EQ(dst.count, 3u);
+  EXPECT_DOUBLE_EQ(dst.sum, 103.5);
+  EXPECT_DOUBLE_EQ(dst.min, 0.5);
+  EXPECT_DOUBLE_EQ(dst.max, 100.0);
+  EXPECT_EQ(dst.buckets.back(), 1u);  // the overflow observation survived
+}
+
+TEST(Metrics, RollupHistogramsMergesAcrossScopes) {
+  MetricsRegistry reg;
+  reg.observe_always(reg.histogram("shard.0.wait_s", {1.0, 2.0, 4}), 0.5);
+  reg.observe_always(reg.histogram("shard.1.wait_s", {1.0, 2.0, 4}), 2.0);
+  reg.observe_always(reg.histogram("shard.1.busy_s", {1.0, 2.0, 4}), 1.0);
+  reg.observe_always(reg.histogram("unscoped_s", {1.0, 2.0, 4}), 9.0);
+  const std::vector<HistogramSnapshot> rolled =
+      rollup_histograms(reg.snapshot(), "shard");
+  ASSERT_EQ(rolled.size(), 2u);  // wait_s + busy_s; unscoped ignored
+  EXPECT_EQ(rolled[0].name, "wait_s");
+  EXPECT_EQ(rolled[0].count, 2u);  // shard.0 + shard.1 merged
+  EXPECT_DOUBLE_EQ(rolled[0].min, 0.5);
+  EXPECT_DOUBLE_EQ(rolled[0].max, 2.0);
+  EXPECT_EQ(rolled[1].name, "busy_s");
+  EXPECT_EQ(rolled[1].count, 1u);
+  // The other scope label finds nothing.
+  EXPECT_TRUE(rollup_histograms(reg.snapshot(), "job").empty());
+}
+
 }  // namespace
 }  // namespace grasp::obs

@@ -111,6 +111,49 @@ TEST(ObsReportEquivalence, RegistrySnapshotMatchesReportOnChurnRun) {
             2 * report.resilience.crashes_detected);
 }
 
+TEST(ObsReportEquivalence, FromSnapshotDiffMatchesTypedSubtract) {
+  // The engines build report.resilience through the generic
+  // from_snapshot(after.diff(before)) path; this pins it to the typed
+  // ResilienceMetrics::snapshot + resil::subtract spelling on a warm
+  // registry, so the centralised baseline subtraction can never drift
+  // from the field-by-field one.
+  const workloads::TaskSet tasks = [] {
+    workloads::TaskSetParams wl;
+    wl.count = 1000;
+    wl.mean_mops = 120.0;
+    wl.cv = 1.0;
+    wl.seed = 43;
+    return workloads::make_task_set(wl);
+  }();
+
+  Telemetry telemetry;
+  const resil::ResilienceMetrics rm =
+      resil::ResilienceMetrics::register_in(telemetry.metrics);
+
+  // Warm the registry with one run, then delta the second both ways.
+  gridsim::Grid grid = churn_grid();
+  core::SimBackend backend(grid);
+  (void)core::TaskFarm(resilient_params(&telemetry))
+      .run(backend, grid, grid.node_ids(), tasks);
+
+  const MetricsSnapshot generic_before = telemetry.metrics.snapshot();
+  const resil::ResilienceReport typed_before = rm.snapshot(telemetry.metrics);
+
+  gridsim::Grid grid2 = churn_grid();
+  core::SimBackend backend2(grid2);
+  const core::FarmReport report =
+      core::TaskFarm(resilient_params(&telemetry))
+          .run(backend2, grid2, grid2.node_ids(), tasks);
+  EXPECT_GT(report.resilience.crashes_detected, 0u);
+
+  const resil::ResilienceReport generic = resil::from_snapshot(
+      telemetry.metrics.snapshot().diff(generic_before));
+  const resil::ResilienceReport typed =
+      resil::subtract(rm.snapshot(telemetry.metrics), typed_before);
+  expect_report_equals(generic, typed);
+  expect_report_equals(generic, report.resilience);
+}
+
 TEST(ObsReportEquivalence, PrivateTelemetryStillFillsTheReport) {
   // No telemetry attached: the engine's private registry must feed the
   // report identically (same seeds as the attached run above).
